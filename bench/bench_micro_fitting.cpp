@@ -1,0 +1,72 @@
+// Microbenchmarks (google-benchmark) for model fitting and clock-model
+// algebra — the per-pair CPU work of the synchronization algorithms.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "clocksync/fitting.hpp"
+#include "sim/rng.hpp"
+#include "vclock/global_clock.hpp"
+#include "vclock/hardware_clock.hpp"
+
+namespace {
+
+using namespace hcs;
+
+void BM_FitLinearModel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(3);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.001 * static_cast<double>(i);
+    y[i] = 1e-6 * x[i] + rng.normal(0.0, 50e-9);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clocksync::fit_linear_model(x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FitLinearModel)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ModelMerge(benchmark::State& state) {
+  const vclock::LinearModel a{1e-6, 2e-6};
+  const vclock::LinearModel b{-2e-6, 3e-6};
+  for (auto _ : state) benchmark::DoNotOptimize(vclock::merge(a, b));
+}
+BENCHMARK(BM_ModelMerge);
+
+void BM_NestedClockEvaluation(benchmark::State& state) {
+  sim::Simulation sim;
+  topology::ClockDriftParams params;
+  vclock::ClockPtr clk = std::make_shared<vclock::HardwareClock>(sim, params, 3);
+  const auto depth = static_cast<int>(state.range(0));
+  for (int level = 0; level < depth; ++level) {
+    clk = std::make_shared<vclock::GlobalClockLM>(clk, vclock::LinearModel{1e-7, 1e-7});
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-5;
+    benchmark::DoNotOptimize(clk->at(t));
+  }
+}
+BENCHMARK(BM_NestedClockEvaluation)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_FlattenUnflatten(benchmark::State& state) {
+  sim::Simulation sim;
+  topology::ClockDriftParams params;
+  vclock::ClockPtr base = std::make_shared<vclock::HardwareClock>(sim, params, 5);
+  vclock::ClockPtr clk = base;
+  for (int level = 0; level < 3; ++level) {
+    clk = std::make_shared<vclock::GlobalClockLM>(clk, vclock::LinearModel{1e-7, 1e-7});
+  }
+  for (auto _ : state) {
+    const auto buf = vclock::flatten_clock(clk);
+    benchmark::DoNotOptimize(vclock::unflatten_clock(base, buf));
+  }
+}
+BENCHMARK(BM_FlattenUnflatten);
+
+}  // namespace
+
+BENCHMARK_MAIN();

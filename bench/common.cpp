@@ -1,0 +1,77 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "clocksync/factory.hpp"
+#include "clocksync/skampi_offset.hpp"
+#include "simmpi/world.hpp"
+
+namespace hcs::bench {
+
+BenchOptions parse_common(int argc, const char* const* argv, double default_scale) {
+  const util::Cli cli(argc, argv, {"csv"});
+  BenchOptions opt;
+  opt.scale = cli.scale(default_scale);
+  opt.seed = cli.seed(1);
+  opt.csv = cli.has("csv");
+  return opt;
+}
+
+void print_header(const std::string& figure, const std::string& what,
+                  const topology::MachineConfig& machine, const BenchOptions& opt) {
+  std::cout << "=== " << figure << ": " << what << " ===\n"
+            << "machine: " << machine.describe() << "\n"
+            << "scale: " << opt.scale << " (1.0 = paper configuration), seed: " << opt.seed
+            << "\n\n";
+}
+
+int scaled(int value, double scale, int min_value) {
+  return std::max(min_value, static_cast<int>(std::lround(value * scale)));
+}
+
+SyncAccuracyPoint run_sync_accuracy(const topology::MachineConfig& machine,
+                                    const std::string& label, double wait_time,
+                                    double sample_fraction, std::uint64_t seed) {
+  simmpi::World world(machine, seed);
+  SyncAccuracyPoint point;
+  const std::vector<int> clients =
+      clocksync::sample_clients(world.size(), 0, sample_fraction, seed ^ 0xabcdefULL);
+  world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+    auto sync = clocksync::make_sync(label);
+    const sim::Time begin = ctx.sim().now();
+    const vclock::ClockPtr g = co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    point.duration = std::max(point.duration, ctx.sim().now() - begin);
+    clocksync::SKaMPIOffset oalg(20);
+    const clocksync::AccuracyResult acc =
+        co_await clocksync::check_clock_accuracy(ctx.comm_world(), *g, oalg, wait_time, clients);
+    if (ctx.rank() == 0) {
+      point.max_offset_t0 = acc.max_abs_t0;
+      point.max_offset_t1 = acc.max_abs_t1;
+    }
+  });
+  return point;
+}
+
+void run_and_print_sync_experiment(util::Table& table, const topology::MachineConfig& machine,
+                                   const std::vector<std::string>& labels, int nmpiruns,
+                                   double wait_time, double sample_fraction,
+                                   const BenchOptions& opt) {
+  for (const std::string& label : labels) {
+    std::vector<double> durations, t0s, t1s;
+    for (int run = 0; run < nmpiruns; ++run) {
+      const SyncAccuracyPoint p = run_sync_accuracy(machine, label, wait_time, sample_fraction,
+                                                    opt.seed + static_cast<std::uint64_t>(run));
+      durations.push_back(p.duration);
+      t0s.push_back(p.max_offset_t0);
+      t1s.push_back(p.max_offset_t1);
+      table.add_row({label, std::to_string(run), util::fmt(p.duration, 4),
+                     util::fmt_us(p.max_offset_t0, 3), util::fmt_us(p.max_offset_t1, 3)});
+    }
+    table.add_row({label + " [mean]", "-", util::fmt(util::mean(durations), 4),
+                   util::fmt_us(util::mean(t0s), 3), util::fmt_us(util::mean(t1s), 3)});
+  }
+}
+
+}  // namespace hcs::bench

@@ -1,0 +1,58 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench binary accepts:
+//   --scale S   (or $HCLOCKSYNC_SCALE): multiplies repetition counts / fit
+//               points; 1.0 = the paper's full configuration.  Each binary
+//               picks a default sized for a one-core machine.
+//   --seed N    : base seed; mpirun i uses seed N + i.
+//   --csv       : additionally emit CSV rows.
+// Headers always state machine, scale and the paper figure being reproduced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clocksync/accuracy.hpp"
+#include "topology/presets.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hcs::bench {
+
+struct BenchOptions {
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+BenchOptions parse_common(int argc, const char* const* argv, double default_scale);
+
+/// Prints the standard experiment header.
+void print_header(const std::string& figure, const std::string& what,
+                  const topology::MachineConfig& machine, const BenchOptions& opt);
+
+/// Scales an integer parameter, never below `min_value`.
+int scaled(int value, double scale, int min_value);
+
+/// Result of one mpirun of the paper's core experiment (sync + Alg. 6).
+struct SyncAccuracyPoint {
+  double duration = 0.0;       // seconds to synchronize (incl. comm creation)
+  double max_offset_t0 = 0.0;  // max |offset| right after sync
+  double max_offset_t1 = 0.0;  // max |offset| wait_time later
+};
+
+/// Synchronizes with `label`, then runs Check-Global-Clock (Algorithm 6).
+SyncAccuracyPoint run_sync_accuracy(const topology::MachineConfig& machine,
+                                    const std::string& label, double wait_time,
+                                    double sample_fraction, std::uint64_t seed);
+
+/// Runs `label` nmpiruns times and prints one row per run plus a mean row,
+/// mirroring the point-clouds of the paper's Figs. 3-6.
+void run_and_print_sync_experiment(util::Table& table, const topology::MachineConfig& machine,
+                                   const std::vector<std::string>& labels, int nmpiruns,
+                                   double wait_time, double sample_fraction,
+                                   const BenchOptions& opt);
+
+}  // namespace hcs::bench

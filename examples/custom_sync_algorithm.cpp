@@ -1,0 +1,103 @@
+// Extension example: implementing a custom ClockSync and plugging it into
+// the same harness as the built-in algorithms.
+//
+// The algorithm here ("OffsetOnlySync") is the naive baseline the paper
+// improves on: a single offset measurement per rank against the root, no
+// drift model at all (slope = 0) — like SKaMPI's original scheme.  The
+// output shows it is fine right after synchronization and degrades linearly
+// with time, which is precisely why HCA-family algorithms fit a slope.
+//
+//   $ ./examples/custom_sync_algorithm [--nodes N] [--cores C]
+#include <iostream>
+
+#include "clocksync/accuracy.hpp"
+#include "clocksync/factory.hpp"
+#include "clocksync/model_learning.hpp"
+#include "clocksync/skampi_offset.hpp"
+#include "simmpi/world.hpp"
+#include "topology/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "vclock/global_clock.hpp"
+
+namespace {
+
+using namespace hcs;
+
+// A ClockSync only needs sync_clocks() + name().  This one measures the
+// offset to rank 0 once per rank (sequentially, like JK but without the
+// regression) and applies it as a constant correction.
+class OffsetOnlySync final : public clocksync::ClockSync {
+ public:
+  explicit OffsetOnlySync(int nexchanges) : oalg_(nexchanges) {}
+
+  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override {
+    const int r = comm.rank();
+    if (r == 0) {
+      for (int client = 1; client < comm.size(); ++client) {
+        (void)co_await oalg_.measure_offset(comm, *clk, 0, client);
+      }
+      co_return vclock::GlobalClockLM::identity(std::move(clk));
+    }
+    const clocksync::ClockOffset o = co_await oalg_.measure_offset(comm, *clk, 0, r);
+    // Constant offset, no drift model: slope = 0.
+    co_return std::make_shared<vclock::GlobalClockLM>(std::move(clk),
+                                                      vclock::LinearModel{0.0, o.offset});
+  }
+
+  std::string name() const override { return "offset_only"; }
+
+ private:
+  clocksync::SKaMPIOffset oalg_;
+};
+
+struct Row {
+  std::string name;
+  double t0_us, t10_us;
+};
+
+template <typename MakeSync>
+Row evaluate(const topology::MachineConfig& machine, const std::string& name,
+             MakeSync make_sync_fn, std::uint64_t seed) {
+  simmpi::World world(machine, seed);
+  Row row{name, 0, 0};
+  const auto clients = clocksync::sample_clients(world.size(), 0, 1.0, 1);
+  world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+    auto sync = make_sync_fn();
+    const vclock::ClockPtr g = co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    clocksync::SKaMPIOffset oalg(20);
+    const auto acc =
+        co_await clocksync::check_clock_accuracy(ctx.comm_world(), *g, oalg, 10.0, clients);
+    if (ctx.rank() == 0) {
+      row.t0_us = acc.max_abs_t0 * 1e6;
+      row.t10_us = acc.max_abs_t1 * 1e6;
+    }
+  });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 8));
+  const int cores = static_cast<int>(cli.get_int("cores", 2));
+  auto machine = topology::testbox(nodes, cores);
+  machine.clocks.base_skew_abs = 2e-6;  // make drift clearly visible in 10 s
+  std::cout << "machine: " << machine.describe() << "\n\n";
+
+  util::Table table({"algorithm", "max offset at 0 s [us]", "max offset at 10 s [us]"});
+  const Row custom = evaluate(machine, "offset_only (custom)",
+                              [] { return std::make_unique<OffsetOnlySync>(20); }, cli.seed(3));
+  const Row hca3 =
+      evaluate(machine, "hca3 (built-in)",
+               [] { return clocksync::make_sync("hca3/recompute_intercept/300/skampi_offset/30"); },
+               cli.seed(3));
+  table.add_row({custom.name, util::fmt(custom.t0_us, 3), util::fmt(custom.t10_us, 3)});
+  table.add_row({hca3.name, util::fmt(hca3.t0_us, 3), util::fmt(hca3.t10_us, 3)});
+  table.print(std::cout);
+
+  std::cout << "\nWithout a drift model the custom algorithm degrades by (skew x 10 s) — tens "
+               "of microseconds — while HCA3's fitted slope keeps the clock usable.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: simulate a small cluster, synchronize its clocks with HCA3,
+// and check how good the resulting logical global clock is.
+//
+//   $ ./examples/quickstart [--nodes N] [--cores C] [--algo LABEL]
+//
+// This walks through the library's core loop:
+//   1. describe a machine (topology + network + clock drift),
+//   2. run one coroutine per MPI rank inside the discrete-event simulator,
+//   3. synchronize clocks with a configurable algorithm,
+//   4. validate the global clock with the paper's Check-Global-Clock.
+#include <iostream>
+
+#include "clocksync/accuracy.hpp"
+#include "clocksync/factory.hpp"
+#include "clocksync/skampi_offset.hpp"
+#include "simmpi/world.hpp"
+#include "topology/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcs;
+  const util::Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 8));
+  const int cores = static_cast<int>(cli.get_int("cores", 4));
+  const std::string label =
+      cli.get("algo", "hca3/recompute_intercept/200/skampi_offset/20");
+
+  // 1. A machine: `testbox` is a mild synthetic cluster; jupiter()/hydra()/
+  //    titan() model the paper's Table I systems.
+  const topology::MachineConfig machine = topology::testbox(nodes, cores);
+  std::cout << "machine: " << machine.describe() << "\n";
+  std::cout << "algorithm: " << label << "\n\n";
+
+  // 2-4. One World per experiment; every rank runs this coroutine.
+  simmpi::World world(machine, cli.seed(42));
+  clocksync::AccuracyResult accuracy;
+  sim::Time sync_duration = 0.0;
+  const std::vector<int> clients = clocksync::sample_clients(world.size(), 0, 1.0, 1);
+
+  world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+    auto sync = clocksync::make_sync(label);
+    const sim::Time begin = ctx.sim().now();
+    const vclock::ClockPtr global_clock =
+        co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    sync_duration = std::max(sync_duration, ctx.sim().now() - begin);
+
+    // How far apart are the global clocks, now and 10 s from now?
+    clocksync::SKaMPIOffset offset_alg(20);
+    const auto result = co_await clocksync::check_clock_accuracy(
+        ctx.comm_world(), *global_clock, offset_alg, 10.0, clients);
+    if (ctx.rank() == 0) accuracy = result;
+  });
+
+  util::Table table({"metric", "value"});
+  table.add_row({"ranks", std::to_string(world.size())});
+  table.add_row({"sync duration [s]", util::fmt(sync_duration, 4)});
+  table.add_row({"max |offset| right after sync [us]", util::fmt_us(accuracy.max_abs_t0, 3)});
+  table.add_row({"max |offset| 10 s later [us]", util::fmt_us(accuracy.max_abs_t1, 3)});
+  table.print(std::cout);
+
+  std::cout << "\nTry: --algo jk/200/skampi_offset/10   (accurate but O(p) slow)\n"
+               "     --algo top/hca3/200/skampi_offset/20/bottom/clockpropagation  (H2HCA)\n";
+  return 0;
+}

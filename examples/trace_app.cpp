@@ -1,0 +1,89 @@
+// Tracing example: run a bulk-synchronous mini-application under the trace
+// library, once with raw per-core clocks and once with an H2HCA global
+// clock, and show what each trace can (and cannot) tell you.
+//
+//   $ ./examples/trace_app [--nodes N] [--cores C] [--iterations I]
+#include <fstream>
+#include <iostream>
+
+#include "clocksync/factory.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/world.hpp"
+#include "topology/presets.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/vec.hpp"
+
+namespace {
+
+using namespace hcs;
+
+std::vector<trace::GanttRow> run_app(const topology::MachineConfig& machine, bool global_clock,
+                                     int iterations, std::uint64_t seed,
+                                     const std::string& json_path = "") {
+  simmpi::World world(machine, seed);
+  std::vector<trace::Tracer> tracers;
+  tracers.reserve(static_cast<std::size_t>(world.size()));
+  world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+    vclock::ClockPtr clk = ctx.base_clock();
+    if (global_clock) {
+      // NOTE: this machine has per-core time sources, so ClockPropSync would
+      // be invalid here (paper §IV-C applicability condition) — use flat
+      // HCA3, which only assumes message passing.
+      auto sync = clocksync::make_sync("hca3/recompute_intercept/200/skampi_offset/20");
+      clk = co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    }
+    tracers.emplace_back(ctx.rank(), clk);
+    trace::Tracer& tracer = tracers.back();
+    for (int it = 0; it < iterations; ++it) {
+      const std::size_t c = tracer.begin_event("compute", it);
+      co_await ctx.sim().delay(30e-6 + 1e-6 * (ctx.rank() % 8));  // imbalanced work
+      tracer.end_event(c);
+      const std::size_t a = tracer.begin_event("allreduce", it);
+      (void)co_await simmpi::allreduce(ctx.comm_world(), util::vec(1.0), simmpi::ReduceOp::kSum,
+                                       simmpi::AllreduceAlgo::kRecursiveDoubling, 8);
+      tracer.end_event(a);
+    }
+  });
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << trace::to_chrome_trace_json(tracers);
+    std::cout << "wrote Chrome trace (chrome://tracing / ui.perfetto.dev): " << json_path
+              << "\n";
+  }
+  return trace::gantt_rows(tracers, "allreduce", iterations / 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
+  const int cores = static_cast<int>(cli.get_int("cores", 4));
+  const int iterations = static_cast<int>(cli.get_int("iterations", 10));
+
+  // Per-core timers with NTP-like offsets: the gettimeofday situation.
+  auto machine = topology::testbox(nodes, cores)
+                     .with_time_source(topology::TimeSourceScope::kPerCore);
+  machine.clocks.initial_offset_abs = 200e-6;
+  std::cout << "machine: " << machine.describe() << "\n\n";
+
+  for (const bool global_clock : {false, true}) {
+    const std::string json_path =
+        cli.has("json") ? (global_clock ? "trace_global.json" : "trace_local.json") : "";
+    const auto rows = run_app(machine, global_clock, iterations, cli.seed(7), json_path);
+    std::cout << (global_clock ? "--- global clock (HCA3) ---" : "--- local clocks ---")
+              << "\n";
+    util::Table table({"rank", "start_us", "duration_us"});
+    for (const auto& row : rows) {
+      table.add_row({std::to_string(row.rank), util::fmt_us(row.start, 2),
+                     util::fmt_us(row.duration, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "With local clocks the start column scatters over the clock offsets; with the\n"
+               "global clock it shows the true arrival pattern into the Allreduce.\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Reproduce the full evaluation: build, run all tests, run every bench.
+#
+#   scripts/reproduce_all.sh [SCALE]
+#
+# SCALE (default: each binary's own default) multiplies repetition counts /
+# fit points; 1.0 is the paper's full configuration.  Outputs land in
+# test_output.txt and bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -ge 1 ]]; then
+  export HCLOCKSYNC_SCALE="$1"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [[ -f "$b" && -x "$b" ]] || continue
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,76 @@
+#include "clocksync/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+#include "util/vec.hpp"
+
+namespace hcs::clocksync {
+
+std::vector<int> sample_clients(int nprocs, int p_ref, double fraction, std::uint64_t seed) {
+  std::vector<int> all;
+  all.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    if (r != p_ref) all.push_back(r);
+  }
+  if (fraction >= 1.0 || all.empty()) return all;
+  const auto want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(fraction * static_cast<double>(all.size()))));
+  // Deterministic partial Fisher-Yates, then restore ascending order so the
+  // measurement loop visits clients in a fixed order on every rank.
+  sim::Rng rng(seed);
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j = i + rng.uniform_index(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(want);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+sim::Task<AccuracyResult> check_clock_accuracy(simmpi::Comm& comm, vclock::Clock& g_clk,
+                                               OffsetAlgorithm& oalg, double wait_time,
+                                               std::vector<int> clients, int p_ref) {
+  if (wait_time < 0) throw std::invalid_argument("check_clock_accuracy: negative wait");
+  const int me = comm.rank();
+  AccuracyResult result;
+  result.clients = clients;
+
+  const bool i_am_sampled_client =
+      me != p_ref && std::binary_search(clients.begin(), clients.end(), me);
+
+  if (me == p_ref) {
+    result.offsets_t0.reserve(clients.size());
+    result.offsets_t1.reserve(clients.size());
+    for (int client : clients) {
+      (void)co_await oalg.measure_offset(comm, g_clk, p_ref, client);
+    }
+    co_await comm.sim().delay(wait_time);  // busy wait on the global clock
+    for (int client : clients) {
+      (void)co_await oalg.measure_offset(comm, g_clk, p_ref, client);
+    }
+  } else if (i_am_sampled_client) {
+    const ClockOffset o0 = co_await oalg.measure_offset(comm, g_clk, p_ref, me);
+    const ClockOffset o1 = co_await oalg.measure_offset(comm, g_clk, p_ref, me);
+    // Report both measurements to the reference.
+    co_await comm.send(p_ref, 7201, util::vec(o0.offset, o1.offset));
+    co_return result;
+  } else {
+    co_return result;
+  }
+
+  // Collect the client-side estimates: the offset algorithms produce their
+  // result on the client, so the reference gathers them explicitly.
+  for (int client : clients) {
+    const simmpi::Message msg = co_await comm.recv(client, 7201);
+    result.offsets_t0.push_back(msg.data.at(0));
+    result.offsets_t1.push_back(msg.data.at(1));
+  }
+  for (double v : result.offsets_t0) result.max_abs_t0 = std::max(result.max_abs_t0, std::abs(v));
+  for (double v : result.offsets_t1) result.max_abs_t1 = std::max(result.max_abs_t1, std::abs(v));
+  co_return result;
+}
+
+}  // namespace hcs::clocksync

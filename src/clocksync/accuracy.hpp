@@ -1,0 +1,39 @@
+// Check-Global-Clock (paper Algorithm 6).
+//
+// After synchronization, the reference rank measures the residual offset of
+// every (sampled) client's global clock twice: immediately, and again
+// wait_time seconds later.  The maxima of |offset| over clients are the
+// y-values of the paper's Figs. 3-6.
+#pragma once
+
+#include <vector>
+
+#include "clocksync/offset.hpp"
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+
+namespace hcs::clocksync {
+
+struct AccuracyResult {
+  std::vector<int> clients;        // sampled comm ranks, ascending
+  std::vector<double> offsets_t0;  // offset per client right after sync
+  std::vector<double> offsets_t1;  // offset per client after wait_time
+  double max_abs_t0 = 0.0;
+  double max_abs_t1 = 0.0;
+};
+
+/// Deterministic sample of client ranks (excluding `p_ref`).  fraction = 1
+/// returns every other rank; smaller fractions subsample reproducibly (the
+/// paper samples 10 % of 16k ranks on Titan).
+std::vector<int> sample_clients(int nprocs, int p_ref, double fraction, std::uint64_t seed);
+
+/// Collective over the communicator: every rank calls it with its global
+/// clock; the result is meaningful on `p_ref` only.  `clients` must be the
+/// same list on every rank (use sample_clients).
+/// `clients` is taken by value: a caller's temporary bound to a reference
+/// parameter of this lazily-started coroutine would dangle.
+sim::Task<AccuracyResult> check_clock_accuracy(simmpi::Comm& comm, vclock::Clock& g_clk,
+                                               OffsetAlgorithm& oalg, double wait_time,
+                                               std::vector<int> clients, int p_ref = 0);
+
+}  // namespace hcs::clocksync

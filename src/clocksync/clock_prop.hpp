@@ -1,0 +1,31 @@
+// ClockPropSync (paper Algorithm 3).
+//
+// Intra-node clock propagation: the already-synchronized reference process
+// flattens its (possibly nested) clock-model chain into a buffer, broadcasts
+// it over the node-local communicator, and every other process re-instantiates
+// the chain on top of its own base clock.
+//
+// Applicability condition (paper §IV-C): this is only correct if all ranks in
+// the communicator read the SAME hardware time source — the condition one
+// would check with clock_getcpuclockid on Linux.  The harnesses verify it via
+// topology::ClusterTopology::time_source_id before composing HlHCA.
+#pragma once
+
+#include "clocksync/sync_algorithm.hpp"
+
+namespace hcs::clocksync {
+
+class ClockPropSync final : public ClockSync {
+ public:
+  /// `p_ref` is the communicator rank that has been synchronized with the
+  /// global root (rank 0 after a node-leader split).
+  explicit ClockPropSync(int p_ref = 0) : p_ref_(p_ref) {}
+
+  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  std::string name() const override { return "ClockPropagation"; }
+
+ private:
+  int p_ref_;
+};
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,137 @@
+#include "clocksync/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+#include "clocksync/clock_prop.hpp"
+#include "clocksync/hca.hpp"
+#include "clocksync/hca2.hpp"
+#include "clocksync/hca3.hpp"
+#include "clocksync/hierarchical.hpp"
+#include "clocksync/jk.hpp"
+#include "clocksync/meanrtt_offset.hpp"
+#include "clocksync/skampi_offset.hpp"
+
+namespace hcs::clocksync {
+
+std::string sync_label(const std::string& algo, const SyncConfig& cfg,
+                       const OffsetAlgorithm& oalg) {
+  std::string label = algo;
+  if (cfg.recompute_intercept) label += "/recompute_intercept";
+  label += "/" + std::to_string(cfg.nfitpoints) + "/" + oalg.name() + "/" +
+           std::to_string(oalg.nexchanges());
+  return label;
+}
+
+namespace {
+
+std::string canonical(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    if (c == '-' || c == ' ') return '_';
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::vector<std::string> split_slash(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find('/', start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+int parse_int(const std::string& tok, const std::string& what) {
+  try {
+    const int v = std::stoi(tok);
+    if (v < 1) throw std::invalid_argument("non-positive");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("make_sync: bad " + what + " '" + tok + "'");
+  }
+}
+
+bool is_prop(const std::string& tok) {
+  return tok == "clockpropagation" || tok == "clockprop" || tok == "clockpropsync";
+}
+
+/// Parses one flat algorithm (or ClockPropagation) from tokens[pos...].
+std::unique_ptr<ClockSync> parse_flat(const std::vector<std::string>& toks, std::size_t& pos) {
+  if (pos >= toks.size()) throw std::invalid_argument("make_sync: missing algorithm name");
+  const std::string algo = toks[pos++];
+  if (is_prop(algo)) return std::make_unique<ClockPropSync>();
+
+  SyncConfig cfg;
+  if (pos < toks.size() && toks[pos] == "recompute_intercept") {
+    cfg.recompute_intercept = true;
+    ++pos;
+  }
+  if (pos + 3 > toks.size()) {
+    throw std::invalid_argument("make_sync: expected nfitpoints/offset/nexchanges after '" +
+                                algo + "'");
+  }
+  cfg.nfitpoints = parse_int(toks[pos++], "nfitpoints");
+  const std::string offset_name = toks[pos++];
+  const int nexchanges = parse_int(toks[pos++], "nexchanges");
+  auto oalg = make_offset_algorithm(offset_name, nexchanges);
+
+  if (algo == "hca") return std::make_unique<HCASync>(cfg, std::move(oalg));
+  if (algo == "hca2") return std::make_unique<HCA2Sync>(cfg, std::move(oalg));
+  if (algo == "hca3") return std::make_unique<HCA3Sync>(cfg, std::move(oalg));
+  if (algo == "jk") return std::make_unique<JKSync>(cfg, std::move(oalg));
+  throw std::invalid_argument("make_sync: unknown algorithm '" + algo + "'");
+}
+
+}  // namespace
+
+std::unique_ptr<OffsetAlgorithm> make_offset_algorithm(const std::string& name, int nexchanges) {
+  const std::string n = canonical(name);
+  if (n == "skampi_offset" || n == "skampi") return std::make_unique<SKaMPIOffset>(nexchanges);
+  if (n == "mean_rtt_offset" || n == "mean_rtt" || n == "meanrtt") {
+    return std::make_unique<MeanRttOffset>(nexchanges);
+  }
+  throw std::invalid_argument("make_offset_algorithm: unknown offset algorithm '" + name + "'");
+}
+
+std::unique_ptr<ClockSync> make_sync(const std::string& label) {
+  const std::vector<std::string> toks = split_slash(canonical(label));
+  std::size_t pos = 0;
+  if (toks.empty()) throw std::invalid_argument("make_sync: empty label");
+
+  if (toks[0] == "top") {
+    pos = 1;
+    auto top = parse_flat(toks, pos);
+    std::unique_ptr<ClockSync> mid;
+    if (pos < toks.size() && toks[pos] == "mid") {
+      ++pos;
+      mid = parse_flat(toks, pos);
+    }
+    if (pos >= toks.size() || toks[pos] != "bottom") {
+      throw std::invalid_argument("make_sync: hierarchical label missing '/bottom/'");
+    }
+    ++pos;
+    auto bottom = parse_flat(toks, pos);
+    if (pos != toks.size()) {
+      throw std::invalid_argument("make_sync: trailing tokens in label '" + label + "'");
+    }
+    if (mid) return make_h3hca(std::move(top), std::move(mid), std::move(bottom));
+    return make_h2hca(std::move(top), std::move(bottom));
+  }
+
+  auto sync = parse_flat(toks, pos);
+  if (pos != toks.size()) {
+    throw std::invalid_argument("make_sync: trailing tokens in label '" + label + "'");
+  }
+  return sync;
+}
+
+}  // namespace hcs::clocksync

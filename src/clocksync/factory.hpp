@@ -1,0 +1,34 @@
+// Configuration-string factory for clock synchronization algorithms.
+//
+// Grammar (case-insensitive, matching the labels used in the paper's plots;
+// '-' and '_' are interchangeable, spaces map to '_'):
+//
+//   flat     := algo [ "/recompute_intercept" ] "/" nfitpoints "/" offset "/" nexchanges
+//   algo     := "hca" | "hca2" | "hca3" | "jk"
+//   offset   := "skampi_offset" | "mean_rtt_offset"
+//   prop     := "clockpropagation" | "clockprop"
+//   h2       := "top/" flat "/bottom/" (flat | prop)
+//   h3       := "top/" flat "/mid/" (flat | prop) "/bottom/" (flat | prop)
+//
+// Examples from the paper:
+//   "hca3/recompute_intercept/1000/skampi_offset/100"
+//   "jk/1000/skampi_offset/20"
+//   "Top/hca3/500/SKaMPI-Offset/100/Bottom/ClockPropagation"
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "clocksync/offset.hpp"
+#include "clocksync/sync_algorithm.hpp"
+
+namespace hcs::clocksync {
+
+/// Builds a fresh per-rank synchronization algorithm from its label.
+/// Throws std::invalid_argument on malformed labels.
+std::unique_ptr<ClockSync> make_sync(const std::string& label);
+
+/// Builds an offset algorithm from its name fragment.
+std::unique_ptr<OffsetAlgorithm> make_offset_algorithm(const std::string& name, int nexchanges);
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,44 @@
+#include "clocksync/fitting.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace hcs::clocksync {
+
+FitResult fit_linear_model(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_linear_model: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("fit_linear_model: need at least 2 points");
+  const auto n = static_cast<double>(x.size());
+
+  double x_mean = 0.0, y_mean = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x_mean += x[i];
+    y_mean += y[i];
+  }
+  x_mean /= n;
+  y_mean /= n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - x_mean;
+    const double dy = y[i] - y_mean;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+
+  FitResult fit;
+  if (sxx == 0.0) {
+    // All timestamps identical: fall back to a constant-offset model.
+    fit.model.slope = 0.0;
+    fit.model.intercept = y_mean;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.model.slope = sxy / sxx;
+  fit.model.intercept = y_mean - fit.model.slope * x_mean;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,20 @@
+// Ordinary least-squares fitting for clock drift models.
+#pragma once
+
+#include <span>
+
+#include "vclock/linear_model.hpp"
+
+namespace hcs::clocksync {
+
+struct FitResult {
+  vclock::LinearModel model;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+/// Fits y = slope * x + intercept.  x and y must have equal size >= 2.
+/// x values are centered internally, so second-scale timestamps with
+/// microsecond-scale structure do not lose precision.
+FitResult fit_linear_model(std::span<const double> x, std::span<const double> y);
+
+}  // namespace hcs::clocksync

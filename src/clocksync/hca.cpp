@@ -1,0 +1,30 @@
+#include "clocksync/hca.hpp"
+
+#include "vclock/global_clock.hpp"
+
+namespace hcs::clocksync {
+
+HCASync::HCASync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg)
+    : HCA2Sync(cfg, std::move(oalg)) {}
+
+std::string HCASync::name() const { return sync_label("hca", cfg_, *oalg_); }
+
+sim::Task<vclock::ClockPtr> HCASync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
+  const vclock::LinearModel lm = co_await run_tree_and_scatter(comm, clk);
+  auto global = std::make_shared<vclock::GlobalClockLM>(clk, lm);
+
+  // Final O(p) pass: the root measures the residual offset of each process's
+  // *global* clock and the process absorbs it into its intercept.
+  const int r = comm.rank();
+  if (r == 0) {
+    for (int client = 1; client < comm.size(); ++client) {
+      (void)co_await oalg_->measure_offset(comm, *global, 0, client);
+    }
+  } else {
+    const ClockOffset o = co_await oalg_->measure_offset(comm, *global, 0, r);
+    global->adjust_intercept(o.offset);
+  }
+  co_return global;
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,22 @@
+// HCA (paper [Hunold & Carpen-Amarie 2015]).
+//
+// HCA2's tree + merge + scatter, followed by an extra round in which the
+// root re-measures and adjusts the clock offset (intercept) of every other
+// process individually.  The adjustment makes the algorithm O(p) overall,
+// "still often fast enough in practice" per the paper, and is the feature
+// that distinguishes HCA from HCA2.
+#pragma once
+
+#include "clocksync/hca2.hpp"
+
+namespace hcs::clocksync {
+
+class HCASync final : public HCA2Sync {
+ public:
+  HCASync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg);
+
+  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  std::string name() const override;
+};
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,150 @@
+#include "clocksync/hca2.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "clocksync/model_learning.hpp"
+#include "simmpi/collectives.hpp"
+#include "vclock/global_clock.hpp"
+
+namespace hcs::clocksync {
+
+namespace {
+// User tags for the model-table messages flowing up the tree; bursts carry
+// no tags, so any distinct per-round values work.
+constexpr int kTableTagBase = 7100;
+constexpr int kRemainderTableTag = 7099;
+
+std::vector<double> serialize_table(const std::map<int, vclock::LinearModel>& models) {
+  std::vector<double> out;
+  out.reserve(1 + 3 * models.size());
+  out.push_back(static_cast<double>(models.size()));
+  for (const auto& [rank, lm] : models) {
+    out.push_back(static_cast<double>(rank));
+    out.push_back(lm.slope);
+    out.push_back(lm.intercept);
+  }
+  return out;
+}
+
+// Merges a child's serialized table into `into`, composing every entry with
+// `to_child`, the model mapping the child's clock to ours.
+void merge_table(std::map<int, vclock::LinearModel>& into, const vclock::LinearModel& to_child,
+                 const std::vector<double>& buffer) {
+  if (buffer.empty()) throw std::invalid_argument("HCA2: empty model table");
+  const auto count = static_cast<std::size_t>(buffer[0]);
+  if (buffer.size() != 1 + 3 * count) throw std::invalid_argument("HCA2: malformed model table");
+  for (std::size_t i = 0; i < count; ++i) {
+    const int rank = static_cast<int>(buffer[1 + 3 * i]);
+    const vclock::LinearModel lm{buffer[2 + 3 * i], buffer[3 + 3 * i]};
+    into[rank] = merge(to_child, lm);
+  }
+}
+}  // namespace
+
+HCA2Sync::HCA2Sync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg)
+    : cfg_(cfg), oalg_(std::move(oalg)) {
+  if (!oalg_) throw std::invalid_argument("HCA2Sync: null offset algorithm");
+}
+
+std::string HCA2Sync::name() const { return sync_label("hca2", cfg_, *oalg_); }
+
+sim::Task<vclock::LinearModel> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm,
+                                                              vclock::ClockPtr clk) {
+  const int nprocs = comm.size();
+  const int r = comm.rank();
+
+  int nrounds = 0;
+  while ((2 << nrounds) <= nprocs) ++nrounds;
+  const int max_power = 1 << nrounds;
+
+  // Models of my subtree, mapping each member's clock to mine.
+  std::map<int, vclock::LinearModel> models;
+  models[r] = vclock::LinearModel{};  // self: identity
+
+  // Remainder ranks first, so their models join their partner's subtree
+  // before the tree phase sends it upward.
+  if (r >= max_power) {
+    const int partner = r - max_power;
+    const vclock::LinearModel lm = co_await learn_clock_model(comm, partner, r, *clk, *oalg_, cfg_);
+    std::map<int, vclock::LinearModel> mine;
+    mine[r] = lm;
+    co_await comm.send(partner, kRemainderTableTag, serialize_table(mine));
+  } else if (r + max_power < nprocs) {
+    const int partner = r + max_power;
+    (void)co_await learn_clock_model(comm, r, partner, *clk, *oalg_, cfg_);
+    const simmpi::Message msg = co_await comm.recv(partner, kRemainderTableTag);
+    // The child's table is already expressed relative to my clock.
+    merge_table(models, vclock::LinearModel{}, msg.data);
+  }
+
+  // Inverted binomial tree: leaves first (paper Fig. 1a).
+  if (r < max_power) {
+    for (int k = 1; k <= nrounds; ++k) {
+      const int step = 1 << k;
+      const int half = 1 << (k - 1);
+      if (r % step == 0) {
+        const int child = r + half;
+        if (child < max_power) {
+          (void)co_await learn_clock_model(comm, r, child, *clk, *oalg_, cfg_);
+          const simmpi::Message msg = co_await comm.recv(child, kTableTagBase + k);
+          if (msg.data.size() < 3) throw std::logic_error("HCA2: missing child model");
+          // First triple is the child's own model cm(r, child); the rest of
+          // the table is relative to the child and composes through it.
+          const vclock::LinearModel to_child{msg.data[1], msg.data[2]};
+          (void)msg.data[0];
+          std::vector<double> rest(msg.data.begin() + 3, msg.data.end());
+          models[child] = to_child;
+          if (!rest.empty()) {
+            const auto count = static_cast<std::size_t>(rest.size() / 3);
+            std::vector<double> table;
+            table.push_back(static_cast<double>(count));
+            table.insert(table.end(), rest.begin(), rest.end());
+            merge_table(models, to_child, table);
+          }
+        }
+      } else if (r % step == half) {
+        const int parent = r - half;
+        const vclock::LinearModel lm =
+            co_await learn_clock_model(comm, parent, r, *clk, *oalg_, cfg_);
+        // Send my own model first, then my subtree (relative to me).
+        std::vector<double> payload;
+        payload.push_back(static_cast<double>(r));
+        payload.push_back(lm.slope);
+        payload.push_back(lm.intercept);
+        for (const auto& [rank, model] : models) {
+          if (rank == r) continue;
+          payload.push_back(static_cast<double>(rank));
+          payload.push_back(model.slope);
+          payload.push_back(model.intercept);
+        }
+        co_await comm.send(parent, kTableTagBase + k, std::move(payload));
+        break;  // my part in the tree is done; wait for the scatter
+      }
+    }
+  }
+
+  // Root distributes one (slope, intercept) pair per rank.
+  std::vector<double> flat;
+  if (r == 0) {
+    if (static_cast<int>(models.size()) != nprocs) {
+      throw std::logic_error("HCA2: root collected " + std::to_string(models.size()) +
+                             " models for " + std::to_string(nprocs) + " ranks");
+    }
+    flat.resize(2 * static_cast<std::size_t>(nprocs));
+    for (const auto& [rank, lm] : models) {
+      flat[2 * static_cast<std::size_t>(rank)] = lm.slope;
+      flat[2 * static_cast<std::size_t>(rank) + 1] = lm.intercept;
+    }
+  }
+  const std::vector<double> mine =
+      co_await simmpi::scatter(comm, std::move(flat), 2, 0, simmpi::ScatterAlgo::kBinomial);
+  co_return vclock::LinearModel{mine.at(0), mine.at(1)};
+}
+
+sim::Task<vclock::ClockPtr> HCA2Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
+  const vclock::LinearModel lm = co_await run_tree_and_scatter(comm, clk);
+  co_return std::make_shared<vclock::GlobalClockLM>(std::move(clk), lm);
+}
+
+}  // namespace hcs::clocksync

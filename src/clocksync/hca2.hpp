@@ -1,0 +1,32 @@
+// HCA2 (paper [Hunold & Carpen-Amarie 2015], Fig. 1a).
+//
+// Clock models are learned up an inverted binomial tree against *base*
+// clocks, merged at the root (MERGE of linear models), and distributed with
+// MPI_Scatter.  O(log p) rounds, but merged models multiply per-fit errors
+// and extrapolate fits taken early in the run — the weaknesses HCA3 removes.
+#pragma once
+
+#include <map>
+
+#include "clocksync/sync_algorithm.hpp"
+#include "vclock/linear_model.hpp"
+
+namespace hcs::clocksync {
+
+class HCA2Sync : public ClockSync {
+ public:
+  HCA2Sync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg);
+
+  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  std::string name() const override;
+
+ protected:
+  /// The shared tree + merge + scatter pipeline; returns this rank's fitted
+  /// model relative to rank 0 (identity on rank 0).  HCASync reuses this.
+  sim::Task<vclock::LinearModel> run_tree_and_scatter(simmpi::Comm& comm, vclock::ClockPtr clk);
+
+  SyncConfig cfg_;
+  std::unique_ptr<OffsetAlgorithm> oalg_;
+};
+
+}  // namespace hcs::clocksync

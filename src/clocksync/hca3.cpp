@@ -1,0 +1,56 @@
+#include "clocksync/hca3.hpp"
+
+#include <stdexcept>
+
+#include "clocksync/model_learning.hpp"
+#include "vclock/global_clock.hpp"
+
+namespace hcs::clocksync {
+
+HCA3Sync::HCA3Sync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg)
+    : cfg_(cfg), oalg_(std::move(oalg)) {
+  if (!oalg_) throw std::invalid_argument("HCA3Sync: null offset algorithm");
+}
+
+std::string HCA3Sync::name() const { return sync_label("hca3", cfg_, *oalg_); }
+
+sim::Task<vclock::ClockPtr> HCA3Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
+  const int nprocs = comm.size();
+  const int r = comm.rank();
+
+  int nrounds = 0;
+  while ((2 << nrounds) <= nprocs) ++nrounds;  // floor(log2(nprocs))
+  const int max_power = 1 << nrounds;
+
+  vclock::ClockPtr my_clk = vclock::GlobalClockLM::identity(clk);  // dummy clock
+
+  // Step 1: ranks below max_power, reference time flowing down the tree.
+  for (int i = nrounds; i >= 1; --i) {
+    const int running_power = 1 << i;
+    const int next_power = 1 << (i - 1);
+    if (r >= max_power) break;
+    if (r % running_power == 0) {
+      const int other_rank = r + next_power;
+      (void)co_await learn_clock_model(comm, r, other_rank, *my_clk, *oalg_, cfg_);
+    } else if (r % running_power == next_power) {
+      const int other_rank = r - next_power;
+      const vclock::LinearModel lm =
+          co_await learn_clock_model(comm, other_rank, r, *my_clk, *oalg_, cfg_);
+      my_clk = std::make_shared<vclock::GlobalClockLM>(clk, lm);
+    }
+  }
+
+  // Step 2: the remaining ranks in [max_power, nprocs).
+  if (r >= max_power) {
+    const int other_rank = r - max_power;
+    const vclock::LinearModel lm =
+        co_await learn_clock_model(comm, other_rank, r, *my_clk, *oalg_, cfg_);
+    my_clk = std::make_shared<vclock::GlobalClockLM>(clk, lm);
+  } else if (r < nprocs - max_power) {
+    const int other_rank = r + max_power;
+    (void)co_await learn_clock_model(comm, r, other_rank, *my_clk, *oalg_, cfg_);
+  }
+  co_return my_clk;
+}
+
+}  // namespace hcs::clocksync

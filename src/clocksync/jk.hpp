@@ -1,0 +1,25 @@
+// JK (Jones & Koenig 2013).
+//
+// The reference process synchronizes every client individually: accurate
+// direct fits, but O(p) rounds — at scale the clock drift changes while the
+// later clients are still waiting their turn, which is exactly why the paper
+// finds JK uncompetitive on Hydra and Titan.
+#pragma once
+
+#include "clocksync/sync_algorithm.hpp"
+
+namespace hcs::clocksync {
+
+class JKSync final : public ClockSync {
+ public:
+  JKSync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg);
+
+  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  std::string name() const override;
+
+ private:
+  SyncConfig cfg_;
+  std::unique_ptr<OffsetAlgorithm> oalg_;
+};
+
+}  // namespace hcs::clocksync

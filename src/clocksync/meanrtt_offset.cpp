@@ -1,0 +1,78 @@
+#include "clocksync/meanrtt_offset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hcs::clocksync {
+
+namespace {
+constexpr std::int64_t kPingBytes = 8;
+}
+
+MeanRttOffset::MeanRttOffset(int nexchanges) : nexchanges_(nexchanges) {
+  if (nexchanges < 1) throw std::invalid_argument("MeanRttOffset: nexchanges must be >= 1");
+}
+
+std::unique_ptr<OffsetAlgorithm> MeanRttOffset::clone() const {
+  return std::make_unique<MeanRttOffset>(nexchanges_);
+}
+
+sim::Task<ClockOffset> MeanRttOffset::measure_offset(simmpi::Comm& comm, vclock::Clock& clk,
+                                                     int p_ref, int client) {
+  const int me = comm.rank();
+  if (me != p_ref && me != client) {
+    throw std::logic_error("MeanRttOffset: called by a non-participating rank");
+  }
+  const bool i_am_client = (me == client);
+  const int partner = i_am_client ? p_ref : client;
+  const auto key = std::make_pair(p_ref, client);
+
+  // Measure the RTT once per pair; both sides keep the cache consistent by
+  // both participating in the extra burst.
+  auto cached = rtt_cache_.find(key);
+  if (cached == rtt_cache_.end()) {
+    // One extra warmup exchange: the very first ping-pong of a pair includes
+    // the time the partner spent busy elsewhere (e.g. JK's reference serving
+    // earlier clients), which would bias the mean RTT by milliseconds.
+    // Dropping it matches real measure_rtt implementations.
+    const simmpi::BurstResult rtt_samples =
+        co_await comm.pingpong_burst(partner, i_am_client, clk, nexchanges_ + 1, kPingBytes);
+    double rtt = 0.0;
+    if (i_am_client) {
+      for (std::size_t i = 1; i < rtt_samples.size(); ++i) {
+        rtt += rtt_samples[i].client_recv - rtt_samples[i].client_send;
+      }
+      rtt /= static_cast<double>(rtt_samples.size() - 1);
+    }
+    cached = rtt_cache_.emplace(key, rtt).first;
+  }
+
+  const simmpi::BurstResult samples =
+      co_await comm.pingpong_burst(partner, i_am_client, clk, nexchanges_, kPingBytes);
+
+  ClockOffset result;
+  if (!i_am_client) co_return result;
+
+  const double rtt = cached->second;
+  struct Obs {
+    double timestamp;
+    double diff;  // local - ref - rtt/2, i.e. -(offset to reference)
+  };
+  std::vector<Obs> observations;
+  observations.reserve(samples.size());
+  for (const simmpi::PingSample& s : samples) {
+    observations.push_back(Obs{s.client_recv, s.client_recv - s.ref_reply - rtt / 2.0});
+  }
+  std::vector<Obs> by_diff = observations;
+  std::nth_element(by_diff.begin(), by_diff.begin() + static_cast<std::ptrdiff_t>(by_diff.size() / 2),
+                   by_diff.end(), [](const Obs& a, const Obs& b) { return a.diff < b.diff; });
+  const Obs median = by_diff[by_diff.size() / 2];
+  // The paper's time_var is (local - ref): negate to report (ref - local),
+  // the convention ClockOffset and the fitted models use.
+  result.timestamp = median.timestamp;
+  result.offset = -median.diff;
+  co_return result;
+}
+
+}  // namespace hcs::clocksync

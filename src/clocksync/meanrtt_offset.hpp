@@ -1,0 +1,34 @@
+// Mean-RTT-Offset (paper Alg. 8, after Jones & Koenig 2013).
+//
+// Estimates the pair's round-trip time once (mean over a burst, cached per
+// pair), then derives per-exchange offsets as
+//   offset_i = local_recv_i - ref_time_i - rtt/2
+// and reports the median offset with its timestamp.  Averaging makes the
+// estimator sensitive to jitter asymmetry — exactly the weakness the paper
+// exploits when it shows SKaMPI-Offset improves JK (§III-C3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "clocksync/offset.hpp"
+
+namespace hcs::clocksync {
+
+class MeanRttOffset final : public OffsetAlgorithm {
+ public:
+  explicit MeanRttOffset(int nexchanges);
+
+  sim::Task<ClockOffset> measure_offset(simmpi::Comm& comm, vclock::Clock& clk, int p_ref,
+                                        int client) override;
+  std::string name() const override { return "mean_rtt_offset"; }
+  int nexchanges() const override { return nexchanges_; }
+  std::unique_ptr<OffsetAlgorithm> clone() const override;
+
+ private:
+  int nexchanges_;
+  // have_rtt cache (paper Alg. 8 line 3), keyed by (ref, client) comm ranks.
+  std::map<std::pair<int, int>, double> rtt_cache_;
+};
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,51 @@
+#include "clocksync/model_learning.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "clocksync/fitting.hpp"
+
+namespace hcs::clocksync {
+
+sim::Task<vclock::LinearModel> learn_clock_model(simmpi::Comm& comm, int p_ref, int other_rank,
+                                                 vclock::Clock& clk, OffsetAlgorithm& oalg,
+                                                 SyncConfig cfg) {
+  const int me = comm.rank();
+  vclock::LinearModel lm;  // identity; returned as-is on the reference side
+
+  if (me == p_ref) {
+    for (int idx = 0; idx < cfg.nfitpoints; ++idx) {
+      (void)co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
+    }
+    if (cfg.recompute_intercept) {
+      (void)co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
+    }
+    co_return lm;
+  }
+  if (me != other_rank) {
+    throw std::logic_error("learn_clock_model: called by a non-participating rank");
+  }
+
+  std::vector<double> xfit, yfit;
+  xfit.reserve(static_cast<std::size_t>(cfg.nfitpoints));
+  yfit.reserve(static_cast<std::size_t>(cfg.nfitpoints));
+  for (int idx = 0; idx < cfg.nfitpoints; ++idx) {
+    const ClockOffset o = co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
+    xfit.push_back(o.timestamp);
+    yfit.push_back(o.offset);
+  }
+  if (cfg.nfitpoints >= 2) {
+    lm = fit_linear_model(xfit, yfit).model;
+  } else {
+    // Degenerate configuration: a single fit point fixes only the offset.
+    lm.slope = 0.0;
+    lm.intercept = yfit.empty() ? 0.0 : yfit.front();
+  }
+  if (cfg.recompute_intercept) {
+    const ClockOffset o = co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
+    lm.intercept = lm.slope * (-o.timestamp) + o.offset;
+  }
+  co_return lm;
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,25 @@
+// LEARN_CLOCK_MODEL (paper Algorithm 2).
+//
+// Pairwise collective between `p_ref` and `other_rank`: the client gathers
+// nfitpoints (timestamp, offset) pairs using the configured offset algorithm
+// and fits a linear drift model; the reference merely answers the ping-pongs.
+// With cfg.recompute_intercept set, one extra offset measurement re-anchors
+// the intercept at the end of the fit (Alg. 2, COMPUTE_AND_SET_INTERCEPT).
+#pragma once
+
+#include "clocksync/offset.hpp"
+#include "clocksync/sync_algorithm.hpp"
+#include "vclock/linear_model.hpp"
+
+namespace hcs::clocksync {
+
+/// Returns the fitted model on the client; an identity model on the
+/// reference.  `clk` is the caller's clock used for timestamping — HCA3
+/// passes an already-synchronized global clock on the reference side.
+/// `cfg` by value (lazily-started coroutine; temporaries bound to reference
+/// parameters would dangle).
+sim::Task<vclock::LinearModel> learn_clock_model(simmpi::Comm& comm, int p_ref, int other_rank,
+                                                 vclock::Clock& clk, OffsetAlgorithm& oalg,
+                                                 SyncConfig cfg);
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,47 @@
+// Clock-offset measurement building blocks (paper §III-A).
+//
+// A clock offset algorithm estimates the current offset between a client's
+// clock and a reference process's clock by exchanging ping-pong messages.
+// Both the reference and the client call measure_offset (it is a pairwise
+// collective); the returned ClockOffset is meaningful on the client and a
+// zero dummy on the reference.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+#include "vclock/clock.hpp"
+
+namespace hcs::clocksync {
+
+/// One fit point: the client-clock timestamp at which the offset to the
+/// reference clock was estimated, and that estimated offset (ref - client).
+struct ClockOffset {
+  double timestamp = 0.0;
+  double offset = 0.0;
+};
+
+class OffsetAlgorithm {
+ public:
+  virtual ~OffsetAlgorithm() = default;
+
+  /// Pairwise collective between comm ranks `p_ref` and `client`; `clk` is
+  /// the caller's current clock (base or already-synchronized global clock —
+  /// HCA3 passes the latter on the reference side, paper Fig. 1b).
+  virtual sim::Task<ClockOffset> measure_offset(simmpi::Comm& comm, vclock::Clock& clk,
+                                                int p_ref, int client) = 0;
+
+  /// Label fragment used in configuration strings, e.g. "skampi_offset".
+  virtual std::string name() const = 0;
+
+  /// Ping-pongs per offset estimate (the paper's third tuning knob).
+  virtual int nexchanges() const = 0;
+
+  /// Fresh instance with the same parameters (per-rank state such as the
+  /// Mean-RTT cache must not be shared between ranks).
+  virtual std::unique_ptr<OffsetAlgorithm> clone() const = 0;
+};
+
+}  // namespace hcs::clocksync

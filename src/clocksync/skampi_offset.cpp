@@ -1,0 +1,45 @@
+#include "clocksync/skampi_offset.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace hcs::clocksync {
+
+namespace {
+constexpr std::int64_t kPingBytes = 8;  // one double on the wire
+}
+
+SKaMPIOffset::SKaMPIOffset(int nexchanges) : nexchanges_(nexchanges) {
+  if (nexchanges < 1) throw std::invalid_argument("SKaMPIOffset: nexchanges must be >= 1");
+}
+
+std::unique_ptr<OffsetAlgorithm> SKaMPIOffset::clone() const {
+  return std::make_unique<SKaMPIOffset>(nexchanges_);
+}
+
+sim::Task<ClockOffset> SKaMPIOffset::measure_offset(simmpi::Comm& comm, vclock::Clock& clk,
+                                                    int p_ref, int client) {
+  const int me = comm.rank();
+  if (me != p_ref && me != client) {
+    throw std::logic_error("SKaMPIOffset: called by a non-participating rank");
+  }
+  const bool i_am_client = (me == client);
+  const int partner = i_am_client ? p_ref : client;
+  const simmpi::BurstResult samples =
+      co_await comm.pingpong_burst(partner, i_am_client, clk, nexchanges_, kPingBytes);
+
+  ClockOffset result;
+  if (!i_am_client) co_return result;
+
+  double td_min = -std::numeric_limits<double>::infinity();
+  double td_max = std::numeric_limits<double>::infinity();
+  for (const simmpi::PingSample& s : samples) {
+    td_min = std::max(td_min, s.ref_reply - s.client_recv);
+    td_max = std::min(td_max, s.ref_reply - s.client_send);
+  }
+  result.offset = 0.5 * (td_min + td_max);
+  result.timestamp = clk.now();
+  co_return result;
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,29 @@
+// SKaMPI-Offset (paper Alg. 7, after [Worsch et al. 2002]).
+//
+// Minimum-filtering offset estimator: across nexchanges ping-pongs it keeps
+//   td_min = max(t_last - s_now)   (reply cannot be later than my receive)
+//   td_max = min(t_last - s_slast) (reply cannot be earlier than my send)
+// and estimates the offset as their midpoint.  Using minima makes it robust
+// to jitter: "if a timing packet is lucky enough to experience the minimum
+// delay, then its timestamps have not been corrupted" (Ridoux & Veitch).
+#pragma once
+
+#include "clocksync/offset.hpp"
+
+namespace hcs::clocksync {
+
+class SKaMPIOffset final : public OffsetAlgorithm {
+ public:
+  explicit SKaMPIOffset(int nexchanges);
+
+  sim::Task<ClockOffset> measure_offset(simmpi::Comm& comm, vclock::Clock& clk, int p_ref,
+                                        int client) override;
+  std::string name() const override { return "skampi_offset"; }
+  int nexchanges() const override { return nexchanges_; }
+  std::unique_ptr<OffsetAlgorithm> clone() const override;
+
+ private:
+  int nexchanges_;
+};
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,41 @@
+// Clock synchronization algorithm interface.
+//
+// sync_clocks is a collective over the communicator: every member calls it
+// with its current base clock (MPI_Wtime analogue, or an already-synchronized
+// global clock when used inside HlHCA) and receives a logical, global clock.
+// A ClockSync instance belongs to one rank (per-rank state such as the
+// Mean-RTT cache lives in the owned OffsetAlgorithm).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "clocksync/offset.hpp"
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+#include "vclock/clock.hpp"
+
+namespace hcs::clocksync {
+
+/// Tuning knobs shared by the algorithm family (paper §III-C3).
+struct SyncConfig {
+  int nfitpoints = 1000;           // fit points per linear regression
+  bool recompute_intercept = false;  // re-measure the intercept after fitting
+};
+
+class ClockSync {
+ public:
+  virtual ~ClockSync() = default;
+
+  /// Collective: returns this rank's synchronized logical clock.
+  virtual sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) = 0;
+
+  /// Human-readable label, e.g. "hca3/recompute_intercept/1000/skampi_offset/100".
+  virtual std::string name() const = 0;
+};
+
+/// Formats the canonical label for a flat algorithm.
+std::string sync_label(const std::string& algo, const SyncConfig& cfg,
+                       const OffsetAlgorithm& oalg);
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,45 @@
+#include "mpibench/barrier_scheme.hpp"
+
+#include "simmpi/collectives.hpp"
+
+namespace hcs::mpibench {
+
+CollectiveOp make_allreduce_op(std::int64_t msize, simmpi::AllreduceAlgo algo) {
+  return [msize, algo](simmpi::Comm& comm) -> sim::Task<void> {
+    std::vector<double> payload(1, 1.0);
+    (void)co_await simmpi::allreduce(comm, std::move(payload), simmpi::ReduceOp::kSum, algo,
+                                     msize);
+  };
+}
+
+CollectiveOp make_barrier_op(simmpi::BarrierAlgo algo) {
+  return [algo](simmpi::Comm& comm) -> sim::Task<void> { co_await simmpi::barrier(comm, algo); };
+}
+
+sim::Task<MeasurementResult> run_barrier_scheme(simmpi::Comm& comm, vclock::Clock& clk,
+                                                CollectiveOp op, BarrierSchemeParams params) {
+  std::vector<double> my_latencies;
+  my_latencies.reserve(static_cast<std::size_t>(params.nrep));
+  for (int rep = 0; rep < params.nrep; ++rep) {
+    co_await simmpi::barrier(comm, params.barrier);
+    const double t0 = clk.now();
+    co_await op(comm);
+    my_latencies.push_back(clk.now() - t0);
+  }
+  const std::vector<double> all = co_await simmpi::gather(comm, std::move(my_latencies), 0);
+
+  MeasurementResult result;
+  if (comm.rank() == 0) {
+    const auto p = static_cast<std::size_t>(comm.size());
+    result.latencies.resize(static_cast<std::size_t>(params.nrep));
+    for (std::size_t rep = 0; rep < result.latencies.size(); ++rep) {
+      result.latencies[rep].resize(p);
+      for (std::size_t r = 0; r < p; ++r) {
+        result.latencies[rep][r] = all[r * static_cast<std::size_t>(params.nrep) + rep];
+      }
+    }
+  }
+  co_return result;
+}
+
+}  // namespace hcs::mpibench

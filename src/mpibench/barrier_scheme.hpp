@@ -1,0 +1,22 @@
+// Barrier-based measurement (the IMB / OSU Micro-Benchmarks approach).
+#pragma once
+
+#include "mpibench/scheme.hpp"
+
+namespace hcs::mpibench {
+
+struct BarrierSchemeParams {
+  int nrep = 100;
+  simmpi::BarrierAlgo barrier = simmpi::BarrierAlgo::kTree;
+};
+
+/// Collective: every rank calls it with its *local* clock.  Per repetition:
+/// MPI_Barrier, then time the operation with local timestamps.  Per-rank
+/// latencies are gathered on rank 0.
+// Parameters are taken BY VALUE: these are lazily-started coroutines, and a
+// caller's temporary bound to a reference parameter would dangle by the time
+// the coroutine body runs.
+sim::Task<MeasurementResult> run_barrier_scheme(simmpi::Comm& comm, vclock::Clock& clk,
+                                                CollectiveOp op, BarrierSchemeParams params);
+
+}  // namespace hcs::mpibench

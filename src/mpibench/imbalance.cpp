@@ -1,0 +1,53 @@
+#include "mpibench/imbalance.hpp"
+
+#include <algorithm>
+
+#include "mpibench/window_scheme.hpp"  // wait_until_global
+#include "util/vec.hpp"
+
+namespace hcs::mpibench {
+
+sim::Task<std::vector<double>> measure_barrier_imbalance(simmpi::Comm& comm,
+                                                         vclock::Clock& g_clk,
+                                                         simmpi::BarrierAlgo algo,
+                                                         ImbalanceParams params) {
+  const int r = comm.rank();
+  // Per call: [on_time, exit_timestamp].
+  std::vector<double> record;
+  record.reserve(2 * static_cast<std::size_t>(params.ncalls));
+  for (int call = 0; call < params.ncalls; ++call) {
+    std::vector<double> start_msg;
+    if (r == 0) start_msg = util::vec(g_clk.now() + params.slack);
+    start_msg = co_await simmpi::bcast(comm, std::move(start_msg), 0);
+    const bool on_time = co_await wait_until_global(comm, g_clk, start_msg.at(0));
+    co_await simmpi::barrier(comm, algo);
+    record.push_back(on_time ? 1.0 : 0.0);
+    record.push_back(g_clk.now());
+  }
+
+  const std::vector<double> all = co_await simmpi::gather(comm, std::move(record), 0);
+  std::vector<double> imbalances;
+  if (r != 0) co_return imbalances;
+
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto stride = 2 * static_cast<std::size_t>(params.ncalls);
+  for (int call = 0; call < params.ncalls; ++call) {
+    bool valid = true;
+    double lo = 0.0, hi = 0.0;
+    for (std::size_t rr = 0; rr < p; ++rr) {
+      const std::size_t base = rr * stride + 2 * static_cast<std::size_t>(call);
+      valid = valid && all[base] > 0.5;
+      const double exit_ts = all[base + 1];
+      if (rr == 0) {
+        lo = hi = exit_ts;
+      } else {
+        lo = std::min(lo, exit_ts);
+        hi = std::max(hi, exit_ts);
+      }
+    }
+    if (valid) imbalances.push_back(hi - lo);
+  }
+  co_return imbalances;
+}
+
+}  // namespace hcs::mpibench

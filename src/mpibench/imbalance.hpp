@@ -1,0 +1,27 @@
+// Barrier exit-imbalance measurement (paper §V-B, Fig. 8).
+//
+// "To measure this imbalance, we synchronize the barrier with a common start
+// time (Round-Time) and record the timestamp when each process exits the
+// barrier.  We compute the maximum skew between the first and the last
+// process that leave the barrier, and this duration is called imbalance."
+#pragma once
+
+#include "mpibench/scheme.hpp"
+
+namespace hcs::mpibench {
+
+struct ImbalanceParams {
+  int ncalls = 500;           // barrier calls per run (paper: 500 per mpirun)
+  double slack = 50e-6;       // lead time between announcement and start
+};
+
+/// Collective: every rank calls it with its synchronized global clock.
+/// Returns, on comm rank 0, one imbalance value (max exit - min exit, in
+/// seconds) per valid call; empty elsewhere.
+/// Parameters by value (lazily-started coroutine; see barrier_scheme.hpp).
+sim::Task<std::vector<double>> measure_barrier_imbalance(simmpi::Comm& comm,
+                                                         vclock::Clock& g_clk,
+                                                         simmpi::BarrierAlgo algo,
+                                                         ImbalanceParams params);
+
+}  // namespace hcs::mpibench

@@ -1,0 +1,92 @@
+#include "mpibench/roundtime_scheme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mpibench/window_scheme.hpp"  // wait_until_global
+#include "util/vec.hpp"
+
+namespace hcs::mpibench {
+
+sim::Task<MeasurementResult> run_roundtime_scheme(simmpi::Comm& comm, vclock::Clock& g_clk,
+                                                  CollectiveOp op, RoundTimeParams params) {
+  if (params.slack_factor < 1.0) {
+    throw std::invalid_argument("Round-Time: slack factor B must be >= 1");
+  }
+  const int r = comm.rank();
+
+  // ESTIMATE_LATENCY(MPI_Bcast): the quantity that matters is how long an
+  // announcement needs to reach the *last* rank.  The root timestamps each
+  // warmup broadcast on the global clock; every rank measures the arrival
+  // delay of the timestamp on its own global clock, and an Allreduce(max)
+  // yields the worst-case propagation latency (residual clock error is
+  // automatically folded into the estimate).
+  double lat_bcast = 1e-6;
+  {
+    for (int i = 0; i < params.warmup_bcasts; ++i) {
+      std::vector<double> stamp;
+      if (r == 0) stamp = util::vec(g_clk.now());
+      stamp = co_await simmpi::bcast(comm, std::move(stamp), 0);
+      lat_bcast = std::max(lat_bcast, g_clk.now() - stamp.at(0));
+    }
+    const std::vector<double> worst =
+        co_await simmpi::allreduce(comm, util::vec(lat_bcast), simmpi::ReduceOp::kMax);
+    lat_bcast = worst.at(0);
+  }
+
+  const double t_start = g_clk.now();
+  // Per valid rep: [latency, end] on this rank; root also records starts.
+  std::vector<double> record;
+  std::vector<double> start_times;
+  int nrep = 0;
+  int invalid_total = 0;
+  for (;;) {
+    // The reference picks the next start time and broadcasts it.
+    std::vector<double> start_msg;
+    if (r == 0) start_msg = util::vec(g_clk.now() + params.slack_factor * lat_bcast);
+    start_msg = co_await simmpi::bcast(comm, std::move(start_msg), 0);
+    const double start_time = start_msg.at(0);
+
+    double invalid = 0.0;
+    if (!co_await wait_until_global(comm, g_clk, start_time)) invalid = 1.0;
+
+    co_await op(comm);
+    const double end = g_clk.now();
+
+    const double out_of_time = (g_clk.now() - t_start >= params.max_time_slice) ? 1.0 : 0.0;
+    const std::vector<double> flags =
+        co_await simmpi::allreduce(comm, util::vec(invalid, out_of_time), simmpi::ReduceOp::kMax);
+
+    if (flags.at(0) == 0.0) {
+      record.push_back(end - start_time);
+      record.push_back(end);
+      if (r == 0) start_times.push_back(start_time);
+      ++nrep;
+    } else {
+      ++invalid_total;
+    }
+    if (flags.at(1) != 0.0 || nrep >= params.max_nrep) break;
+  }
+
+  const std::vector<double> all = co_await simmpi::gather(comm, std::move(record), 0);
+  MeasurementResult result;
+  if (r != 0) co_return result;
+
+  result.invalid_reps = invalid_total;
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto stride = 2 * static_cast<std::size_t>(nrep);
+  for (int rep = 0; rep < nrep; ++rep) {
+    std::vector<double> lats(p);
+    double max_end = 0.0;
+    for (std::size_t rr = 0; rr < p; ++rr) {
+      const std::size_t base = rr * stride + 2 * static_cast<std::size_t>(rep);
+      lats[rr] = all[base];
+      max_end = std::max(max_end, all[base + 1]);
+    }
+    result.latencies.push_back(std::move(lats));
+    result.global_runtimes.push_back(max_end - start_times[static_cast<std::size_t>(rep)]);
+  }
+  co_return result;
+}
+
+}  // namespace hcs::mpibench

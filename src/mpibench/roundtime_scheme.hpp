@@ -1,0 +1,29 @@
+// Round-Time measurement scheme (paper §V-A, Algorithm 5) — the paper's
+// third contribution.
+//
+// Instead of fixed windows, the reference process broadcasts the *next*
+// start time after every repetition (current global time plus B times the
+// estimated broadcast latency).  A late rank invalidates only that one
+// repetition, and the whole measurement is bounded by a wall-clock time
+// slice rather than a repetition count.
+#pragma once
+
+#include <limits>
+
+#include "mpibench/scheme.hpp"
+
+namespace hcs::mpibench {
+
+struct RoundTimeParams {
+  double slack_factor = 3.0;   // B in Algorithm 5 (>= 1)
+  double max_time_slice = 5.0; // seconds granted to this operation
+  int max_nrep = std::numeric_limits<int>::max();
+  int warmup_bcasts = 10;      // repetitions used to estimate lat(MPI_Bcast)
+};
+
+/// Collective: every rank calls it with its synchronized *global* clock.
+/// Parameters by value (lazily-started coroutine; see barrier_scheme.hpp).
+sim::Task<MeasurementResult> run_roundtime_scheme(simmpi::Comm& comm, vclock::Clock& g_clk,
+                                                  CollectiveOp op, RoundTimeParams params);
+
+}  // namespace hcs::mpibench

@@ -1,0 +1,48 @@
+// Measurement schemes for benchmarking MPI collectives (paper §II, §V-A).
+//
+// A scheme decides *when* each repetition of the operation under test starts
+// on each rank and which repetitions count.  The paper contrasts three:
+//   * barrier-based (IMB / OSU style): re-synchronize with MPI_Barrier before
+//     every repetition; biased when the barrier's exit imbalance is of the
+//     same order as the measured operation;
+//   * window-based (SKaMPI / NBCBench style): pre-agreed start times every
+//     `window` seconds on a global clock; needs a good window-size estimate
+//     and one outlier invalidates many subsequent windows;
+//   * Round-Time (this paper, Algorithm 5): the reference broadcasts the next
+//     start time after every repetition, and the run is bounded by a time
+//     slice instead of a repetition count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+#include "vclock/clock.hpp"
+
+namespace hcs::mpibench {
+
+/// The operation under test, invoked once per repetition on every rank.
+using CollectiveOp = std::function<sim::Task<void>(simmpi::Comm&)>;
+
+/// Builds an Allreduce of `msize` bytes with the given algorithm — the
+/// workload of the paper's Figs. 7 and 9.
+CollectiveOp make_allreduce_op(std::int64_t msize,
+                               simmpi::AllreduceAlgo algo = simmpi::AllreduceAlgo::kRecursiveDoubling);
+
+/// Builds a barrier op (used when measuring barriers themselves).
+CollectiveOp make_barrier_op(simmpi::BarrierAlgo algo);
+
+/// Per-run measurement data, collected on comm rank 0 (empty elsewhere).
+struct MeasurementResult {
+  /// latencies[rep][rank]: per-rank local duration of repetition `rep`.
+  std::vector<std::vector<double>> latencies;
+  /// Per-rep "true" collective runtime where the scheme can compute one
+  /// (Round-Time / window: max over ranks of finish - common start).
+  std::vector<double> global_runtimes;
+  int invalid_reps = 0;
+  int valid_reps() const { return static_cast<int>(latencies.size()); }
+};
+
+}  // namespace hcs::mpibench

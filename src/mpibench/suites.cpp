@@ -1,0 +1,47 @@
+#include "mpibench/suites.hpp"
+
+#include "util/stats.hpp"
+
+namespace hcs::mpibench {
+
+namespace {
+SuiteReport reduce_barrier_result(const MeasurementResult& m, bool across_rank_max) {
+  SuiteReport report;
+  report.reps = m.valid_reps();
+  report.invalid_reps = m.invalid_reps;
+  if (m.latencies.empty()) return report;
+  std::vector<double> per_rep;
+  per_rep.reserve(m.latencies.size());
+  for (const std::vector<double>& ranks : m.latencies) {
+    per_rep.push_back(across_rank_max ? util::max(ranks) : util::mean(ranks));
+  }
+  report.reported_latency = util::mean(per_rep);
+  return report;
+}
+}  // namespace
+
+sim::Task<SuiteReport> run_osu_like(simmpi::Comm& comm, vclock::Clock& local_clk,
+                                    CollectiveOp op, BarrierSchemeParams params) {
+  const MeasurementResult m = co_await run_barrier_scheme(comm, local_clk, std::move(op), params);
+  co_return reduce_barrier_result(m, /*across_rank_max=*/false);
+}
+
+sim::Task<SuiteReport> run_imb_like(simmpi::Comm& comm, vclock::Clock& local_clk,
+                                    CollectiveOp op, BarrierSchemeParams params) {
+  const MeasurementResult m = co_await run_barrier_scheme(comm, local_clk, std::move(op), params);
+  co_return reduce_barrier_result(m, /*across_rank_max=*/true);
+}
+
+sim::Task<SuiteReport> run_repro_like(simmpi::Comm& comm, vclock::Clock& g_clk,
+                                      CollectiveOp op, RoundTimeParams params) {
+  const MeasurementResult m = co_await run_roundtime_scheme(comm, g_clk, std::move(op), params);
+  SuiteReport report;
+  report.reps = m.valid_reps();
+  report.invalid_reps = m.invalid_reps;
+  if (!m.global_runtimes.empty()) {
+    report.reported_latency = util::median(m.global_runtimes);
+  }
+  co_return report;
+}
+
+}  // namespace hcs::mpibench

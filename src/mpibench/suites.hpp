@@ -1,0 +1,37 @@
+// Benchmark-suite emulations (paper §V-B, Figs. 7 and 9).
+//
+// The paper compares the latency of MPI_Allreduce as reported by the Intel
+// MPI Benchmarks, the OSU Micro-Benchmarks and ReproMPI.  The first two use
+// the barrier-based scheme; ReproMPI uses Round-Time.  The suites also
+// differ in how they reduce per-rank samples to one number:
+//   * OSU reports the mean over repetitions of the across-rank average,
+//   * IMB reports the mean over repetitions of the across-rank maximum,
+//   * ReproMPI reports the median over repetitions of the global runtime
+//     (max finish - common start, possible only with a global clock).
+#pragma once
+
+#include "mpibench/barrier_scheme.hpp"
+#include "mpibench/roundtime_scheme.hpp"
+
+namespace hcs::mpibench {
+
+struct SuiteReport {
+  double reported_latency = 0.0;  // seconds
+  int reps = 0;
+  int invalid_reps = 0;
+};
+
+/// OSU-style: barrier-based, across-rank mean, mean over reps.
+/// Parameters by value (lazily-started coroutines; see barrier_scheme.hpp).
+sim::Task<SuiteReport> run_osu_like(simmpi::Comm& comm, vclock::Clock& local_clk,
+                                    CollectiveOp op, BarrierSchemeParams params);
+
+/// IMB-style: barrier-based, across-rank max, mean over reps.
+sim::Task<SuiteReport> run_imb_like(simmpi::Comm& comm, vclock::Clock& local_clk,
+                                    CollectiveOp op, BarrierSchemeParams params);
+
+/// ReproMPI-style: Round-Time with a global clock, median of global runtimes.
+sim::Task<SuiteReport> run_repro_like(simmpi::Comm& comm, vclock::Clock& g_clk,
+                                      CollectiveOp op, RoundTimeParams params);
+
+}  // namespace hcs::mpibench

@@ -1,0 +1,67 @@
+#include "mpibench/window_scheme.hpp"
+
+#include <algorithm>
+
+#include "util/vec.hpp"
+
+namespace hcs::mpibench {
+
+sim::Task<bool> wait_until_global(simmpi::Comm& comm, vclock::Clock& g_clk, double start_time) {
+  if (g_clk.now() >= start_time) co_return false;
+  const sim::Time now = comm.sim().now();
+  const sim::Time target = g_clk.true_time_of(start_time, now, now + 1.0);
+  if (target <= now) co_return false;
+  co_await comm.sim().delay(target - now);
+  co_return true;
+}
+
+sim::Task<MeasurementResult> run_window_scheme(simmpi::Comm& comm, vclock::Clock& g_clk,
+                                               CollectiveOp op, WindowSchemeParams params) {
+  // Rank 0 announces the first window start on the global clock.
+  std::vector<double> begin_msg;
+  if (comm.rank() == 0) begin_msg = util::vec(g_clk.now() + params.initial_slack);
+  begin_msg = co_await simmpi::bcast(comm, std::move(begin_msg), 0);
+  const double t_begin = begin_msg.at(0);
+
+  // Per rep: [on_time, latency, end_time] on this rank.
+  std::vector<double> record;
+  record.reserve(3 * static_cast<std::size_t>(params.nrep));
+  for (int rep = 0; rep < params.nrep; ++rep) {
+    const double start_time = t_begin + static_cast<double>(rep) * params.window;
+    const bool on_time = co_await wait_until_global(comm, g_clk, start_time);
+    const double t0 = g_clk.now();
+    co_await op(comm);
+    const double t1 = g_clk.now();
+    record.push_back(on_time ? 1.0 : 0.0);
+    record.push_back(t1 - t0);
+    record.push_back(t1);
+  }
+
+  const std::vector<double> all = co_await simmpi::gather(comm, std::move(record), 0);
+  MeasurementResult result;
+  if (comm.rank() != 0) co_return result;
+
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto stride = 3 * static_cast<std::size_t>(params.nrep);
+  for (int rep = 0; rep < params.nrep; ++rep) {
+    bool all_on_time = true;
+    std::vector<double> lats(p);
+    double max_end = 0.0;
+    for (std::size_t r = 0; r < p; ++r) {
+      const std::size_t base = r * stride + 3 * static_cast<std::size_t>(rep);
+      all_on_time = all_on_time && all[base] > 0.5;
+      lats[r] = all[base + 1];
+      max_end = std::max(max_end, all[base + 2]);
+    }
+    if (!all_on_time) {
+      ++result.invalid_reps;
+      continue;
+    }
+    result.latencies.push_back(std::move(lats));
+    const double start_time = t_begin + static_cast<double>(rep) * params.window;
+    result.global_runtimes.push_back(max_end - start_time);
+  }
+  co_return result;
+}
+
+}  // namespace hcs::mpibench

@@ -1,0 +1,29 @@
+// Window-based measurement (the SKaMPI / NBCBench approach).
+//
+// All ranks agree on a series of start times t_begin + k * window on the
+// global clock.  A rank that reaches a window late invalidates that
+// repetition; because the windows are fixed in advance, one slow repetition
+// (an outlier) can invalidate many subsequent windows — the weakness
+// Round-Time fixes (paper §II, §V-A).
+#pragma once
+
+#include "mpibench/scheme.hpp"
+
+namespace hcs::mpibench {
+
+struct WindowSchemeParams {
+  int nrep = 100;
+  double window = 100e-6;      // seconds between consecutive start times
+  double initial_slack = 1e-3; // lead time before the first window
+};
+
+/// Collective: every rank calls it with its synchronized *global* clock.
+/// Parameters by value (lazily-started coroutine; see barrier_scheme.hpp).
+sim::Task<MeasurementResult> run_window_scheme(simmpi::Comm& comm, vclock::Clock& g_clk,
+                                               CollectiveOp op, WindowSchemeParams params);
+
+/// Waits until `g_clk` reads `start_time`.  Returns false (without waiting)
+/// when the clock is already past it — the caller is late.
+sim::Task<bool> wait_until_global(simmpi::Comm& comm, vclock::Clock& g_clk, double start_time);
+
+}  // namespace hcs::mpibench

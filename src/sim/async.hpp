@@ -1,0 +1,113 @@
+// Futures over tasks: start a Task now, await its result later.
+//
+// async() eagerly spawns the task as a simulation process and returns a
+// Future; co_awaiting the Future suspends until the task completes (or
+// returns immediately if it already has).  This is the building block for
+// nonblocking collectives (MPI_Ibarrier/MPI_Iallreduce analogues, the
+// NBCBench use case the paper's related work discusses):
+//
+//   auto req = sim::async(ctx.sim(), simmpi::barrier(comm));
+//   ... overlap computation ...
+//   co_await req;   // MPI_Wait
+//
+// Note on collectives: async starts the task eagerly, so the communicator's
+// collective sequence number advances at the async() call — all ranks must
+// issue their (nonblocking and blocking) collectives in the same order, as
+// in MPI.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace hcs::sim {
+
+namespace detail {
+
+template <typename T>
+struct FutureValue {
+  std::optional<T> value;
+  void set(T v) { value.emplace(std::move(v)); }
+  T take() { return std::move(*value); }
+};
+
+template <>
+struct FutureValue<void> {
+  void set() {}
+  void take() {}
+};
+
+template <typename T>
+struct FutureState {
+  Simulation* sim = nullptr;
+  bool done = false;
+  std::exception_ptr error = nullptr;
+  std::coroutine_handle<> waiter = nullptr;
+  FutureValue<T> storage;
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Future {
+ public:
+  explicit Future(std::shared_ptr<detail::FutureState<T>> state) : state_(std::move(state)) {}
+
+  bool done() const { return state_->done; }
+
+  auto operator co_await() const {
+    struct Awaiter {
+      std::shared_ptr<detail::FutureState<T>> state;
+      bool await_ready() const noexcept { return state->done; }
+      void await_suspend(std::coroutine_handle<> h) { state->waiter = h; }
+      T await_resume() {
+        if (state->error) std::rethrow_exception(state->error);
+        return state->storage.take();
+      }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<void> run_async(std::shared_ptr<FutureState<T>> state, Task<T> task) {
+  try {
+    if constexpr (std::is_void_v<T>) {
+      co_await task;
+      state->storage.set();
+    } else {
+      state->storage.set(co_await task);
+    }
+  } catch (...) {
+    state->error = std::current_exception();
+  }
+  state->done = true;
+  if (state->waiter) {
+    state->sim->schedule_at(state->sim->now(), state->waiter);
+    state->waiter = nullptr;
+  }
+}
+
+}  // namespace detail
+
+/// Starts `task` as a detached simulation process; the returned Future
+/// completes when the task does.  Exceptions surface at the co_await.
+template <typename T>
+Future<T> async(Simulation& sim, Task<T> task) {
+  auto state = std::make_shared<detail::FutureState<T>>();
+  state->sim = &sim;
+  sim.spawn(detail::run_async<T>(state, std::move(task)));
+  return Future<T>(state);
+}
+
+}  // namespace hcs::sim

@@ -1,0 +1,26 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hcs::sim {
+
+void EventQueue::push(Time time, std::coroutine_handle<> handle) {
+  heap_.push_back(Event{time, next_seq_++, handle});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Time EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Event EventQueue::pop() {
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Event ev = heap_.back();
+  heap_.pop_back();
+  return ev;
+}
+
+}  // namespace hcs::sim

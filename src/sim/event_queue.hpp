@@ -1,0 +1,46 @@
+// Time-ordered event queue.
+//
+// Events at equal timestamps fire in insertion order (sequence-number
+// tie-break) so runs are bit-deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hcs::sim {
+
+class EventQueue {
+ public:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+
+  void push(Time time, std::coroutine_handle<> handle);
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Earliest event time; queue must be non-empty.
+  Time next_time() const;
+
+  /// Removes and returns the earliest event; queue must be non-empty.
+  Event pop();
+
+  /// Drops all pending events without resuming them.  Coroutine frames are
+  /// owned by their parents / root wrappers, so no frames are destroyed here.
+  void clear() noexcept { heap_.clear(); }
+
+ private:
+  static bool later(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hcs::sim

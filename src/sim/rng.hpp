@@ -1,0 +1,55 @@
+// Deterministic random number generation for the simulator.
+//
+// xoshiro256** seeded via splitmix64: fast, high quality, and — unlike
+// std::mt19937 + std::normal_distribution — bit-identical across standard
+// library implementations, which the reproducibility tests rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace hcs::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Marsaglia polar method (one spare cached).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double sd);
+
+  /// Exponential with the given mean (mean <= 0 returns 0).
+  double exponential(double mean);
+
+  /// Log-normal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Derives an independent child stream (used for per-run seeds).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// splitmix64 step, exposed for seed derivation in tests and harnesses.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace hcs::sim

@@ -1,0 +1,108 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hcs::sim {
+
+// Wrapper coroutine that owns a spawned Task and notifies the simulation on
+// completion.  It starts eagerly (initial_suspend never) and self-destroys in
+// final_suspend, after handing its error (if any) back to the Simulation.
+struct Simulation::RootFrame {
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Simulation* sim;
+    std::exception_ptr error = nullptr;
+
+    promise_type(Simulation& s, Task<void>&&) noexcept : sim(&s) {}
+
+    RootFrame get_return_object() noexcept {
+      sim->on_root_started(Handle::from_promise(*this));
+      return {};
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(Handle h) noexcept {
+        Simulation* sim = h.promise().sim;
+        std::exception_ptr error = h.promise().error;
+        void* addr = h.address();
+        h.destroy();
+        sim->on_root_finished(addr, error);
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+};
+
+namespace {
+Simulation::RootFrame run_root(Simulation& sim, Task<void>&& task) {
+  (void)sim;
+  const Task<void> owned = std::move(task);
+  co_await owned;
+}
+}  // namespace
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() {
+  queue_.clear();
+  // Destroy any processes that never finished; this recursively destroys
+  // their suspended child-task chains.
+  for (auto h : live_roots_) h.destroy();
+}
+
+void Simulation::schedule_at(Time t, std::coroutine_handle<> handle) {
+  queue_.push(std::max(t, now_), handle);
+}
+
+void Simulation::spawn(Task<void> task) { run_root(*this, std::move(task)); }
+
+void Simulation::on_root_started(std::coroutine_handle<> handle) {
+  ++spawned_;
+  live_roots_.push_back(handle);
+}
+
+void Simulation::on_root_finished(void* address, std::exception_ptr error) {
+  ++finished_;
+  const auto it = std::find_if(live_roots_.begin(), live_roots_.end(),
+                               [&](std::coroutine_handle<> h) { return h.address() == address; });
+  assert(it != live_roots_.end());
+  live_roots_.erase(it);
+  if (error && !first_error_) first_error_ = error;
+}
+
+void Simulation::run(std::uint64_t max_events) {
+  // A process may have failed before its first suspension (spawn is eager).
+  if (first_error_) {
+    queue_.clear();
+    auto error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  while (!queue_.empty()) {
+    if (events_processed_ >= max_events) {
+      throw std::runtime_error("Simulation::run: event budget exceeded (" +
+                               std::to_string(max_events) + " events)");
+    }
+    const EventQueue::Event ev = queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_processed_;
+    ev.handle.resume();
+    if (first_error_) {
+      queue_.clear();
+      auto error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+}  // namespace hcs::sim

@@ -1,0 +1,79 @@
+// Single-threaded discrete-event scheduler.
+//
+// Processes are Task<void> coroutines spawned before (or during) run().  A
+// process advances virtual time only by awaiting `delay()` or operations
+// built on it; run() drains the event queue until no events remain or an
+// event budget is exceeded.  Everything is deterministic for a fixed seed.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace hcs::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+
+  /// Schedules `handle` to resume at absolute time `t` (>= now()).
+  void schedule_at(Time t, std::coroutine_handle<> handle);
+
+  /// Awaitable that suspends the calling coroutine for `dt` (>= 0) seconds.
+  /// Even dt == 0 goes through the event queue, preserving FIFO fairness.
+  auto delay(Time dt) {
+    struct Awaiter {
+      Simulation& sim;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sim.schedule_at(sim.now_ + dt, h); }
+      void await_resume() const noexcept {}
+    };
+    if (dt < 0) throw std::invalid_argument("Simulation::delay: negative duration");
+    return Awaiter{*this, dt};
+  }
+
+  /// Detaches `task` as a top-level process.  It starts running immediately
+  /// (until its first suspension); completion is tracked by run().
+  void spawn(Task<void> task);
+
+  /// Runs until the event queue is empty.  Throws if a process threw, or if
+  /// more than `max_events` events fire (runaway guard).
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+  std::size_t processes_spawned() const noexcept { return spawned_; }
+  std::size_t processes_finished() const noexcept { return finished_; }
+
+  // Internal: called by the spawn wrapper coroutine (public only because the
+  // wrapper's nested promise type cannot be befriended before definition).
+  void on_root_started(std::coroutine_handle<> handle);
+  void on_root_finished(void* address, std::exception_ptr error);
+
+  struct RootFrame;  // wrapper coroutine that notifies completion (internal)
+
+ private:
+  Time now_ = 0.0;
+  EventQueue queue_;
+  Rng rng_;
+  std::uint64_t events_processed_ = 0;
+  std::size_t spawned_ = 0;
+  std::size_t finished_ = 0;
+  std::exception_ptr first_error_ = nullptr;
+  std::vector<std::coroutine_handle<>> live_roots_;
+};
+
+}  // namespace hcs::sim

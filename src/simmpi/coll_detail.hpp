@@ -1,0 +1,39 @@
+// Shared helpers for the collective algorithm implementations.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "simmpi/collectives.hpp"
+
+namespace hcs::simmpi::detail {
+
+/// Largest power of two <= p (p >= 1).
+inline int pof2_floor(int p) {
+  int v = 1;
+  while (v * 2 <= p) v *= 2;
+  return v;
+}
+
+/// Wire bytes for a message carrying `blocks` blocks whose unit payload is
+/// `unit_values` doubles, honouring a caller override of the per-block size.
+inline std::int64_t wire_size(std::int64_t wire_bytes_override, std::size_t unit_values,
+                              std::size_t blocks = 1) {
+  const std::int64_t unit = wire_bytes_override > 0
+                                ? wire_bytes_override
+                                : static_cast<std::int64_t>(unit_values * sizeof(double));
+  return std::max<std::int64_t>(1, unit * static_cast<std::int64_t>(blocks));
+}
+
+inline void check_root(const Comm& comm, int root) {
+  if (root < 0 || root >= comm.size()) {
+    throw std::invalid_argument("collective: root " + std::to_string(root) + " out of range");
+  }
+}
+
+/// Rank arithmetic relative to a root (MPI's "relative rank" trick).
+inline int rel(int rank, int root, int p) { return (rank - root + p) % p; }
+inline int abs_rank(int relative, int root, int p) { return (relative + root) % p; }
+
+}  // namespace hcs::simmpi::detail

@@ -1,0 +1,54 @@
+#include "simmpi/collectives.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcs::simmpi {
+
+std::string to_string(BarrierAlgo a) {
+  switch (a) {
+    case BarrierAlgo::kLinear: return "linear";
+    case BarrierAlgo::kTree: return "tree";
+    case BarrierAlgo::kDoubleRing: return "double ring";
+    case BarrierAlgo::kBruck: return "bruck";
+    case BarrierAlgo::kRecursiveDoubling: return "rec. doubling";
+  }
+  return "?";
+}
+
+std::string to_string(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kRecursiveDoubling: return "rec. doubling";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kReduceBcast: return "reduce+bcast";
+    case AllreduceAlgo::kRabenseifner: return "rabenseifner";
+  }
+  return "?";
+}
+
+const std::vector<BarrierAlgo>& all_barrier_algos() {
+  static const std::vector<BarrierAlgo> algos = {
+      BarrierAlgo::kBruck, BarrierAlgo::kDoubleRing, BarrierAlgo::kRecursiveDoubling,
+      BarrierAlgo::kTree, BarrierAlgo::kLinear};
+  return algos;
+}
+
+double apply_op(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  return a;
+}
+
+void accumulate(ReduceOp op, std::vector<double>& into, const std::vector<double>& from) {
+  if (into.size() != from.size()) {
+    throw std::invalid_argument("accumulate: mismatched reduction lengths (" +
+                                std::to_string(into.size()) + " vs " +
+                                std::to_string(from.size()) + ")");
+  }
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] = apply_op(op, into[i], from[i]);
+}
+
+}  // namespace hcs::simmpi

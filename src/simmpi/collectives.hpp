@@ -1,0 +1,99 @@
+// Collective operations over a Comm, with selectable algorithms.
+//
+// Every collective is a genuine message-passing implementation (DESIGN.md
+// §4.5): process imbalance, jitter accumulation and NIC contention emerge
+// from the message schedule, which is what the paper's Figs. 7-9 measure.
+//
+// Conventions:
+//  * All members of the communicator must call the same collective with the
+//    same algorithm, in the same order (MPI semantics).
+//  * `wire_bytes` overrides the declared per-block wire size used by the
+//    cost model (0 = derive from the payload, minimum 8 B).  Collectives
+//    that forward multiple blocks scale the wire size accordingly.
+//  * Reductions are elementwise over vectors of equal length on all ranks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+
+namespace hcs::simmpi {
+
+enum class BarrierAlgo { kLinear, kTree, kDoubleRing, kBruck, kRecursiveDoubling };
+enum class BcastAlgo { kBinomial, kLinear, kChain, kScatterAllgather };
+enum class ReduceAlgo { kBinomial, kLinear };
+enum class AllreduceAlgo { kRecursiveDoubling, kRing, kReduceBcast, kRabenseifner };
+enum class GatherAlgo { kLinear, kBinomial };
+enum class ScatterAlgo { kLinear, kBinomial };
+enum class AllgatherAlgo { kBruck, kRing };
+enum class AlltoallAlgo { kPairwise };
+enum class ReduceScatterAlgo { kRing, kReduceThenScatter };
+enum class ScanAlgo { kLinear, kRecursiveDoubling };
+enum class ReduceOp { kSum, kMin, kMax };
+
+std::string to_string(BarrierAlgo a);
+std::string to_string(AllreduceAlgo a);
+
+/// All named barrier algorithms, in the order the paper's Fig. 8 lists them.
+const std::vector<BarrierAlgo>& all_barrier_algos();
+
+double apply_op(ReduceOp op, double a, double b);
+void accumulate(ReduceOp op, std::vector<double>& into, const std::vector<double>& from);
+
+sim::Task<void> barrier(Comm& comm, BarrierAlgo algo = BarrierAlgo::kTree);
+
+/// Returns the broadcast payload on every rank.
+sim::Task<std::vector<double>> bcast(Comm& comm, std::vector<double> data, int root = 0,
+                                     BcastAlgo algo = BcastAlgo::kBinomial,
+                                     std::int64_t wire_bytes = 0);
+
+/// Returns the reduced vector on `root`, an empty vector elsewhere.
+sim::Task<std::vector<double>> reduce(Comm& comm, std::vector<double> data, ReduceOp op,
+                                      int root = 0, ReduceAlgo algo = ReduceAlgo::kBinomial,
+                                      std::int64_t wire_bytes = 0);
+
+/// Returns the reduced vector on every rank.
+sim::Task<std::vector<double>> allreduce(Comm& comm, std::vector<double> data,
+                                         ReduceOp op = ReduceOp::kSum,
+                                         AllreduceAlgo algo = AllreduceAlgo::kRecursiveDoubling,
+                                         std::int64_t wire_bytes = 0);
+
+/// Root receives the concatenation of all ranks' equal-length vectors (rank
+/// order); non-roots receive an empty vector.
+sim::Task<std::vector<double>> gather(Comm& comm, std::vector<double> mine, int root = 0,
+                                      GatherAlgo algo = GatherAlgo::kBinomial,
+                                      std::int64_t wire_bytes = 0);
+
+/// Root provides size() * chunk values; every rank returns its chunk.
+sim::Task<std::vector<double>> scatter(Comm& comm, std::vector<double> all, std::size_t chunk,
+                                       int root = 0, ScatterAlgo algo = ScatterAlgo::kBinomial,
+                                       std::int64_t wire_bytes = 0);
+
+/// Every rank returns the concatenation of all ranks' equal-length vectors.
+sim::Task<std::vector<double>> allgather(Comm& comm, std::vector<double> mine,
+                                         AllgatherAlgo algo = AllgatherAlgo::kBruck,
+                                         std::int64_t wire_bytes = 0);
+
+/// sendbuf holds size() chunks of `chunk` values; rank i's returned buffer
+/// holds chunk j's data received from rank j.
+sim::Task<std::vector<double>> alltoall(Comm& comm, std::vector<double> sendbuf,
+                                        std::size_t chunk,
+                                        AlltoallAlgo algo = AlltoallAlgo::kPairwise,
+                                        std::int64_t wire_bytes = 0);
+
+/// Block reduce-scatter: every rank contributes size() * chunk values and
+/// returns its own chunk of the elementwise reduction.
+sim::Task<std::vector<double>> reduce_scatter(
+    Comm& comm, std::vector<double> data, std::size_t chunk, ReduceOp op = ReduceOp::kSum,
+    ReduceScatterAlgo algo = ReduceScatterAlgo::kRing, std::int64_t wire_bytes = 0);
+
+/// Inclusive prefix reduction: rank r returns op(x_0, ..., x_r) elementwise.
+sim::Task<std::vector<double>> scan(Comm& comm, std::vector<double> data,
+                                    ReduceOp op = ReduceOp::kSum,
+                                    ScanAlgo algo = ScanAlgo::kRecursiveDoubling,
+                                    std::int64_t wire_bytes = 0);
+
+}  // namespace hcs::simmpi

@@ -1,0 +1,128 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simmpi/collectives.hpp"
+
+namespace hcs::simmpi {
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Comm::Comm(World* world, std::shared_ptr<const std::vector<int>> members, int my_index,
+           std::uint64_t context)
+    : world_(world), members_(std::move(members)), my_index_(my_index), context_(context) {
+  if (!world_ || !members_ || my_index_ < 0 ||
+      my_index_ >= static_cast<int>(members_->size())) {
+    throw std::invalid_argument("Comm: malformed communicator");
+  }
+}
+
+Comm Comm::world_comm(World& world, int rank) {
+  static constexpr std::uint64_t kWorldContext = 0x57f2'11d3'9ab1'4e01ULL;
+  auto members = std::make_shared<std::vector<int>>(static_cast<std::size_t>(world.size()));
+  for (int r = 0; r < world.size(); ++r) (*members)[static_cast<std::size_t>(r)] = r;
+  return Comm(&world, std::move(members), rank, kWorldContext);
+}
+
+std::int64_t Comm::user_tag(int tag) const {
+  // High bits: communicator context; a sentinel sequence keeps user tags
+  // disjoint from collective-phase tags.
+  return static_cast<std::int64_t>(
+      (context_ << 24) ^ 0x00ff'ff00'0000'0000ULL ^ static_cast<std::uint64_t>(tag));
+}
+
+std::int64_t Comm::collective_tag(int phase) const {
+  // (coll_seq << 16) ^ phase is injective for phase < 2^16; rounds/steps of
+  // every implemented algorithm stay below that (steps < world size <= 16k).
+  return static_cast<std::int64_t>((context_ << 24) ^ (coll_seq_ << 16) ^
+                                   static_cast<std::uint64_t>(phase));
+}
+
+sim::Task<void> Comm::send(int dst, int tag, std::vector<double> data, std::int64_t bytes) {
+  co_await world_->p2p_send(my_world_rank(), world_rank(dst), user_tag(tag), std::move(data),
+                            bytes);
+}
+
+sim::Task<Message> Comm::recv(int src, int tag) {
+  co_return co_await world_->p2p_recv(my_world_rank(), world_rank(src), user_tag(tag));
+}
+
+RecvRequest Comm::irecv(int src, int tag) {
+  return world_->p2p_irecv(my_world_rank(), world_rank(src), user_tag(tag));
+}
+
+sim::Task<Message> Comm::wait(RecvRequest request) {
+  co_return co_await world_->await_recv(std::move(request));
+}
+
+SendRequest Comm::isend(int dst, int tag, std::vector<double> data, std::int64_t bytes) {
+  return world_->p2p_isend(my_world_rank(), world_rank(dst), user_tag(tag), std::move(data),
+                           bytes);
+}
+
+sim::Task<void> Comm::wait(SendRequest request) {
+  co_await world_->await_send(std::move(request));
+}
+
+sim::Task<BurstResult> Comm::pingpong_burst(int partner, bool i_am_client, vclock::Clock& clock,
+                                            int nexchanges, std::int64_t bytes) {
+  co_return co_await world_->pingpong_burst(my_world_rank(), world_rank(partner), i_am_client,
+                                            clock, nexchanges, bytes);
+}
+
+sim::Task<Comm> Comm::split(int color, int key) {
+  // Exchange (color, key) with every member, then build the group locally —
+  // the standard MPI_Comm_split recipe.
+  const std::vector<double> mine = {static_cast<double>(color), static_cast<double>(key)};
+  const std::vector<double> all = co_await allgather(*this, mine);
+  ++split_seq_;
+  if (color == kUndefined) co_return Comm{};
+
+  struct Entry {
+    int key;
+    int comm_rank;
+  };
+  std::vector<Entry> group;
+  for (int r = 0; r < size(); ++r) {
+    const int r_color = static_cast<int>(all[static_cast<std::size_t>(2 * r)]);
+    const int r_key = static_cast<int>(all[static_cast<std::size_t>(2 * r + 1)]);
+    if (r_color == color) group.push_back(Entry{r_key, r});
+  }
+  std::stable_sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.comm_rank < b.comm_rank;
+  });
+  auto members = std::make_shared<std::vector<int>>();
+  members->reserve(group.size());
+  int my_new_index = -1;
+  for (const Entry& e : group) {
+    if (e.comm_rank == my_index_) my_new_index = static_cast<int>(members->size());
+    members->push_back(world_rank(e.comm_rank));
+  }
+  const std::uint64_t new_context =
+      mix64(context_ ^ (split_seq_ * 0x9e3779b97f4a7c15ULL) ^
+            (static_cast<std::uint64_t>(color) + 0x165667b19e3779f9ULL));
+  co_return Comm(world_, std::move(members), my_new_index, new_context);
+}
+
+sim::Task<Comm> Comm::split_shared_node() {
+  const int node = world_->topo().locate(my_world_rank()).node;
+  co_return co_await split(node, my_world_rank());
+}
+
+sim::Task<Comm> Comm::split_shared_socket() {
+  const int socket = world_->topo().locate(my_world_rank()).socket;
+  co_return co_await split(socket, my_world_rank());
+}
+
+}  // namespace hcs::simmpi

@@ -1,0 +1,88 @@
+// Communicator: an ordered group of world ranks with a private tag context.
+//
+// Comm mirrors the MPI_Comm surface the paper's algorithms need: rank/size,
+// tagged point-to-point, split (including MPI_COMM_TYPE_SHARED-style node and
+// socket splits), and a per-communicator collective sequence number that
+// keeps concurrent collectives on different communicators from cross-talking.
+// Comm objects are cheap per-rank values; members are shared immutably.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "simmpi/message.hpp"
+#include "simmpi/world.hpp"
+
+namespace hcs::simmpi {
+
+class Comm {
+ public:
+  /// Color value excluding the caller from the new communicator.
+  static constexpr int kUndefined = -1;
+
+  /// Invalid communicator (MPI_COMM_NULL analogue).
+  Comm() = default;
+
+  Comm(World* world, std::shared_ptr<const std::vector<int>> members, int my_index,
+       std::uint64_t context);
+
+  static Comm world_comm(World& world, int rank);
+
+  bool valid() const noexcept { return world_ != nullptr; }
+  int rank() const noexcept { return my_index_; }
+  int size() const noexcept { return members_ ? static_cast<int>(members_->size()) : 0; }
+  int world_rank(int comm_rank) const { return (*members_)[static_cast<std::size_t>(comm_rank)]; }
+  int my_world_rank() const { return world_rank(my_index_); }
+  World& world() const noexcept { return *world_; }
+  sim::Simulation& sim() const noexcept { return world_->sim(); }
+
+  /// Point-to-point by communicator rank.  `bytes` defaults to the payload
+  /// size (minimum 8 B on the wire).
+  sim::Task<void> send(int dst, int tag, std::vector<double> data = {}, std::int64_t bytes = 0);
+  sim::Task<Message> recv(int src, int tag);
+
+  /// Nonblocking variants (MPI_Isend / MPI_Irecv / MPI_Wait analogues).
+  /// irecv posts immediately; wait() on the returned request completes the
+  /// transfer.  isend hands the message to the network immediately; waiting
+  /// on it models buffer-reuse completion.
+  RecvRequest irecv(int src, int tag);
+  sim::Task<Message> wait(RecvRequest request);
+  SendRequest isend(int dst, int tag, std::vector<double> data = {}, std::int64_t bytes = 0);
+  sim::Task<void> wait(SendRequest request);
+
+  /// Pairwise ping-pong burst (see World::pingpong_burst); `partner` is a
+  /// communicator rank.
+  sim::Task<BurstResult> pingpong_burst(int partner, bool i_am_client, vclock::Clock& clock,
+                                        int nexchanges, std::int64_t bytes = 16);
+
+  /// Splits by color/key.  Collective over all members (internally performs
+  /// an allgather, so communicator creation has a realistic cost — the paper
+  /// deliberately includes it in the hierarchical sync duration).
+  sim::Task<Comm> split(int color, int key);
+
+  /// MPI_COMM_TYPE_SHARED analogue: one communicator per node.
+  sim::Task<Comm> split_shared_node();
+
+  /// One communicator per socket.
+  sim::Task<Comm> split_shared_socket();
+
+  /// Tag for one phase of the current collective; advance_collective() must
+  /// be called exactly once per collective invocation (the collectives API
+  /// does this).
+  std::int64_t collective_tag(int phase) const;
+  void advance_collective() noexcept { ++coll_seq_; }
+
+ private:
+  std::int64_t user_tag(int tag) const;
+
+  World* world_ = nullptr;
+  std::shared_ptr<const std::vector<int>> members_;
+  int my_index_ = -1;
+  std::uint64_t context_ = 0;
+  std::uint64_t coll_seq_ = 0;
+  std::uint64_t split_seq_ = 0;
+};
+
+}  // namespace hcs::simmpi

@@ -1,0 +1,71 @@
+#include "simmpi/network.hpp"
+
+#include <algorithm>
+
+namespace hcs::simmpi {
+
+NetworkModel::NetworkModel(const topology::ClusterTopology& topo,
+                           const topology::NetworkParams& params, std::uint64_t seed)
+    : topo_(&topo),
+      params_(params),
+      rng_(seed),
+      egress_free_(static_cast<std::size_t>(topo.nodes()), 0.0),
+      ingress_free_(static_cast<std::size_t>(topo.nodes()), 0.0) {}
+
+LinkLevel NetworkModel::classify(int src_rank, int dst_rank) const {
+  const auto a = topo_->locate(src_rank);
+  const auto b = topo_->locate(dst_rank);
+  if (a.node != b.node) return LinkLevel::kInterNode;
+  if (a.socket != b.socket) return LinkLevel::kIntraNode;
+  return LinkLevel::kIntraSocket;
+}
+
+const topology::LinkParams& NetworkModel::link(LinkLevel level) const {
+  switch (level) {
+    case LinkLevel::kIntraSocket: return params_.intra_socket;
+    case LinkLevel::kIntraNode: return params_.intra_node;
+    case LinkLevel::kInterNode: return params_.inter_node;
+  }
+  return params_.inter_node;
+}
+
+sim::Time NetworkModel::sample_delay(LinkLevel level, std::int64_t bytes) {
+  const topology::LinkParams& lp = link(level);
+  sim::Time d = lp.base_latency + lp.per_byte * static_cast<double>(bytes);
+  d += rng_.exponential(lp.jitter_mean);
+  if (lp.spike_prob > 0 && rng_.bernoulli(lp.spike_prob)) {
+    d += rng_.exponential(lp.spike_mean);
+  }
+  return d;
+}
+
+double NetworkModel::expected_delay(LinkLevel level, std::int64_t bytes) const {
+  const topology::LinkParams& lp = link(level);
+  return lp.base_latency + lp.per_byte * static_cast<double>(bytes) + lp.jitter_mean +
+         lp.spike_prob * lp.spike_mean;
+}
+
+sim::Time NetworkModel::deliver_time(int src_rank, int dst_rank, std::int64_t bytes,
+                                     sim::Time depart_ready) {
+  const LinkLevel level = classify(src_rank, dst_rank);
+  if (level != LinkLevel::kInterNode) {
+    return depart_ready + sample_delay(level, bytes);
+  }
+  const auto src_node = static_cast<std::size_t>(topo_->locate(src_rank).node);
+  const auto dst_node = static_cast<std::size_t>(topo_->locate(dst_rank).node);
+  const double nic_busy =
+      params_.nic_gap + params_.nic_per_byte * static_cast<double>(bytes);
+  const sim::Time depart = std::max(depart_ready, egress_free_[src_node]);
+  egress_free_[src_node] = depart + nic_busy;
+  sim::Time arrive = depart + sample_delay(level, bytes);
+  arrive = std::max(arrive, ingress_free_[dst_node]);
+  ingress_free_[dst_node] = arrive + nic_busy;
+  return arrive;
+}
+
+sim::Time NetworkModel::deliver_time_uncontended(int src_rank, int dst_rank, std::int64_t bytes,
+                                                 sim::Time depart_ready) {
+  return depart_ready + sample_delay(classify(src_rank, dst_rank), bytes);
+}
+
+}  // namespace hcs::simmpi

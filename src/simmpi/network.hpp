@@ -1,0 +1,58 @@
+// Hierarchical LogGP-style network model.
+//
+// Message delay depends on where source and destination sit in the topology
+// (intra-socket < intra-node < inter-node).  Inter-node messages additionally
+// serialize through per-node NIC egress/ingress resources; the queueing this
+// produces under bursty traffic is what differentiates the barrier algorithms
+// in the paper's Fig. 8 (DESIGN.md §4.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "topology/params.hpp"
+#include "topology/topology.hpp"
+
+namespace hcs::simmpi {
+
+enum class LinkLevel { kIntraSocket, kIntraNode, kInterNode };
+
+class NetworkModel {
+ public:
+  NetworkModel(const topology::ClusterTopology& topo, const topology::NetworkParams& params,
+               std::uint64_t seed);
+
+  LinkLevel classify(int src_rank, int dst_rank) const;
+
+  const topology::LinkParams& link(LinkLevel level) const;
+
+  /// Samples the one-way wire delay (no NIC queueing, no CPU overheads).
+  sim::Time sample_delay(LinkLevel level, std::int64_t bytes);
+
+  /// Full path: earliest arrival of a message handed to the network at
+  /// `depart_ready`, including NIC egress/ingress serialization for
+  /// inter-node traffic.  Mutates NIC state.
+  sim::Time deliver_time(int src_rank, int dst_rank, std::int64_t bytes, sim::Time depart_ready);
+
+  /// As deliver_time but without touching NIC state — used by the ping-pong
+  /// burst fast path, whose pairwise traffic is modelled as uncontended.
+  sim::Time deliver_time_uncontended(int src_rank, int dst_rank, std::int64_t bytes,
+                                     sim::Time depart_ready);
+
+  double send_overhead() const { return params_.send_overhead; }
+  double recv_overhead() const { return params_.recv_overhead; }
+
+  /// Expected (mean) one-way delay for `bytes`, used by latency estimators.
+  double expected_delay(LinkLevel level, std::int64_t bytes) const;
+
+ private:
+  const topology::ClusterTopology* topo_;
+  topology::NetworkParams params_;
+  sim::Rng rng_;
+  std::vector<sim::Time> egress_free_;   // per node
+  std::vector<sim::Time> ingress_free_;  // per node
+};
+
+}  // namespace hcs::simmpi

@@ -1,0 +1,33 @@
+// Nonblocking point-to-point requests (MPI_Isend / MPI_Irecv analogues).
+//
+// irecv posts a receive and returns a handle; the message may arrive and be
+// matched while the rank keeps computing.  await_recv (MPI_Wait) suspends
+// only if the message has not arrived yet.  isend returns immediately; its
+// completion marks the moment the send buffer would be reusable (after the
+// sender-side overhead).
+#pragma once
+
+#include <coroutine>
+#include <memory>
+
+#include "sim/time.hpp"
+#include "simmpi/message.hpp"
+
+namespace hcs::simmpi {
+
+struct RecvState {
+  int src = -1;
+  std::int64_t tag = 0;
+  bool complete = false;
+  Message msg;
+  std::coroutine_handle<> waiter = nullptr;
+};
+
+struct SendState {
+  sim::Time complete_at = 0.0;
+};
+
+using RecvRequest = std::shared_ptr<RecvState>;
+using SendRequest = std::shared_ptr<SendState>;
+
+}  // namespace hcs::simmpi

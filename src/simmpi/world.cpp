@@ -1,0 +1,299 @@
+#include "simmpi/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "simmpi/comm.hpp"
+
+namespace hcs::simmpi {
+
+// ---------------------------------------------------------------- RankCtx --
+
+RankCtx::RankCtx(World& world, int rank)
+    : world_(&world), rank_(rank), comm_world_(std::make_unique<Comm>(Comm::world_comm(world, rank))) {}
+
+RankCtx::~RankCtx() = default;
+
+vclock::ClockPtr RankCtx::base_clock() const { return world_->base_clock(rank_); }
+
+sim::Simulation& RankCtx::sim() const { return world_->sim(); }
+
+// ------------------------------------------------------------------ World --
+
+World::World(topology::MachineConfig machine, std::uint64_t seed)
+    : machine_(std::move(machine)),
+      sim_(seed),
+      network_(machine_.topo, machine_.net, seed ^ 0x9e3779b97f4a7c15ULL) {
+  const int sources = machine_.topo.num_time_sources();
+  hw_clocks_.reserve(static_cast<std::size_t>(sources));
+  std::uint64_t sm = seed ^ 0xd1b54a32d192ed03ULL;
+  for (int s = 0; s < sources; ++s) {
+    hw_clocks_.push_back(
+        std::make_shared<vclock::HardwareClock>(sim_, machine_.clocks, sim::splitmix64(sm)));
+  }
+  mailboxes_.resize(static_cast<std::size_t>(size()));
+}
+
+World::~World() = default;
+
+vclock::ClockPtr World::base_clock(int rank) const {
+  return hw_clocks_[static_cast<std::size_t>(machine_.topo.time_source_id(rank))];
+}
+
+RankCtx& World::ctx(int rank) {
+  if (ctxs_.empty()) {
+    ctxs_.reserve(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) ctxs_.push_back(std::make_unique<RankCtx>(*this, r));
+  }
+  return *ctxs_[static_cast<std::size_t>(rank)];
+}
+
+void World::launch(const RankFn& fn) {
+  for (int r = 0; r < size(); ++r) sim_.spawn(fn(ctx(r)));
+}
+
+void World::run(std::uint64_t max_events) {
+  sim_.run(max_events);
+  if (sim_.processes_finished() != sim_.processes_spawned()) {
+    throw std::runtime_error(
+        "World::run: deadlock — " +
+        std::to_string(sim_.processes_spawned() - sim_.processes_finished()) +
+        " of " + std::to_string(sim_.processes_spawned()) + " processes still blocked");
+  }
+}
+
+void World::run_all(const RankFn& fn, std::uint64_t max_events) {
+  launch(fn);
+  run(max_events);
+}
+
+// -------------------------------------------------------------------- p2p --
+
+namespace {
+sim::Task<void> deliver_later(World& world, sim::Time arrive, int dst, Message msg) {
+  co_await world.sim().delay(arrive - world.sim().now());
+  world.deliver_now(dst, std::move(msg));
+}
+}  // namespace
+
+sim::Task<void> World::p2p_send(int src, int dst, std::int64_t tag, std::vector<double> data,
+                                std::int64_t bytes) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("p2p_send: bad destination rank");
+  if (bytes <= 0) bytes = static_cast<std::int64_t>(data.size() * sizeof(double));
+  if (bytes <= 0) bytes = 8;
+  co_await sim_.delay(network_.send_overhead());
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.data = std::move(data);
+  msg.bytes = bytes;
+  msg.sent_at = sim_.now();
+  const sim::Time arrive = network_.deliver_time(src, dst, bytes, sim_.now());
+  msg.arrived_at = arrive;
+  sim_.spawn(deliver_later(*this, arrive, dst, std::move(msg)));
+}
+
+void World::deliver_now(int dst, Message msg) {
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(dst)];
+  const auto it = std::find_if(mb.posted.begin(), mb.posted.end(), [&](const RecvRequest& r) {
+    return r->src == msg.src && r->tag == msg.tag;
+  });
+  if (it == mb.posted.end()) {
+    mb.unexpected.push_back(std::move(msg));
+    return;
+  }
+  const RecvRequest request = *it;
+  mb.posted.erase(it);
+  request->msg = std::move(msg);
+  request->complete = true;
+  if (request->waiter) {
+    sim_.schedule_at(sim_.now(), request->waiter);
+    request->waiter = nullptr;
+  }
+}
+
+RecvRequest World::p2p_irecv(int me, int src, std::int64_t tag) {
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(me)];
+  auto request = std::make_shared<RecvState>();
+  request->src = src;
+  request->tag = tag;
+  const auto it = std::find_if(mb.unexpected.begin(), mb.unexpected.end(), [&](const Message& m) {
+    return m.src == src && m.tag == tag;
+  });
+  if (it != mb.unexpected.end()) {
+    request->msg = std::move(*it);
+    mb.unexpected.erase(it);
+    request->complete = true;
+    return request;
+  }
+  mb.posted.push_back(request);
+  return request;
+}
+
+sim::Task<Message> World::await_recv(RecvRequest request) {
+  if (!request->complete) {
+    struct Suspend {
+      RecvState* state;
+      bool await_ready() const noexcept { return state->complete; }
+      void await_suspend(std::coroutine_handle<> h) { state->waiter = h; }
+      void await_resume() const noexcept {}
+    };
+    // NOTE: named awaiter on purpose (GCC 12 temporary-awaiter bug).
+    Suspend suspend{request.get()};
+    co_await suspend;
+  }
+  co_await sim_.delay(network_.recv_overhead());
+  co_return std::move(request->msg);
+}
+
+sim::Task<Message> World::p2p_recv(int me, int src, std::int64_t tag) {
+  co_return co_await await_recv(p2p_irecv(me, src, tag));
+}
+
+SendRequest World::p2p_isend(int src, int dst, std::int64_t tag, std::vector<double> data,
+                             std::int64_t bytes) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("p2p_isend: bad destination rank");
+  if (bytes <= 0) bytes = static_cast<std::int64_t>(data.size() * sizeof(double));
+  if (bytes <= 0) bytes = 8;
+  auto request = std::make_shared<SendState>();
+  // The NIC takes over immediately; the rank's own overhead marks when the
+  // send buffer is reusable (MPI_Wait on the isend).
+  request->complete_at = sim_.now() + network_.send_overhead();
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.data = std::move(data);
+  msg.bytes = bytes;
+  msg.sent_at = sim_.now();
+  const sim::Time arrive = network_.deliver_time(src, dst, bytes, request->complete_at);
+  msg.arrived_at = arrive;
+  sim_.spawn(deliver_later(*this, arrive, dst, std::move(msg)));
+  return request;
+}
+
+sim::Task<void> World::await_send(SendRequest request) {
+  const sim::Time now = sim_.now();
+  if (request->complete_at > now) co_await sim_.delay(request->complete_at - now);
+}
+
+// ------------------------------------------------------------------ burst --
+
+struct World::BurstState {
+  int client_rank = -1;
+  int ref_rank = -1;
+  vclock::Clock* client_clock = nullptr;
+  vclock::Clock* ref_clock = nullptr;
+  sim::Time client_ready = 0.0;
+  sim::Time ref_ready = 0.0;
+  bool first_is_client = false;
+  std::coroutine_handle<> first_handle = nullptr;
+  int nexchanges = 0;
+  std::int64_t bytes = 0;
+  BurstResult samples;
+  sim::Time client_done = 0.0;
+  sim::Time ref_done = 0.0;
+};
+
+std::uint64_t World::pair_key(int a, int b, int world_size) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return lo * static_cast<std::uint64_t>(world_size) + hi;
+}
+
+void World::synthesize_burst(BurstState& st) {
+  const double o_s = network_.send_overhead();
+  const double o_r = network_.recv_overhead();
+  sim::Time tc = st.client_ready;  // client's process-time cursor
+  sim::Time tr = st.ref_ready;     // reference's process-time cursor
+  st.samples.reserve(static_cast<std::size_t>(st.nexchanges));
+  for (int i = 0; i < st.nexchanges; ++i) {
+    PingSample s;
+    s.client_send = st.client_clock->at(tc);
+    const sim::Time arrive_ref =
+        network_.deliver_time_uncontended(st.client_rank, st.ref_rank, st.bytes, tc + o_s);
+    const sim::Time stamp_time = std::max(arrive_ref, tr) + o_r;
+    s.ref_reply = st.ref_clock->at(stamp_time);
+    const sim::Time reply_depart = stamp_time + o_s;
+    const sim::Time arrive_client =
+        network_.deliver_time_uncontended(st.ref_rank, st.client_rank, st.bytes, reply_depart);
+    const sim::Time recv_time = arrive_client + o_r;
+    s.client_recv = st.client_clock->at(recv_time);
+    st.samples.push_back(s);
+    tc = recv_time;
+    tr = reply_depart;
+  }
+  st.client_done = tc;
+  st.ref_done = tr;
+}
+
+sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_client,
+                                             vclock::Clock& my_clock, int nexchanges,
+                                             std::int64_t bytes) {
+  if (nexchanges < 1) throw std::invalid_argument("pingpong_burst: nexchanges must be >= 1");
+  if (me == partner) throw std::invalid_argument("pingpong_burst: self ping-pong");
+  const std::uint64_t key = pair_key(me, partner, size());
+  const auto it = bursts_.find(key);
+
+  // NOTE: awaiters with non-trivially-destructible members must be named
+  // locals, never co_await'ed as brace-init temporaries: GCC 12 destroys such
+  // temporaries twice at the resume point (sibling of the "array used as
+  // initializer" bug; see util/vec.hpp).
+  struct SuspendForPartner {
+    std::shared_ptr<BurstState> st;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { st->first_handle = h; }
+    void await_resume() const noexcept {}
+  };
+  struct ResumeAt {
+    sim::Simulation* sim;
+    sim::Time when;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->schedule_at(when, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  if (it == bursts_.end()) {
+    auto st = std::make_shared<BurstState>();
+    st->nexchanges = nexchanges;
+    st->bytes = bytes;
+    st->first_is_client = i_am_client;
+    if (i_am_client) {
+      st->client_rank = me;
+      st->client_clock = &my_clock;
+      st->client_ready = sim_.now();
+    } else {
+      st->ref_rank = me;
+      st->ref_clock = &my_clock;
+      st->ref_ready = sim_.now();
+    }
+    bursts_[key] = st;
+    SuspendForPartner wait_for_partner{st};
+    co_await wait_for_partner;
+    co_return st->samples;
+  }
+
+  auto st = it->second;
+  bursts_.erase(it);
+  if (st->nexchanges != nexchanges || st->first_is_client == i_am_client) {
+    throw std::logic_error("pingpong_burst: mismatched burst call between partners");
+  }
+  if (i_am_client) {
+    st->client_rank = me;
+    st->client_clock = &my_clock;
+    st->client_ready = sim_.now();
+  } else {
+    st->ref_rank = me;
+    st->ref_clock = &my_clock;
+    st->ref_ready = sim_.now();
+  }
+  synthesize_burst(*st);
+  sim_.schedule_at(st->first_is_client ? st->client_done : st->ref_done, st->first_handle);
+  ResumeAt resume_at{&sim_, i_am_client ? st->client_done : st->ref_done};
+  co_await resume_at;
+  co_return st->samples;
+}
+
+}  // namespace hcs::simmpi

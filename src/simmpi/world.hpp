@@ -1,0 +1,135 @@
+// World: the simulated machine plus the MPI-like process runtime.
+//
+// A World owns the discrete-event simulation, the network model, one shared
+// HardwareClock per time source, and a mailbox per rank.  Rank programs are
+// coroutines created by launch(); run() drives the event loop to completion
+// and reports deadlocks (ranks still blocked with an empty event queue).
+//
+// The p2p_* and pingpong_burst members are the transport primitives used by
+// Comm; user code goes through Comm and the collectives API.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "simmpi/message.hpp"
+#include "simmpi/request.hpp"
+#include "simmpi/network.hpp"
+#include "topology/presets.hpp"
+#include "vclock/clock.hpp"
+#include "vclock/hardware_clock.hpp"
+
+namespace hcs::simmpi {
+
+class World;
+class Comm;
+
+/// Per-rank execution context handed to rank programs.
+class RankCtx {
+ public:
+  RankCtx(World& world, int rank);
+  ~RankCtx();
+  RankCtx(const RankCtx&) = delete;
+  RankCtx& operator=(const RankCtx&) = delete;
+
+  World& world() const noexcept { return *world_; }
+  int rank() const noexcept { return rank_; }
+  Comm& comm_world() noexcept { return *comm_world_; }
+  vclock::ClockPtr base_clock() const;
+  sim::Simulation& sim() const;
+
+ private:
+  World* world_;
+  int rank_;
+  std::unique_ptr<Comm> comm_world_;
+};
+
+class World {
+ public:
+  World(topology::MachineConfig machine, std::uint64_t seed);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  sim::Simulation& sim() noexcept { return sim_; }
+  const topology::ClusterTopology& topo() const noexcept { return machine_.topo; }
+  const topology::MachineConfig& machine() const noexcept { return machine_; }
+  NetworkModel& network() noexcept { return network_; }
+  int size() const noexcept { return machine_.topo.total_ranks(); }
+
+  /// Shared hardware clock of the rank's time source.
+  vclock::ClockPtr base_clock(int rank) const;
+
+  using RankFn = std::function<sim::Task<void>(RankCtx&)>;
+
+  /// Spawns one process per rank running `fn`.
+  void launch(const RankFn& fn);
+
+  /// Drains the event loop; throws on process exceptions, event-budget
+  /// overrun, or deadlock (blocked processes with an empty queue).
+  void run(std::uint64_t max_events = 4'000'000'000ULL);
+
+  /// launch + run in one call.
+  void run_all(const RankFn& fn, std::uint64_t max_events = 4'000'000'000ULL);
+
+  RankCtx& ctx(int rank);
+
+  // --- transport primitives (used by Comm; not intended for user code) ---
+
+  sim::Task<void> p2p_send(int src, int dst, std::int64_t tag, std::vector<double> data,
+                           std::int64_t bytes);
+  sim::Task<Message> p2p_recv(int me, int src, std::int64_t tag);
+
+  /// Nonblocking receive: posts the request (matching any already-arrived
+  /// message) and returns immediately; complete with await_recv.
+  RecvRequest p2p_irecv(int me, int src, std::int64_t tag);
+
+  /// MPI_Wait analogue for a receive request.
+  sim::Task<Message> await_recv(RecvRequest request);
+
+  /// Nonblocking send: the message enters the network immediately; the
+  /// request completes once the sender-side overhead has elapsed.
+  SendRequest p2p_isend(int src, int dst, std::int64_t tag, std::vector<double> data,
+                        std::int64_t bytes);
+
+  /// MPI_Wait analogue for a send request.
+  sim::Task<void> await_send(SendRequest request);
+
+  /// Fast-path ping-pong burst between `me` and `partner` (DESIGN.md §4.3):
+  /// both sides call this; per-exchange timestamps are synthesized from the
+  /// same network distributions without per-message events.
+  sim::Task<BurstResult> pingpong_burst(int me, int partner, bool i_am_client,
+                                        vclock::Clock& my_clock, int nexchanges,
+                                        std::int64_t bytes);
+
+  /// Internal: delivery of an in-flight message (public for the messenger
+  /// coroutine).
+  void deliver_now(int dst, Message msg);
+
+ private:
+  struct Mailbox {
+    std::deque<Message> unexpected;
+    std::vector<RecvRequest> posted;  // irecvs (and blocking recvs) in post order
+  };
+  struct BurstState;
+
+  static std::uint64_t pair_key(int a, int b, int world_size);
+  void synthesize_burst(BurstState& st);
+
+  topology::MachineConfig machine_;
+  sim::Simulation sim_;
+  NetworkModel network_;
+  std::vector<std::shared_ptr<vclock::HardwareClock>> hw_clocks_;  // per time source
+  std::vector<Mailbox> mailboxes_;
+  std::map<std::uint64_t, std::shared_ptr<BurstState>> bursts_;
+  std::vector<std::unique_ptr<RankCtx>> ctxs_;
+};
+
+}  // namespace hcs::simmpi

@@ -1,0 +1,63 @@
+// Plain-data machine parameters: network link model and clock drift model.
+//
+// These structs describe the simulated hardware; they are interpreted by
+// simmpi::NetworkModel and vclock::HardwareClock respectively.  Units are
+// seconds throughout.
+#pragma once
+
+#include <cstdint>
+
+namespace hcs::topology {
+
+/// One class of links (intra-socket, intra-node or inter-node).
+///
+/// One-way message delay = base_latency + per_byte * bytes + Exp(jitter_mean)
+/// [+ Exp(spike_mean) with probability spike_prob].  The exponential jitter
+/// gives the positively-skewed delay distributions real networks show; spikes
+/// model the rare outliers that motivate Round-Time's invalidation logic.
+struct LinkParams {
+  double base_latency = 1.0e-6;
+  double per_byte = 0.25e-9;     // ~4 GB/s
+  double jitter_mean = 100e-9;
+  double spike_prob = 0.0;
+  double spike_mean = 0.0;
+};
+
+/// LogGP-flavoured network model for a whole machine.
+struct NetworkParams {
+  LinkParams intra_socket{0.15e-6, 0.05e-9, 15e-9, 0.0, 0.0};
+  LinkParams intra_node{0.35e-6, 0.08e-9, 30e-9, 0.0, 0.0};
+  LinkParams inter_node{1.6e-6, 0.30e-9, 120e-9, 5e-4, 20e-6};
+
+  /// CPU overhead charged to the sender / receiver per message.
+  double send_overhead = 0.25e-6;
+  double recv_overhead = 0.25e-6;
+
+  /// Per-node NIC serialization gap for inter-node messages.  Messages
+  /// leaving or entering a node within less than this gap queue behind each
+  /// other; this is the contention mechanism that penalizes bursty
+  /// dissemination-style collectives (DESIGN.md §4.5, paper Fig. 8).
+  double nic_gap = 0.20e-6;
+
+  /// Per-byte NIC serialization (host-side copies / injection rate).  With
+  /// many ranks per node this is what makes collective latency grow with the
+  /// payload (paper Fig. 9: ReproMPI's curve rises towards 1 KiB).
+  double nic_per_byte = 0.0;
+};
+
+/// Behaviour of one hardware time source (paper §III-C2, Fig. 2).
+///
+/// The local clock starts at a random offset, advances at rate (1 + skew),
+/// and the skew itself performs a random walk with steps every
+/// skew_segment_s seconds — linear drift over ~10 s windows, visibly
+/// non-linear over hundreds of seconds, as measured in the paper.
+struct ClockDriftParams {
+  double initial_offset_abs = 10e-3;   // |offset(0)| <= 10 ms, uniform
+  double base_skew_abs = 1.5e-6;       // |skew| <= 1.5 ppm, uniform
+  double skew_walk_sd = 0.010e-6;      // per-segment skew step, 0.01 ppm
+  double skew_segment_s = 2.0;         // segment length of the random walk
+  double read_noise_sd = 12e-9;        // per-read timestamp noise
+  double read_resolution = 1e-9;       // timestamp granularity (clock_gettime)
+};
+
+}  // namespace hcs::topology

@@ -1,0 +1,46 @@
+// Machine presets mirroring Table I of the paper.
+//
+// Absolute latency/drift values are calibrated to the magnitudes the paper
+// reports (e.g. "the ping-pong latency on this network is 3 us to 4 us" for
+// Jupiter's InfiniBand, i.e. ~1.6 us one-way), not measured from the original
+// hardware; see DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <string>
+
+#include "topology/params.hpp"
+#include "topology/topology.hpp"
+
+namespace hcs::topology {
+
+struct MachineConfig {
+  std::string name;
+  std::string hardware;   // free-text description (Table I column 2)
+  std::string mpi_label;  // library the paper used on this machine
+  ClusterTopology topo{1, 1, 1};
+  NetworkParams net;
+  ClockDriftParams clocks;
+
+  /// Same machine with a different node count (experiments often use a
+  /// subset of nodes, e.g. "32 x 16 processes" on 36-node Jupiter).
+  MachineConfig with_nodes(int nodes) const;
+  /// Same machine with a different time-source scope (Fig. 10 timer study).
+  MachineConfig with_time_source(TimeSourceScope scope) const;
+
+  std::string describe() const;
+};
+
+/// Jupiter: 36 x Dual Opteron 6134 (2 sockets x 8 cores), InfiniBand QDR.
+MachineConfig jupiter();
+
+/// Hydra: 36 x Dual Xeon Gold 6130 (2 sockets x 16 cores), Intel OmniPath.
+MachineConfig hydra();
+
+/// Titan: Cray XK7, one Opteron 6274 socket with 16 cores, Cray Gemini.
+MachineConfig titan();
+
+/// Tiny machine for unit tests: `nodes` x 1 socket x `cores` cores with mild
+/// noise; deterministic-friendly.
+MachineConfig testbox(int nodes, int cores_per_node);
+
+}  // namespace hcs::topology

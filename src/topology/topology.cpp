@@ -1,0 +1,73 @@
+#include "topology/topology.hpp"
+
+#include <sstream>
+
+namespace hcs::topology {
+
+std::string to_string(TimeSourceScope scope) {
+  switch (scope) {
+    case TimeSourceScope::kPerNode: return "per-node";
+    case TimeSourceScope::kPerSocket: return "per-socket";
+    case TimeSourceScope::kPerCore: return "per-core";
+  }
+  return "?";
+}
+
+ClusterTopology::ClusterTopology(int nodes, int sockets_per_node, int cores_per_socket,
+                                 TimeSourceScope scope)
+    : nodes_(nodes),
+      sockets_per_node_(sockets_per_node),
+      cores_per_socket_(cores_per_socket),
+      scope_(scope) {
+  if (nodes < 1 || sockets_per_node < 1 || cores_per_socket < 1) {
+    throw std::invalid_argument("ClusterTopology: all dimensions must be >= 1");
+  }
+}
+
+RankLocation ClusterTopology::locate(int rank) const {
+  if (rank < 0 || rank >= total_ranks()) {
+    throw std::out_of_range("ClusterTopology::locate: rank " + std::to_string(rank) +
+                            " outside [0, " + std::to_string(total_ranks()) + ")");
+  }
+  RankLocation loc;
+  const int rpn = ranks_per_node();
+  loc.node = rank / rpn;
+  const int in_node = rank % rpn;
+  loc.socket_in_node = in_node / cores_per_socket_;
+  loc.core_in_socket = in_node % cores_per_socket_;
+  loc.socket = loc.node * sockets_per_node_ + loc.socket_in_node;
+  loc.core = rank;
+  return loc;
+}
+
+int ClusterTopology::time_source_id(int rank) const {
+  const RankLocation loc = locate(rank);
+  switch (scope_) {
+    case TimeSourceScope::kPerNode: return loc.node;
+    case TimeSourceScope::kPerSocket: return loc.socket;
+    case TimeSourceScope::kPerCore: return loc.core;
+  }
+  return loc.node;
+}
+
+int ClusterTopology::num_time_sources() const noexcept {
+  switch (scope_) {
+    case TimeSourceScope::kPerNode: return nodes_;
+    case TimeSourceScope::kPerSocket: return nodes_ * sockets_per_node_;
+    case TimeSourceScope::kPerCore: return total_ranks();
+  }
+  return nodes_;
+}
+
+bool ClusterTopology::same_socket(int a, int b) const {
+  return locate(a).socket == locate(b).socket;
+}
+
+std::string ClusterTopology::describe() const {
+  std::ostringstream os;
+  os << nodes_ << " nodes x " << sockets_per_node_ << " sockets x " << cores_per_socket_
+     << " cores = " << total_ranks() << " ranks, time source " << to_string(scope_);
+  return os.str();
+}
+
+}  // namespace hcs::topology

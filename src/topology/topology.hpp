@@ -1,0 +1,62 @@
+// Cluster topology: how MPI ranks map onto nodes, sockets and cores.
+//
+// Ranks are placed block-wise and pinned, mirroring the paper's experiments
+// ("we created processes on all available cores and pinned processes to
+// cores"): rank r lives on node r / ranks_per_node, socket (r mod
+// ranks_per_node) / ranks_per_socket, core r mod ranks_per_socket.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hcs::topology {
+
+/// Which hardware component owns the time source (paper §IV-B: on all three
+/// machines cores of a node share one; clock_getcpuclockid-style per-core
+/// sources are modelled for the Fig. 10 tracing study).
+enum class TimeSourceScope { kPerNode, kPerSocket, kPerCore };
+
+std::string to_string(TimeSourceScope scope);
+
+struct RankLocation {
+  int node;
+  int socket;        // global socket id
+  int socket_in_node;
+  int core;          // global core id == rank under pinning
+  int core_in_socket;
+};
+
+class ClusterTopology {
+ public:
+  ClusterTopology(int nodes, int sockets_per_node, int cores_per_socket,
+                  TimeSourceScope scope = TimeSourceScope::kPerNode);
+
+  int nodes() const noexcept { return nodes_; }
+  int sockets_per_node() const noexcept { return sockets_per_node_; }
+  int cores_per_socket() const noexcept { return cores_per_socket_; }
+  int ranks_per_node() const noexcept { return sockets_per_node_ * cores_per_socket_; }
+  int total_ranks() const noexcept { return nodes_ * ranks_per_node(); }
+  TimeSourceScope time_source_scope() const noexcept { return scope_; }
+
+  RankLocation locate(int rank) const;
+
+  /// Identifier of the hardware time source rank `rank` reads.
+  int time_source_id(int rank) const;
+
+  /// Number of distinct hardware time sources in the machine.
+  int num_time_sources() const noexcept;
+
+  bool same_node(int a, int b) const { return locate(a).node == locate(b).node; }
+  bool same_socket(int a, int b) const;
+
+  std::string describe() const;
+
+ private:
+  int nodes_;
+  int sockets_per_node_;
+  int cores_per_socket_;
+  TimeSourceScope scope_;
+};
+
+}  // namespace hcs::topology

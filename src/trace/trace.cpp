@@ -1,0 +1,70 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace hcs::trace {
+
+Tracer::Tracer(int rank, vclock::ClockPtr clock) : rank_(rank), clock_(std::move(clock)) {
+  if (!clock_) throw std::invalid_argument("Tracer: null clock");
+}
+
+std::size_t Tracer::begin_event(const std::string& name, int iteration) {
+  Interval iv;
+  iv.event = name;
+  iv.iteration = iteration;
+  iv.start = clock_->now();
+  intervals_.push_back(std::move(iv));
+  return intervals_.size() - 1;
+}
+
+void Tracer::end_event(std::size_t index) {
+  if (index >= intervals_.size()) throw std::out_of_range("Tracer::end_event: bad index");
+  intervals_[index].end = clock_->now();
+}
+
+std::vector<GanttRow> gantt_rows(const std::vector<Tracer>& tracers, const std::string& event,
+                                 int iteration) {
+  std::vector<GanttRow> rows;
+  rows.reserve(tracers.size());
+  double min_start = std::numeric_limits<double>::infinity();
+  for (const Tracer& tracer : tracers) {
+    for (const Interval& iv : tracer.intervals()) {
+      if (iv.event == event && iv.iteration == iteration) {
+        GanttRow row;
+        row.rank = tracer.rank();
+        row.start = iv.start;
+        row.duration = iv.duration();
+        rows.push_back(row);
+        min_start = std::min(min_start, iv.start);
+        break;
+      }
+    }
+  }
+  for (GanttRow& row : rows) row.start -= min_start;
+  return rows;
+}
+
+std::string to_chrome_trace_json(const std::vector<Tracer>& tracers) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const Tracer& tracer : tracers) {
+    for (const Interval& iv : tracer.intervals()) {
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"cat\":\"mpi\",\"ph\":\"X\",\"pid\":0,"
+                    "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"iteration\":%d}}",
+                    iv.event.c_str(), tracer.rank(), iv.start * 1e6, iv.duration() * 1e6,
+                    iv.iteration);
+      out += buf;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hcs::trace

@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hcs::util {
+
+Cli::Cli(int argc, const char* const* argv, std::vector<std::string> known_flags) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string key = arg.substr(2);
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      options_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
+    const bool is_flag = std::find(known_flags.begin(), known_flags.end(), key) != known_flags.end();
+    if (is_flag || i + 1 >= argc) {
+      options_[key] = "1";
+    } else {
+      options_[key] = argv[++i];
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Cli::scale(double fallback) const {
+  double s = fallback;
+  if (const char* env = std::getenv("HCLOCKSYNC_SCALE")) {
+    s = std::stod(env);
+  }
+  s = get_double("scale", s);
+  if (s <= 0.0 || s > 4.0) {
+    throw std::invalid_argument("scale must be in (0, 4], got " + std::to_string(s));
+  }
+  return s;
+}
+
+std::uint64_t Cli::seed(std::uint64_t fallback) const {
+  return static_cast<std::uint64_t>(get_int("seed", static_cast<std::int64_t>(fallback)));
+}
+
+}  // namespace hcs::util

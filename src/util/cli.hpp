@@ -1,0 +1,41 @@
+// Minimal command-line option parser for the bench and example binaries.
+//
+// Supports "--key value", "--key=value" and boolean "--flag" forms.  Unknown
+// options raise; positional arguments are collected in order.  The scale
+// factor used by every bench binary is also read from the HCLOCKSYNC_SCALE
+// environment variable (command line wins).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hcs::util {
+
+class Cli {
+ public:
+  /// Parses argv.  `known_flags` lists boolean options (no value expected).
+  Cli(int argc, const char* const* argv, std::vector<std::string> known_flags = {});
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  /// Benchmark scale in (0, 4]: --scale beats $HCLOCKSYNC_SCALE beats 1.0.
+  double scale(double fallback = 1.0) const;
+
+  /// Seed: --seed beats fallback.
+  std::uint64_t seed(std::uint64_t fallback) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hcs::util

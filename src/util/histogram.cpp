@@ -1,0 +1,45 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <stdexcept>
+
+namespace hcs::util {
+
+Histogram make_histogram(std::span<const double> xs, int nbins) {
+  if (nbins < 1) throw std::invalid_argument("make_histogram: nbins must be >= 1");
+  Histogram h;
+  if (xs.empty()) return h;
+  const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  h.lo = *lo_it;
+  const double hi = *hi_it;
+  h.bin_width = (hi > h.lo) ? (hi - h.lo) / nbins : 1.0;
+  h.counts.assign(static_cast<std::size_t>(nbins), 0);
+  for (double x : xs) {
+    auto bin = static_cast<std::size_t>((x - h.lo) / h.bin_width);
+    bin = std::min(bin, h.counts.size() - 1);  // the max lands in the last bin
+    ++h.counts[bin];
+  }
+  h.total = xs.size();
+  return h;
+}
+
+void print_histogram(std::ostream& os, const Histogram& h, int width, double unit_scale,
+                     const std::string& unit) {
+  if (h.counts.empty()) {
+    os << "(empty histogram)\n";
+    return;
+  }
+  const std::size_t peak = *std::max_element(h.counts.begin(), h.counts.end());
+  for (std::size_t bin = 0; bin < h.counts.size(); ++bin) {
+    const double left = h.bin_left(bin) * unit_scale;
+    const double right = h.bin_left(bin + 1) * unit_scale;
+    const auto bar = peak == 0 ? std::size_t{0}
+                               : h.counts[bin] * static_cast<std::size_t>(width) / peak;
+    os << "  [" << std::setw(9) << std::fixed << std::setprecision(2) << left << ", "
+       << std::setw(9) << right << ") " << unit << " " << std::setw(6) << h.counts[bin] << "  "
+       << std::string(bar, '#') << "\n";
+  }
+}
+
+}  // namespace hcs::util

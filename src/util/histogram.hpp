@@ -1,0 +1,30 @@
+// ASCII histograms for distribution-shaped results (the paper's Fig. 8 shows
+// imbalance *distributions*; a five-number summary hides their shape).
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hcs::util {
+
+struct Histogram {
+  double lo = 0.0;           // left edge of the first bin
+  double bin_width = 0.0;
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+
+  double bin_left(std::size_t bin) const { return lo + bin_width * static_cast<double>(bin); }
+};
+
+/// Builds a linear-bin histogram over [min(xs), max(xs)].  nbins >= 1; an
+/// empty sample yields an empty histogram.
+Histogram make_histogram(std::span<const double> xs, int nbins);
+
+/// Renders one line per bin: "[lo, hi)  count  ####…" with bars scaled to
+/// `width` characters; `unit_scale` multiplies edge labels (e.g. 1e6 for us).
+void print_histogram(std::ostream& os, const Histogram& h, int width = 40,
+                     double unit_scale = 1.0, const std::string& unit = "");
+
+}  // namespace hcs::util

@@ -1,0 +1,53 @@
+// Summary statistics over small-to-medium samples.
+//
+// All functions operate on a span of doubles.  Quantile-based functions copy
+// and sort internally; callers that already hold sorted data can use the
+// *_sorted variants to avoid the copy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hcs::util {
+
+/// Arithmetic mean; returns 0.0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0.0 for fewer than 2 points.
+double stddev(std::span<const double> xs);
+
+/// Smallest element; 0.0 for an empty sample.
+double min(std::span<const double> xs);
+
+/// Largest element; 0.0 for an empty sample.
+double max(std::span<const double> xs);
+
+/// Median (interpolated for even sizes); 0.0 for an empty sample.
+double median(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]; 0.0 for an empty sample.
+double quantile(std::span<const double> xs, double q);
+
+/// Quantile on data the caller guarantees to be ascending-sorted.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Five-number summary plus mean/stddev, as printed by the bench harnesses.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// "n=.. min=.. q25=.. med=.. q75=.. max=.. mean=.." with a unit suffix.
+std::string to_string(const Summary& s, const std::string& unit = "");
+
+}  // namespace hcs::util

@@ -1,0 +1,42 @@
+// Plain-text table and CSV emission used by the bench harnesses.
+//
+// A Table accumulates rows of strings and prints them column-aligned, the way
+// the paper's figures are reported as series.  Numeric cells can be added with
+// a precision; add_row() checks the column count.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hcs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Column-aligned plain text with a header separator line.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 3 digits).
+std::string fmt(double v, int precision = 3);
+
+/// Formats seconds as microseconds with a "us"-free plain number.
+std::string fmt_us(double seconds, int precision = 3);
+
+}  // namespace hcs::util

@@ -1,0 +1,18 @@
+// Helper to build small double vectors as coroutine-call arguments.
+//
+// GCC 12 rejects braced-init-list arguments in co_await-ed calls ("array
+// used as initializer": the initializer list's backing array cannot be
+// persisted into the coroutine frame).  vec(a, b, ...) returns a plain
+// prvalue vector and sidesteps the bug.
+#pragma once
+
+#include <vector>
+
+namespace hcs::util {
+
+template <typename... Ts>
+std::vector<double> vec(Ts... xs) {
+  return {static_cast<double>(xs)...};
+}
+
+}  // namespace hcs::util

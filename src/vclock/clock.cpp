@@ -1,0 +1,34 @@
+#include "vclock/clock.hpp"
+
+#include <stdexcept>
+
+namespace hcs::vclock {
+
+sim::Time Clock::true_time_of(double clock_value, sim::Time hint_lo, sim::Time hint_hi) const {
+  // Clocks advance at 1 +- a few ppm, so at_exact is strictly increasing.
+  // Grow the bracket if the hints do not enclose the target, then bisect.
+  sim::Time lo = hint_lo;
+  sim::Time hi = hint_hi;
+  if (hi <= lo) hi = lo + 1e-6;
+  double span = hi - lo;
+  int guard = 0;
+  while (at_exact(hi) < clock_value) {
+    hi += span;
+    span *= 2;
+    if (++guard > 128) throw std::runtime_error("Clock::true_time_of: no upper bracket");
+  }
+  guard = 0;
+  while (at_exact(lo) > clock_value && lo > 0) {
+    lo = (lo > span) ? lo - span : 0.0;
+    span *= 2;
+    if (++guard > 128) throw std::runtime_error("Clock::true_time_of: no lower bracket");
+  }
+  for (int i = 0; i < 200 && hi - lo > 1e-12; ++i) {
+    const sim::Time mid = 0.5 * (lo + hi);
+    if (at_exact(mid) < clock_value) lo = mid;
+    else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace hcs::vclock

@@ -1,0 +1,41 @@
+// Clock abstraction.
+//
+// A Clock maps simulated true time to the time an observer reads.  The two
+// entry points mirror how the paper's algorithms use clocks:
+//   * now()            — "read my clock here and now" (includes read noise),
+//   * at(true_time)    — read at a specific true instant (used by the
+//                        ping-pong burst fast path; also noisy),
+//   * at_exact(t)      — the noiseless, deterministic mapping (used for
+//                        inverting a clock when busy-waiting on a target
+//                        logical time, and by tests).
+// Clocks are shared: hardware clocks between ranks of one time source, and
+// synchronized (logical) clocks decorate a base clock (paper §IV-B).
+#pragma once
+
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace hcs::vclock {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Noisy read at an arbitrary true time.
+  virtual double at(sim::Time true_time) = 0;
+
+  /// Noiseless deterministic mapping (strictly increasing in true_time).
+  virtual double at_exact(sim::Time true_time) const = 0;
+
+  /// Noisy read at the current simulation time.
+  virtual double now() = 0;
+
+  /// True time at which this clock (noiselessly) shows `clock_value`.
+  /// Implemented by bisection over at_exact; `hint` brackets the search.
+  sim::Time true_time_of(double clock_value, sim::Time hint_lo, sim::Time hint_hi) const;
+};
+
+using ClockPtr = std::shared_ptr<Clock>;
+
+}  // namespace hcs::vclock

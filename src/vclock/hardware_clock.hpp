@@ -1,0 +1,61 @@
+// Simulated hardware time source.
+//
+// local(t) = initial_offset + integral over [0, t] of (1 + skew(u)) du,
+// where skew(u) is piecewise constant and performs a random walk across
+// segments of length skew_segment_s.  This reproduces the paper's Fig. 2:
+// drift is very nearly linear within a ~10 s window (R^2 > 0.9) but visibly
+// non-linear over 500 s.  Reads add Gaussian noise and are quantized to the
+// timer resolution.
+//
+// One HardwareClock instance is shared by all ranks of one time source
+// (node, socket or core, per topology::TimeSourceScope).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "topology/params.hpp"
+#include "vclock/clock.hpp"
+
+namespace hcs::vclock {
+
+class HardwareClock final : public Clock {
+ public:
+  /// `seed` individualizes this time source's offset/skew path.
+  HardwareClock(sim::Simulation& sim, const topology::ClockDriftParams& params,
+                std::uint64_t seed);
+
+  double at(sim::Time true_time) override;
+  double at_exact(sim::Time true_time) const override;
+  double now() override { return at(sim_->now()); }
+
+  double initial_offset() const { return initial_offset_; }
+  double base_skew() const { return segment_skews_.empty() ? 0.0 : segment_skews_[0]; }
+
+  /// Skew in effect at `true_time` (extends the walk if needed).
+  double skew_at(sim::Time true_time) const;
+
+  /// Failure injection: an NTP-style step of `delta` seconds applied to all
+  /// reads at true times >= `when` (negative deltas model backward steps).
+  /// Synchronized clocks built on top of this source silently break — the
+  /// scenario that forces periodic re-synchronization in practice.
+  void inject_step(sim::Time when, double delta);
+
+ private:
+  void extend_path(std::size_t segment) const;
+
+  sim::Simulation* sim_;
+  topology::ClockDriftParams params_;
+  double initial_offset_;
+  // Lazily-extended random-walk path.  Mutable: extending the path and read
+  // noise are observer effects that do not change the logical clock.
+  mutable sim::Rng path_rng_;
+  mutable sim::Rng noise_rng_;
+  mutable std::vector<double> segment_skews_;      // skew during segment k
+  mutable std::vector<double> boundary_locals_;    // local time at k * segment
+  std::vector<std::pair<sim::Time, double>> steps_;  // injected NTP steps
+};
+
+}  // namespace hcs::vclock

@@ -1,0 +1,25 @@
+#include "vclock/linear_model.hpp"
+
+#include <sstream>
+
+namespace hcs::vclock {
+
+LinearModel merge(const LinearModel& outer, const LinearModel& inner) {
+  // outer.apply(inner.apply(t)) = (1+so)((1+si) t + ii) + io
+  //                             = (1+so)(1+si) t + (1+so) ii + io.
+  // Expanded form so + si + so*si avoids the catastrophic cancellation of
+  // (1+so)(1+si) - 1 at ppm-scale slopes.
+  LinearModel m;
+  m.slope = outer.slope + inner.slope + outer.slope * inner.slope;
+  m.intercept = (1.0 + outer.slope) * inner.intercept + outer.intercept;
+  return m;
+}
+
+std::string to_string(const LinearModel& lm) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "lm(slope=" << lm.slope << ", intercept=" << lm.intercept << ")";
+  return os.str();
+}
+
+}  // namespace hcs::vclock

@@ -1,0 +1,32 @@
+// Linear clock-drift model (slope + intercept) and its algebra.
+//
+// The model follows the paper's convention: for a local timestamp t, the
+// offset to the reference clock is estimated as slope * t + intercept, so the
+// reference ("global") time is  g(t) = t + slope * t + intercept.
+// Composition (HCA2's MERGE of cm(0,2) and cm(2,3), Fig. 1a) is again linear.
+#pragma once
+
+#include <string>
+
+namespace hcs::vclock {
+
+struct LinearModel {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  /// g(t) = t + slope * t + intercept.
+  double apply(double t) const { return t + slope * t + intercept; }
+
+  /// Inverse mapping: the t for which apply(t) == g.
+  double invert(double g) const { return (g - intercept) / (1.0 + slope); }
+
+  bool is_identity() const { return slope == 0.0 && intercept == 0.0; }
+};
+
+/// MERGE(outer, inner): model mapping inner's domain directly to outer's
+/// reference, i.e. merged.apply(t) == outer.apply(inner.apply(t)).
+LinearModel merge(const LinearModel& outer, const LinearModel& inner);
+
+std::string to_string(const LinearModel& lm);
+
+}  // namespace hcs::vclock

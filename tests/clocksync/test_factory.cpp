@@ -1,0 +1,75 @@
+#include "clocksync/factory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs::clocksync {
+namespace {
+
+TEST(Factory, FlatLabelsRoundTrip) {
+  for (const std::string label : {
+           "hca3/recompute_intercept/1000/skampi_offset/100",
+           "hca2/recompute_intercept/1000/skampi_offset/100",
+           "hca/1000/skampi_offset/100",
+           "jk/1000/skampi_offset/20",
+           "jk/500/mean_rtt_offset/20",
+           "hca3/500/skampi_offset/100",
+       }) {
+    const auto sync = make_sync(label);
+    ASSERT_NE(sync, nullptr) << label;
+    EXPECT_EQ(sync->name(), label) << "canonical label should round-trip";
+  }
+}
+
+TEST(Factory, PaperStylePunctuationAccepted) {
+  // The paper's plot labels use mixed case, dashes and spaces.
+  const auto sync = make_sync("HCA3/recompute_intercept/1000/SKaMPI-Offset/100");
+  EXPECT_EQ(sync->name(), "hca3/recompute_intercept/1000/skampi_offset/100");
+  const auto jk = make_sync("jk/1000/skampi offset/20");
+  EXPECT_EQ(jk->name(), "jk/1000/skampi_offset/20");
+}
+
+TEST(Factory, HierarchicalTwoLevel) {
+  const auto sync = make_sync("Top/hca3/1000/SKaMPI-Offset/100/Bottom/ClockPropagation");
+  ASSERT_NE(sync, nullptr);
+  EXPECT_EQ(sync->name(), "Top/hca3/1000/skampi_offset/100/Bottom/ClockPropagation");
+}
+
+TEST(Factory, HierarchicalThreeLevel) {
+  const auto sync = make_sync(
+      "top/hca3/500/skampi_offset/50/mid/hca3/100/skampi_offset/20/bottom/clockpropagation");
+  ASSERT_NE(sync, nullptr);
+  EXPECT_NE(sync->name().find("Mid/"), std::string::npos);
+}
+
+TEST(Factory, HierarchicalWithFlatBottom) {
+  const auto sync =
+      make_sync("top/hca3/100/skampi_offset/20/bottom/hca2/50/skampi_offset/10");
+  ASSERT_NE(sync, nullptr);
+}
+
+TEST(Factory, RejectsMalformedLabels) {
+  EXPECT_THROW(make_sync(""), std::invalid_argument);
+  EXPECT_THROW(make_sync("nosuch/100/skampi_offset/10"), std::invalid_argument);
+  EXPECT_THROW(make_sync("hca3/100/skampi_offset"), std::invalid_argument);      // missing count
+  EXPECT_THROW(make_sync("hca3/abc/skampi_offset/10"), std::invalid_argument);   // bad int
+  EXPECT_THROW(make_sync("hca3/0/skampi_offset/10"), std::invalid_argument);     // zero points
+  EXPECT_THROW(make_sync("hca3/100/badoffset/10"), std::invalid_argument);
+  EXPECT_THROW(make_sync("top/hca3/100/skampi_offset/10"), std::invalid_argument);  // no bottom
+  EXPECT_THROW(make_sync("hca3/100/skampi_offset/10/extra"), std::invalid_argument);
+}
+
+TEST(Factory, OffsetAlgorithmFactory) {
+  EXPECT_EQ(make_offset_algorithm("skampi_offset", 5)->name(), "skampi_offset");
+  EXPECT_EQ(make_offset_algorithm("SKaMPI-Offset", 5)->name(), "skampi_offset");
+  EXPECT_EQ(make_offset_algorithm("Mean-RTT-Offset", 5)->name(), "mean_rtt_offset");
+  EXPECT_THROW(make_offset_algorithm("ntp", 5), std::invalid_argument);
+}
+
+TEST(Factory, EachCallYieldsFreshInstance) {
+  const auto a = make_sync("hca3/10/skampi_offset/5");
+  const auto b = make_sync("hca3/10/skampi_offset/5");
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace hcs::clocksync

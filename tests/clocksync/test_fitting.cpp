@@ -1,0 +1,95 @@
+#include "clocksync/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hcs::clocksync {
+namespace {
+
+TEST(Fitting, ExactLineRecovered) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(0.1 * i);
+    y.push_back(3e-6 * (0.1 * i) + 5e-6);
+  }
+  const FitResult fit = fit_linear_model(x, y);
+  EXPECT_NEAR(fit.model.slope, 3e-6, 1e-15);
+  EXPECT_NEAR(fit.model.intercept, 5e-6, 1e-15);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Fitting, TwoPointsExact) {
+  const std::vector<double> x = {1.0, 3.0};
+  const std::vector<double> y = {2.0, 8.0};
+  const FitResult fit = fit_linear_model(x, y);
+  EXPECT_DOUBLE_EQ(fit.model.slope, 3.0);
+  EXPECT_DOUBLE_EQ(fit.model.intercept, -1.0);
+}
+
+TEST(Fitting, NoisyLineApproximatelyRecovered) {
+  sim::Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = 0.001 * i;
+    x.push_back(t);
+    y.push_back(1.2e-6 * t - 3e-6 + rng.normal(0.0, 50e-9));
+  }
+  const FitResult fit = fit_linear_model(x, y);
+  EXPECT_NEAR(fit.model.slope, 1.2e-6, 0.2e-6);
+  EXPECT_NEAR(fit.model.intercept, -3e-6, 0.2e-6);
+}
+
+TEST(Fitting, PpmSlopeOnSecondScaleTimestampsKeepsPrecision) {
+  // Timestamps around 100 s with a 1 ppm slope: the regression must not lose
+  // the microsecond-scale structure (centering inside fit_linear_model).
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    const double t = 100.0 + 0.01 * i;
+    x.push_back(t);
+    y.push_back(1e-6 * t + 7e-6);
+  }
+  const FitResult fit = fit_linear_model(x, y);
+  EXPECT_NEAR(fit.model.slope, 1e-6, 1e-12);
+  EXPECT_NEAR(fit.model.apply(100.5) - 100.5, 1e-6 * 100.5 + 7e-6, 1e-12);
+}
+
+TEST(Fitting, ConstantYGivesZeroSlope) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, 4.0, 4.0};
+  const FitResult fit = fit_linear_model(x, y);
+  EXPECT_DOUBLE_EQ(fit.model.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.model.intercept, 4.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);  // zero residual
+}
+
+TEST(Fitting, DegenerateXFallsBackToConstantOffset) {
+  const std::vector<double> x = {2.0, 2.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const FitResult fit = fit_linear_model(x, y);
+  EXPECT_DOUBLE_EQ(fit.model.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.model.intercept, 2.0);
+}
+
+TEST(Fitting, RejectsMismatchedAndShortInputs) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(fit_linear_model(one, two), std::invalid_argument);
+  EXPECT_THROW(fit_linear_model(one, one), std::invalid_argument);
+}
+
+TEST(Fitting, R2LowForUncorrelatedData) {
+  sim::Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  const FitResult fit = fit_linear_model(x, y);
+  EXPECT_LT(fit.r2, 0.05);
+}
+
+}  // namespace
+}  // namespace hcs::clocksync

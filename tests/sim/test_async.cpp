@@ -1,0 +1,125 @@
+#include "sim/async.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simmpi/collectives.hpp"
+#include "topology/presets.hpp"
+#include "util/vec.hpp"
+
+namespace hcs::sim {
+namespace {
+
+TEST(Async, CompletedFutureReturnsValueImmediately) {
+  Simulation sim;
+  int got = 0;
+  sim.spawn([](Simulation& s, int* out) -> Task<void> {
+    auto future = async(s, [](Simulation& s2) -> Task<int> {
+      co_await s2.delay(0.0);
+      co_return 41;
+    }(s));
+    co_await s.delay(1.0);  // future completes long before this
+    EXPECT_TRUE(future.done());
+    *out = co_await future;
+  }(sim, &got));
+  sim.run();
+  EXPECT_EQ(got, 41);
+}
+
+TEST(Async, AwaitSuspendsUntilCompletion) {
+  Simulation sim;
+  Time resumed_at = 0;
+  sim.spawn([](Simulation& s, Time* out) -> Task<void> {
+    auto future = async(s, [](Simulation& s2) -> Task<double> {
+      co_await s2.delay(2.5);
+      co_return 1.5;
+    }(s));
+    EXPECT_FALSE(future.done());
+    const double v = co_await future;
+    EXPECT_EQ(v, 1.5);
+    *out = s.now();
+  }(sim, &resumed_at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(resumed_at, 2.5);
+}
+
+TEST(Async, VoidTask) {
+  Simulation sim;
+  bool done = false;
+  sim.spawn([](Simulation& s, bool* out) -> Task<void> {
+    auto future = async(s, [](Simulation& s2) -> Task<void> {
+      co_await s2.delay(0.5);
+    }(s));
+    co_await future;
+    *out = true;
+  }(sim, &done));
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Async, ExceptionSurfacesAtAwait) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn([](Simulation& s, bool* out) -> Task<void> {
+    auto future = async(s, [](Simulation& s2) -> Task<int> {
+      co_await s2.delay(0.1);
+      throw std::runtime_error("async boom");
+      co_return 0;
+    }(s));
+    try {
+      (void)co_await future;
+    } catch (const std::runtime_error&) {
+      *out = true;
+    }
+  }(sim, &caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+// MPI_Ibarrier-style overlap: the barrier progresses while this rank
+// computes, so total time ~= max(compute, barrier), not their sum.
+TEST(Async, NonblockingBarrierOverlapsComputation) {
+  simmpi::World w(topology::testbox(2, 2), 7);
+  Time total = 0;
+  w.run_all([&](simmpi::RankCtx& ctx) -> Task<void> {
+    const Time t0 = ctx.sim().now();
+    auto request = async(ctx.sim(), simmpi::barrier(ctx.comm_world()));
+    co_await ctx.sim().delay(100e-6);  // compute >> barrier latency
+    co_await request;                  // MPI_Wait
+    total = std::max(total, ctx.sim().now() - t0);
+  });
+  EXPECT_LT(total, 110e-6);  // ~compute time, barrier hidden
+  EXPECT_GE(total, 100e-6);
+}
+
+TEST(Async, NonblockingAllreduceDeliversResult) {
+  simmpi::World w(topology::testbox(2, 2), 9);
+  std::vector<double> got(4, 0);
+  w.run_all([&](simmpi::RankCtx& ctx) -> Task<void> {
+    auto request = async(ctx.sim(), simmpi::allreduce(ctx.comm_world(),
+                                                      util::vec(1.0 * ctx.rank())));
+    co_await ctx.sim().delay(50e-6);
+    const std::vector<double> result = co_await request;
+    got[static_cast<std::size_t>(ctx.rank())] = result.at(0);
+  });
+  for (double v : got) EXPECT_DOUBLE_EQ(v, 0.0 + 1 + 2 + 3);
+}
+
+TEST(Async, MultipleOutstandingFutures) {
+  Simulation sim;
+  int sum = 0;
+  sim.spawn([](Simulation& s, int* out) -> Task<void> {
+    std::vector<Future<int>> futures;
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(async(s, [](Simulation& s2, int i) -> Task<int> {
+        co_await s2.delay(0.1 * (5 - i));  // complete in reverse order
+        co_return i;
+      }(s, i)));
+    }
+    for (auto& f : futures) *out += co_await f;
+  }(sim, &sum));
+  sim.run();
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4);
+}
+
+}  // namespace
+}  // namespace hcs::sim

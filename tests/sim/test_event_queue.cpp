@@ -1,0 +1,84 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs::sim {
+namespace {
+
+// The queue stores raw handles; for ordering tests a tag pointer works.
+std::coroutine_handle<> tag(std::uintptr_t v) {
+  return std::coroutine_handle<>::from_address(reinterpret_cast<void*>(v));
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(3.0, tag(3));
+  q.push(1.0, tag(1));
+  q.push(2.0, tag(2));
+  EXPECT_EQ(q.pop().time, 1.0);
+  EXPECT_EQ(q.pop().time, 2.0);
+  EXPECT_EQ(q.pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  q.push(1.0, tag(10));
+  q.push(1.0, tag(20));
+  q.push(1.0, tag(30));
+  EXPECT_EQ(q.pop().handle.address(), tag(10).address());
+  EXPECT_EQ(q.pop().handle.address(), tag(20).address());
+  EXPECT_EQ(q.pop().handle.address(), tag(30).address());
+}
+
+TEST(EventQueue, NextTimePeeksWithoutPopping) {
+  EventQueue q;
+  q.push(5.0, tag(1));
+  q.push(2.0, tag(2));
+  EXPECT_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, SizeTracksPushPop) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1.0, tag(1));
+  q.push(2.0, tag(2));
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.push(1.0, tag(1));
+  q.push(2.0, tag(2));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  q.push(4.0, tag(4));
+  q.push(1.0, tag(1));
+  EXPECT_EQ(q.pop().time, 1.0);
+  q.push(2.0, tag(2));
+  q.push(0.5, tag(5));
+  EXPECT_EQ(q.pop().time, 0.5);
+  EXPECT_EQ(q.pop().time, 2.0);
+  EXPECT_EQ(q.pop().time, 4.0);
+}
+
+TEST(EventQueue, ManyEventsSorted) {
+  EventQueue q;
+  for (int i = 999; i >= 0; --i) q.push(static_cast<Time>(i % 97), tag(1));
+  Time last = -1;
+  while (!q.empty()) {
+    const Time t = q.pop().time;
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace hcs::sim

@@ -1,0 +1,125 @@
+// Timing-shape properties of the simulated collectives: the cost model must
+// respond to scale, payload and topology the way the algorithms' complexity
+// says it should — these invariants are what make the figure harnesses
+// meaningful.
+#include <gtest/gtest.h>
+
+#include "simmpi/collectives.hpp"
+#include "topology/presets.hpp"
+#include "util/vec.hpp"
+
+namespace hcs::simmpi {
+namespace {
+
+template <typename Op>
+sim::Time timed(const topology::MachineConfig& machine, std::uint64_t seed, Op op) {
+  World w(machine, seed);
+  sim::Time end = 0;
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    co_await op(ctx);
+    end = std::max(end, ctx.sim().now());
+  });
+  return end;
+}
+
+sim::Time barrier_time(int nodes, BarrierAlgo algo) {
+  return timed(topology::testbox(nodes, 4), 3, [algo](RankCtx& ctx) -> sim::Task<void> {
+    co_await barrier(ctx.comm_world(), algo);
+  });
+}
+
+TEST(CollectiveTiming, LogPBarriersGrowSublinearly) {
+  for (BarrierAlgo algo :
+       {BarrierAlgo::kTree, BarrierAlgo::kBruck, BarrierAlgo::kRecursiveDoubling}) {
+    const sim::Time t8 = barrier_time(8, algo);
+    const sim::Time t32 = barrier_time(32, algo);
+    EXPECT_GT(t32, t8) << to_string(algo);
+    EXPECT_LT(t32, 3.0 * t8) << to_string(algo);  // ~log growth, not 4x
+  }
+}
+
+TEST(CollectiveTiming, LinearAlgorithmsGrowLinearly) {
+  for (BarrierAlgo algo : {BarrierAlgo::kLinear, BarrierAlgo::kDoubleRing}) {
+    const sim::Time t8 = barrier_time(8, algo);
+    const sim::Time t32 = barrier_time(32, algo);
+    EXPECT_GT(t32, 2.5 * t8) << to_string(algo);  // ~4x ranks => ~4x time
+  }
+}
+
+TEST(CollectiveTiming, TreeBarrierBeatsLinearAtScale) {
+  EXPECT_LT(barrier_time(32, BarrierAlgo::kTree), barrier_time(32, BarrierAlgo::kLinear));
+}
+
+TEST(CollectiveTiming, BcastGrowsWithPayload) {
+  auto bcast_time = [](std::int64_t bytes) {
+    return timed(topology::testbox(8, 2), 5, [bytes](RankCtx& ctx) -> sim::Task<void> {
+      (void)co_await bcast(ctx.comm_world(), util::vec(1.0), 0, BcastAlgo::kBinomial, bytes);
+    });
+  };
+  EXPECT_GT(bcast_time(1 << 20), bcast_time(64));
+}
+
+TEST(CollectiveTiming, ScatterAllgatherBcastWinsForLargePayloads) {
+  // The van-de-Geijn motivation: pipeline the payload in chunks instead of
+  // sending the full buffer down every tree edge.
+  auto bcast_time = [](BcastAlgo algo, std::int64_t bytes) {
+    return timed(topology::testbox(16, 1), 7, [algo, bytes](RankCtx& ctx) -> sim::Task<void> {
+      (void)co_await bcast(ctx.comm_world(), util::vec(1.0), 0, algo, bytes);
+    });
+  };
+  const std::int64_t big = 4 << 20;
+  EXPECT_LT(bcast_time(BcastAlgo::kScatterAllgather, big),
+            bcast_time(BcastAlgo::kBinomial, big));
+  // And binomial wins for tiny payloads (fewer rounds, no rotation passes).
+  EXPECT_LT(bcast_time(BcastAlgo::kBinomial, 8), bcast_time(BcastAlgo::kScatterAllgather, 8));
+}
+
+TEST(CollectiveTiming, RabenseifnerBeatsRecursiveDoublingForLargePayloads) {
+  auto allreduce_time = [](AllreduceAlgo algo, std::size_t n) {
+    return timed(topology::testbox(16, 1), 9, [algo, n](RankCtx& ctx) -> sim::Task<void> {
+      (void)co_await allreduce(ctx.comm_world(), std::vector<double>(n, 1.0), ReduceOp::kSum,
+                               algo);
+    });
+  };
+  const std::size_t big = 1 << 17;  // 1 MiB of doubles
+  EXPECT_LT(allreduce_time(AllreduceAlgo::kRabenseifner, big),
+            allreduce_time(AllreduceAlgo::kRecursiveDoubling, big));
+}
+
+TEST(CollectiveTiming, InterNodeSlowerThanIntraNode) {
+  auto pair_time = [](const topology::MachineConfig& m, int peer) {
+    return timed(m, 11, [peer](RankCtx& ctx) -> sim::Task<void> {
+      Comm& comm = ctx.comm_world();
+      if (ctx.rank() == 0) {
+        co_await comm.send(peer, 1, util::vec(1.0));
+        (void)co_await comm.recv(peer, 2);
+      } else if (ctx.rank() == peer) {
+        (void)co_await comm.recv(0, 1);
+        co_await comm.send(0, 2, util::vec(1.0));
+      }
+    });
+  };
+  const auto machine = topology::testbox(2, 2);  // ranks 0,1 node 0; 2,3 node 1
+  EXPECT_LT(pair_time(machine, 1), pair_time(machine, 2));
+}
+
+TEST(CollectiveTiming, NicContentionSlowsSynchronizedBursts) {
+  // Identical machine and traffic; only the per-node NIC serialization gap
+  // changes.  Bursty all-to-all traffic from fat nodes must queue.
+  auto alltoall_time = [](double nic_gap) {
+    auto machine = topology::testbox(2, 8);
+    machine.net.nic_gap = nic_gap;
+    return timed(machine, 13, [](RankCtx& ctx) -> sim::Task<void> {
+      std::vector<double> buf(static_cast<std::size_t>(ctx.comm_world().size()), 1.0);
+      (void)co_await alltoall(ctx.comm_world(), std::move(buf), 1);
+    });
+  };
+  EXPECT_GT(alltoall_time(0.5e-6), 1.5 * alltoall_time(0.0));
+}
+
+TEST(CollectiveTiming, DeterministicAcrossRuns) {
+  EXPECT_EQ(barrier_time(8, BarrierAlgo::kBruck), barrier_time(8, BarrierAlgo::kBruck));
+}
+
+}  // namespace
+}  // namespace hcs::simmpi

@@ -1,0 +1,298 @@
+#include "simmpi/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/vec.hpp"
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "topology/presets.hpp"
+
+namespace hcs::simmpi {
+namespace {
+
+// Communicator sizes chosen to cover powers of two, odd sizes, primes and a
+// single rank; node/core splits vary so collectives cross every link level.
+std::vector<std::pair<int, int>> shapes() {
+  return {{1, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 3}, {3, 1}, {4, 4}, {3, 5}, {4, 8}};
+}
+
+class CollectiveShapes : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  int world_size() const { return GetParam().first * GetParam().second; }
+  World make() const { return World(topology::testbox(GetParam().first, GetParam().second), 17); }
+};
+
+// ----------------------------------------------------------------- barrier --
+
+class BarrierTest
+    : public ::testing::TestWithParam<std::tuple<std::pair<int, int>, BarrierAlgo>> {};
+
+TEST_P(BarrierTest, CompletesAndActuallySynchronizes) {
+  const auto [shape, algo] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 23);
+  const int p = w.size();
+  std::vector<sim::Time> enter(static_cast<std::size_t>(p)), exit(static_cast<std::size_t>(p));
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    // Stagger arrivals so the barrier has real work to do.
+    co_await ctx.sim().delay(0.001 * ctx.rank());
+    enter[static_cast<std::size_t>(ctx.rank())] = ctx.sim().now();
+    co_await barrier(ctx.comm_world(), algo);
+    exit[static_cast<std::size_t>(ctx.rank())] = ctx.sim().now();
+  });
+  // Barrier property: nobody exits before the last process entered.
+  const sim::Time last_enter = *std::max_element(enter.begin(), enter.end());
+  for (int r = 0; r < p; ++r) {
+    EXPECT_GE(exit[static_cast<std::size_t>(r)], last_enter) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllShapes, BarrierTest,
+    ::testing::Combine(::testing::ValuesIn(shapes()),
+                       ::testing::Values(BarrierAlgo::kLinear, BarrierAlgo::kTree,
+                                         BarrierAlgo::kDoubleRing, BarrierAlgo::kBruck,
+                                         BarrierAlgo::kRecursiveDoubling)));
+
+// ------------------------------------------------------------------- bcast --
+
+class BcastTest : public ::testing::TestWithParam<std::tuple<std::pair<int, int>, BcastAlgo, int>> {
+};
+
+TEST_P(BcastTest, EveryRankReceivesRootPayload) {
+  const auto [shape, algo, root_sel] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 29);
+  const int p = w.size();
+  const int root = root_sel % p;
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  w.run_all([&, root](RankCtx& ctx) -> sim::Task<void> {
+    std::vector<double> data;
+    if (ctx.rank() == root) data = {3.14, 2.71, static_cast<double>(root)};
+    results[static_cast<std::size_t>(ctx.rank())] =
+        co_await bcast(ctx.comm_world(), std::move(data), root, algo);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              (std::vector<double>{3.14, 2.71, static_cast<double>(root)}))
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllShapes, BcastTest,
+    ::testing::Combine(::testing::ValuesIn(shapes()),
+                       ::testing::Values(BcastAlgo::kBinomial, BcastAlgo::kLinear,
+                                         BcastAlgo::kChain, BcastAlgo::kScatterAllgather),
+                       ::testing::Values(0, 1)));
+
+// --------------------------------------------------------------- reduce ----
+
+class ReduceTest
+    : public ::testing::TestWithParam<std::tuple<std::pair<int, int>, ReduceAlgo, ReduceOp>> {};
+
+TEST_P(ReduceTest, RootGetsElementwiseResult) {
+  const auto [shape, algo, op] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 31);
+  const int p = w.size();
+  std::vector<double> at_root;
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    const double r = static_cast<double>(ctx.rank());
+    std::vector<double> out =
+        co_await reduce(ctx.comm_world(), util::vec(r, -r, 1.0), op, 0, algo);
+    if (ctx.rank() == 0) at_root = std::move(out);
+  });
+  ASSERT_EQ(at_root.size(), 3u);
+  switch (op) {
+    case ReduceOp::kSum: {
+      const double s = static_cast<double>(p) * (p - 1) / 2.0;
+      EXPECT_DOUBLE_EQ(at_root[0], s);
+      EXPECT_DOUBLE_EQ(at_root[1], -s);
+      EXPECT_DOUBLE_EQ(at_root[2], static_cast<double>(p));
+      break;
+    }
+    case ReduceOp::kMin:
+      EXPECT_DOUBLE_EQ(at_root[0], 0.0);
+      EXPECT_DOUBLE_EQ(at_root[1], -static_cast<double>(p - 1));
+      break;
+    case ReduceOp::kMax:
+      EXPECT_DOUBLE_EQ(at_root[0], static_cast<double>(p - 1));
+      EXPECT_DOUBLE_EQ(at_root[1], 0.0);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllShapes, ReduceTest,
+    ::testing::Combine(::testing::ValuesIn(shapes()),
+                       ::testing::Values(ReduceAlgo::kBinomial, ReduceAlgo::kLinear),
+                       ::testing::Values(ReduceOp::kSum, ReduceOp::kMin, ReduceOp::kMax)));
+
+// -------------------------------------------------------------- allreduce --
+
+class AllreduceTest
+    : public ::testing::TestWithParam<std::tuple<std::pair<int, int>, AllreduceAlgo>> {};
+
+TEST_P(AllreduceTest, EveryRankGetsSum) {
+  const auto [shape, algo] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 37);
+  const int p = w.size();
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    const double r = static_cast<double>(ctx.rank());
+    results[static_cast<std::size_t>(ctx.rank())] =
+        co_await allreduce(ctx.comm_world(), util::vec(1.0, r), ReduceOp::kSum, algo);
+  });
+  const double s = static_cast<double>(p) * (p - 1) / 2.0;
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(results[static_cast<std::size_t>(r)].size(), 2u);
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)][0], static_cast<double>(p));
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)][1], s);
+  }
+}
+
+TEST_P(AllreduceTest, MaxOpWorks) {
+  const auto [shape, algo] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 41);
+  const int p = w.size();
+  std::vector<double> mins(static_cast<std::size_t>(p), 1e9);
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    const double r = static_cast<double>(ctx.rank());
+    const auto out = co_await allreduce(ctx.comm_world(), util::vec(r), ReduceOp::kMax, algo);
+    mins[static_cast<std::size_t>(ctx.rank())] = out.at(0);
+  });
+  for (double v : mins) EXPECT_DOUBLE_EQ(v, static_cast<double>(p - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllShapes, AllreduceTest,
+    ::testing::Combine(::testing::ValuesIn(shapes()),
+                       ::testing::Values(AllreduceAlgo::kRecursiveDoubling, AllreduceAlgo::kRing,
+                                         AllreduceAlgo::kReduceBcast,
+                                         AllreduceAlgo::kRabenseifner)));
+
+// ------------------------------------------------- gather/scatter/allgather --
+
+class GatherScatterTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GatherScatterTest, GatherLinearAndBinomialAgree) {
+  for (GatherAlgo algo : {GatherAlgo::kLinear, GatherAlgo::kBinomial}) {
+    World w(topology::testbox(GetParam().first, GetParam().second), 43);
+    const int p = w.size();
+    std::vector<double> at_root;
+    w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+      const double r = static_cast<double>(ctx.rank());
+      auto out = co_await gather(ctx.comm_world(), util::vec(r, 10.0 * r), 0, algo);
+      if (ctx.rank() == 0) at_root = std::move(out);
+    });
+    ASSERT_EQ(at_root.size(), static_cast<std::size_t>(2 * p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_DOUBLE_EQ(at_root[static_cast<std::size_t>(2 * r)], r);
+      EXPECT_DOUBLE_EQ(at_root[static_cast<std::size_t>(2 * r + 1)], 10.0 * r);
+    }
+  }
+}
+
+TEST_P(GatherScatterTest, GatherToNonzeroRoot) {
+  World w(topology::testbox(GetParam().first, GetParam().second), 47);
+  const int p = w.size();
+  const int root = (p > 1) ? 1 : 0;
+  std::vector<double> at_root;
+  w.run_all([&, root](RankCtx& ctx) -> sim::Task<void> {
+    auto out = co_await gather(ctx.comm_world(), util::vec(static_cast<double>(ctx.rank())), root,
+                               GatherAlgo::kBinomial);
+    if (ctx.rank() == root) at_root = std::move(out);
+  });
+  ASSERT_EQ(at_root.size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) EXPECT_DOUBLE_EQ(at_root[static_cast<std::size_t>(r)], r);
+}
+
+TEST_P(GatherScatterTest, ScatterDistributesChunks) {
+  for (ScatterAlgo algo : {ScatterAlgo::kLinear, ScatterAlgo::kBinomial}) {
+    World w(topology::testbox(GetParam().first, GetParam().second), 53);
+    const int p = w.size();
+    const int root = (p > 2) ? 2 : 0;
+    std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+    w.run_all([&, root](RankCtx& ctx) -> sim::Task<void> {
+      std::vector<double> all;
+      if (ctx.rank() == root) {
+        all.resize(static_cast<std::size_t>(2 * p));
+        std::iota(all.begin(), all.end(), 0.0);
+      }
+      got[static_cast<std::size_t>(ctx.rank())] =
+          co_await scatter(ctx.comm_world(), std::move(all), 2, root, algo);
+    });
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)],
+                (std::vector<double>{2.0 * r, 2.0 * r + 1}))
+          << "algo=" << static_cast<int>(algo) << " rank " << r;
+    }
+  }
+}
+
+TEST_P(GatherScatterTest, AllgatherBothAlgorithms) {
+  for (AllgatherAlgo algo : {AllgatherAlgo::kBruck, AllgatherAlgo::kRing}) {
+    World w(topology::testbox(GetParam().first, GetParam().second), 59);
+    const int p = w.size();
+    std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+    w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+      got[static_cast<std::size_t>(ctx.rank())] =
+          co_await allgather(ctx.comm_world(), util::vec(100 + ctx.rank()), algo);
+    });
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), static_cast<std::size_t>(p));
+      for (int i = 0; i < p; ++i) {
+        EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)], 100 + i);
+      }
+    }
+  }
+}
+
+TEST_P(GatherScatterTest, AlltoallTransposesBlocks) {
+  World w(topology::testbox(GetParam().first, GetParam().second), 61);
+  const int p = w.size();
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    std::vector<double> sendbuf(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      sendbuf[static_cast<std::size_t>(j)] = 100.0 * ctx.rank() + j;
+    }
+    got[static_cast<std::size_t>(ctx.rank())] =
+        co_await alltoall(ctx.comm_world(), std::move(sendbuf), 1);
+  });
+  for (int r = 0; r < p; ++r) {
+    for (int j = 0; j < p; ++j) {
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)],
+                       100.0 * j + r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GatherScatterTest, ::testing::ValuesIn(shapes()));
+
+// ------------------------------------------------------------ error paths --
+
+TEST(CollectiveErrors, BadRootRejected) {
+  World w(topology::testbox(1, 2), 3);
+  w.launch([](RankCtx& ctx) -> sim::Task<void> {
+    if (ctx.rank() == 0) {
+      co_await bcast(ctx.comm_world(), util::vec(1.0), 5);
+    }
+  });
+  EXPECT_THROW(w.run(), std::invalid_argument);
+}
+
+TEST(CollectiveErrors, MismatchedReductionLengths) {
+  World w(topology::testbox(1, 2), 3);
+  w.launch([](RankCtx& ctx) -> sim::Task<void> {
+    std::vector<double> mine(ctx.rank() == 0 ? 2 : 3, 1.0);
+    co_await allreduce(ctx.comm_world(), std::move(mine), ReduceOp::kSum,
+                       AllreduceAlgo::kRecursiveDoubling);
+  });
+  EXPECT_THROW(w.run(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hcs::simmpi

@@ -1,0 +1,132 @@
+#include "simmpi/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "topology/presets.hpp"
+#include "util/vec.hpp"
+
+namespace hcs::simmpi {
+namespace {
+
+std::vector<std::pair<int, int>> shapes() {
+  return {{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 5}, {4, 4}};
+}
+
+class ReduceScatterTest
+    : public ::testing::TestWithParam<std::tuple<std::pair<int, int>, ReduceScatterAlgo>> {};
+
+TEST_P(ReduceScatterTest, EachRankGetsItsReducedChunk) {
+  const auto [shape, algo] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 7);
+  const int p = w.size();
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    // Rank r contributes value (r + 1) * (j + 1) for chunk j's two slots.
+    std::vector<double> data(static_cast<std::size_t>(2 * p));
+    for (int j = 0; j < p; ++j) {
+      data[static_cast<std::size_t>(2 * j)] = (ctx.rank() + 1) * (j + 1);
+      data[static_cast<std::size_t>(2 * j + 1)] = ctx.rank();
+    }
+    got[static_cast<std::size_t>(ctx.rank())] =
+        co_await reduce_scatter(ctx.comm_world(), std::move(data), 2, ReduceOp::kSum, algo);
+  });
+  const double rank_sum = static_cast<double>(p) * (p + 1) / 2.0;  // sum of (r+1)
+  const double rank_sum0 = static_cast<double>(p) * (p - 1) / 2.0;  // sum of r
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), 2u) << "rank " << r;
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][0], rank_sum * (r + 1)) << "rank " << r;
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][1], rank_sum0) << "rank " << r;
+  }
+}
+
+TEST_P(ReduceScatterTest, MinOp) {
+  const auto [shape, algo] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 9);
+  const int p = w.size();
+  std::vector<double> mine_at_last;
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    std::vector<double> data(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      data[static_cast<std::size_t>(j)] = 100.0 - ctx.rank() + j;
+    }
+    auto out = co_await reduce_scatter(ctx.comm_world(), std::move(data), 1, ReduceOp::kMin, algo);
+    if (ctx.rank() == p - 1) mine_at_last = std::move(out);
+  });
+  // min over r of (100 - r + j) at j = p-1 is 100 - (p-1) + (p-1) = 100.
+  ASSERT_EQ(mine_at_last.size(), 1u);
+  EXPECT_DOUBLE_EQ(mine_at_last[0], 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllShapes, ReduceScatterTest,
+    ::testing::Combine(::testing::ValuesIn(shapes()),
+                       ::testing::Values(ReduceScatterAlgo::kRing,
+                                         ReduceScatterAlgo::kReduceThenScatter)));
+
+TEST(ReduceScatterErrors, WrongBufferSizeRejected) {
+  World w(topology::testbox(1, 2), 3);
+  w.launch([](RankCtx& ctx) -> sim::Task<void> {
+    (void)co_await reduce_scatter(ctx.comm_world(), util::vec(1.0), 1, ReduceOp::kSum);
+  });
+  EXPECT_THROW(w.run(), std::invalid_argument);
+}
+
+class ScanTest : public ::testing::TestWithParam<std::tuple<std::pair<int, int>, ScanAlgo>> {};
+
+TEST_P(ScanTest, InclusivePrefixSum) {
+  const auto [shape, algo] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 11);
+  const int p = w.size();
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    got[static_cast<std::size_t>(ctx.rank())] = co_await scan(
+        ctx.comm_world(), util::vec(ctx.rank() + 1.0, 1.0), ReduceOp::kSum, algo);
+  });
+  for (int r = 0; r < p; ++r) {
+    const double prefix = static_cast<double>(r + 1) * (r + 2) / 2.0;  // 1+2+..+(r+1)
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), 2u);
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][0], prefix) << "rank " << r;
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)][1], r + 1.0) << "rank " << r;
+  }
+}
+
+TEST_P(ScanTest, MaxOpPrefix) {
+  const auto [shape, algo] = GetParam();
+  World w(topology::testbox(shape.first, shape.second), 13);
+  const int p = w.size();
+  std::vector<double> got(static_cast<std::size_t>(p));
+  w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+    // Values zig-zag; prefix max at rank r is max over 0..r.
+    const double x = (ctx.rank() % 2 == 0) ? ctx.rank() : -ctx.rank();
+    const auto out = co_await scan(ctx.comm_world(), util::vec(x), ReduceOp::kMax, algo);
+    got[static_cast<std::size_t>(ctx.rank())] = out.at(0);
+  });
+  double running = -1e9;
+  for (int r = 0; r < p; ++r) {
+    running = std::max(running, (r % 2 == 0) ? static_cast<double>(r) : -static_cast<double>(r));
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)], running) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllShapes, ScanTest,
+    ::testing::Combine(::testing::ValuesIn(shapes()),
+                       ::testing::Values(ScanAlgo::kLinear, ScanAlgo::kRecursiveDoubling)));
+
+TEST(ScanTiming, RecursiveDoublingFasterThanLinearAtScale) {
+  auto timed = [](ScanAlgo algo) {
+    World w(topology::testbox(16, 4), 17);
+    sim::Time end = 0;
+    w.run_all([&](RankCtx& ctx) -> sim::Task<void> {
+      (void)co_await scan(ctx.comm_world(), util::vec(1.0), ReduceOp::kSum, algo);
+      end = std::max(end, ctx.sim().now());
+    });
+    return end;
+  };
+  EXPECT_LT(timed(ScanAlgo::kRecursiveDoubling), timed(ScanAlgo::kLinear));
+}
+
+}  // namespace
+}  // namespace hcs::simmpi

@@ -1,0 +1,80 @@
+#include "topology/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs::topology {
+namespace {
+
+TEST(Presets, JupiterMatchesTableI) {
+  const MachineConfig m = jupiter();
+  EXPECT_EQ(m.name, "Jupiter");
+  EXPECT_EQ(m.topo.nodes(), 36);
+  EXPECT_EQ(m.topo.sockets_per_node(), 2);
+  EXPECT_EQ(m.topo.cores_per_socket(), 8);
+  // Paper: ping-pong (RTT) latency 3-4 us on this network => one-way ~1.6 us.
+  EXPECT_NEAR(m.net.inter_node.base_latency, 1.6e-6, 0.3e-6);
+}
+
+TEST(Presets, HydraMatchesTableI) {
+  const MachineConfig m = hydra();
+  EXPECT_EQ(m.topo.nodes(), 36);
+  EXPECT_EQ(m.topo.ranks_per_node(), 32);
+  // OmniPath is faster than Jupiter's InfiniBand QDR in the paper.
+  EXPECT_LT(m.net.inter_node.base_latency, jupiter().net.inter_node.base_latency);
+  // And Hydra's drift changes faster (paper §III-C3).
+  EXPECT_GT(m.clocks.skew_walk_sd, jupiter().clocks.skew_walk_sd);
+}
+
+TEST(Presets, TitanMatchesTableI) {
+  const MachineConfig m = titan();
+  EXPECT_EQ(m.topo.nodes(), 1024);
+  EXPECT_EQ(m.topo.ranks_per_node(), 16);
+  EXPECT_EQ(m.topo.total_ranks(), 16384);
+  // Fatter jitter (Gemini torus) than the other machines' fabrics, and a
+  // heavy-tail spike component (Fig. 6 outlier discussion).
+  EXPECT_GT(m.net.inter_node.jitter_mean, hydra().net.inter_node.jitter_mean);
+  EXPECT_GT(m.net.inter_node.spike_prob, 0.0);
+  // Host injection rate drives the Fig. 9 growth with message size.
+  EXPECT_GT(m.net.nic_per_byte, 0.0);
+}
+
+TEST(Presets, AllSharePerNodeTimeSource) {
+  for (const MachineConfig& m : {jupiter(), hydra(), titan()}) {
+    EXPECT_EQ(m.topo.time_source_scope(), TimeSourceScope::kPerNode) << m.name;
+  }
+}
+
+TEST(Presets, WithNodesResizesOnlyNodeCount) {
+  const MachineConfig m = jupiter().with_nodes(32);
+  EXPECT_EQ(m.topo.nodes(), 32);
+  EXPECT_EQ(m.topo.total_ranks(), 512);  // the paper's "32 x 16 processes"
+  EXPECT_EQ(m.topo.sockets_per_node(), 2);
+  EXPECT_EQ(m.name, "Jupiter");
+}
+
+TEST(Presets, WithTimeSourceChangesScope) {
+  const MachineConfig m = jupiter().with_time_source(TimeSourceScope::kPerCore);
+  EXPECT_EQ(m.topo.time_source_scope(), TimeSourceScope::kPerCore);
+  EXPECT_EQ(m.topo.num_time_sources(), m.topo.total_ranks());
+}
+
+TEST(Presets, TestboxShape) {
+  const MachineConfig m = testbox(4, 3);
+  EXPECT_EQ(m.topo.nodes(), 4);
+  EXPECT_EQ(m.topo.total_ranks(), 12);
+  EXPECT_EQ(m.net.inter_node.spike_prob, 0.0);  // no outliers in unit tests
+}
+
+TEST(Presets, DescribeIncludesMpiLabel) {
+  EXPECT_NE(titan().describe().find("cray-mpich"), std::string::npos);
+}
+
+TEST(Presets, LinkHierarchyOrdering) {
+  for (const MachineConfig& m : {jupiter(), hydra(), titan(), testbox(2, 2)}) {
+    EXPECT_LT(m.net.intra_socket.base_latency, m.net.intra_node.base_latency) << m.name;
+    EXPECT_LT(m.net.intra_node.base_latency, m.net.inter_node.base_latency) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace hcs::topology

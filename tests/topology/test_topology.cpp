@@ -1,0 +1,88 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs::topology {
+namespace {
+
+TEST(Topology, DimensionsAndCounts) {
+  const ClusterTopology t(4, 2, 8);
+  EXPECT_EQ(t.nodes(), 4);
+  EXPECT_EQ(t.sockets_per_node(), 2);
+  EXPECT_EQ(t.cores_per_socket(), 8);
+  EXPECT_EQ(t.ranks_per_node(), 16);
+  EXPECT_EQ(t.total_ranks(), 64);
+}
+
+TEST(Topology, RejectsBadDimensions) {
+  EXPECT_THROW(ClusterTopology(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ClusterTopology(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ClusterTopology(1, 1, -1), std::invalid_argument);
+}
+
+TEST(Topology, BlockwisePlacement) {
+  const ClusterTopology t(2, 2, 4);  // 8 ranks/node
+  const RankLocation loc = t.locate(13);  // node 1, in-node 5
+  EXPECT_EQ(loc.node, 1);
+  EXPECT_EQ(loc.socket_in_node, 1);
+  EXPECT_EQ(loc.core_in_socket, 1);
+  EXPECT_EQ(loc.socket, 3);
+  EXPECT_EQ(loc.core, 13);
+}
+
+TEST(Topology, LocateRejectsOutOfRange) {
+  const ClusterTopology t(2, 1, 2);
+  EXPECT_THROW(t.locate(-1), std::out_of_range);
+  EXPECT_THROW(t.locate(4), std::out_of_range);
+}
+
+TEST(Topology, SameNodeSameSocketPredicates) {
+  const ClusterTopology t(2, 2, 2);
+  EXPECT_TRUE(t.same_node(0, 3));
+  EXPECT_FALSE(t.same_node(0, 4));
+  EXPECT_TRUE(t.same_socket(0, 1));
+  EXPECT_FALSE(t.same_socket(1, 2));  // socket boundary inside node 0
+}
+
+TEST(Topology, TimeSourcePerNode) {
+  const ClusterTopology t(3, 2, 2, TimeSourceScope::kPerNode);
+  EXPECT_EQ(t.num_time_sources(), 3);
+  EXPECT_EQ(t.time_source_id(0), 0);
+  EXPECT_EQ(t.time_source_id(3), 0);
+  EXPECT_EQ(t.time_source_id(4), 1);
+  EXPECT_EQ(t.time_source_id(11), 2);
+}
+
+TEST(Topology, TimeSourcePerSocket) {
+  const ClusterTopology t(2, 2, 2, TimeSourceScope::kPerSocket);
+  EXPECT_EQ(t.num_time_sources(), 4);
+  EXPECT_EQ(t.time_source_id(0), 0);
+  EXPECT_EQ(t.time_source_id(2), 1);
+  EXPECT_EQ(t.time_source_id(5), 2);
+}
+
+TEST(Topology, TimeSourcePerCore) {
+  const ClusterTopology t(2, 1, 3, TimeSourceScope::kPerCore);
+  EXPECT_EQ(t.num_time_sources(), 6);
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(t.time_source_id(r), r);
+}
+
+TEST(Topology, DescribeMentionsShape) {
+  const ClusterTopology t(36, 2, 8);
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("36 nodes"), std::string::npos);
+  EXPECT_NE(d.find("576 ranks"), std::string::npos);
+}
+
+TEST(Topology, EveryRankHasConsistentLocation) {
+  const ClusterTopology t(3, 2, 4);
+  for (int r = 0; r < t.total_ranks(); ++r) {
+    const RankLocation loc = t.locate(r);
+    EXPECT_EQ(loc.node * t.ranks_per_node() +
+                  loc.socket_in_node * t.cores_per_socket() + loc.core_in_socket,
+              r);
+  }
+}
+
+}  // namespace
+}  // namespace hcs::topology

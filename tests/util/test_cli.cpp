@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace hcs::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args, std::vector<std::string> flags = {}) {
+  std::vector<const char*> argv(args);
+  return Cli(static_cast<int>(argv.size()), argv.data(), std::move(flags));
+}
+
+TEST(Cli, ParsesKeyValuePairs) {
+  const Cli cli = make({"prog", "--seed", "7", "--name", "jupiter"});
+  EXPECT_EQ(cli.get_int("seed", 0), 7);
+  EXPECT_EQ(cli.get("name", ""), "jupiter");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const Cli cli = make({"prog", "--scale=0.5", "--out=x.csv"});
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(cli.get("out", ""), "x.csv");
+}
+
+TEST(Cli, BooleanFlags) {
+  const Cli cli = make({"prog", "--csv", "--seed", "3"}, {"csv"});
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_EQ(cli.get_int("seed", 0), 3);
+}
+
+TEST(Cli, TrailingFlagWithoutValue) {
+  const Cli cli = make({"prog", "--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get("verbose", ""), "1");
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make({"prog", "alpha", "--k", "v", "beta"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.positional()[1], "beta");
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const Cli cli = make({"prog"});
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(cli.get_int("missing", -4), -4);
+  EXPECT_EQ(cli.seed(123), 123u);
+}
+
+TEST(Cli, ScaleFromCommandLineBeatsEnv) {
+  ::setenv("HCLOCKSYNC_SCALE", "0.25", 1);
+  const Cli cli = make({"prog", "--scale", "0.5"});
+  EXPECT_DOUBLE_EQ(cli.scale(), 0.5);
+  ::unsetenv("HCLOCKSYNC_SCALE");
+}
+
+TEST(Cli, ScaleFromEnv) {
+  ::setenv("HCLOCKSYNC_SCALE", "0.125", 1);
+  const Cli cli = make({"prog"});
+  EXPECT_DOUBLE_EQ(cli.scale(), 0.125);
+  ::unsetenv("HCLOCKSYNC_SCALE");
+}
+
+TEST(Cli, ScaleOutOfRangeThrows) {
+  const Cli cli = make({"prog", "--scale", "0"});
+  EXPECT_THROW(cli.scale(), std::invalid_argument);
+  const Cli cli2 = make({"prog", "--scale", "9"});
+  EXPECT_THROW(cli2.scale(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hcs::util

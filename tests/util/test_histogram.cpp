@@ -1,0 +1,76 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hcs::util {
+namespace {
+
+TEST(Histogram, EmptySample) {
+  const Histogram h = make_histogram(std::vector<double>{}, 5);
+  EXPECT_TRUE(h.counts.empty());
+  EXPECT_EQ(h.total, 0u);
+}
+
+TEST(Histogram, RejectsBadBinCount) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(make_histogram(xs, 0), std::invalid_argument);
+}
+
+TEST(Histogram, CountsSumToTotal) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Histogram h = make_histogram(xs, 4);
+  std::size_t sum = 0;
+  for (auto c : h.counts) sum += c;
+  EXPECT_EQ(sum, xs.size());
+  EXPECT_EQ(h.total, xs.size());
+}
+
+TEST(Histogram, UniformDataSplitsEvenly) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i));
+  const Histogram h = make_histogram(xs, 4);
+  ASSERT_EQ(h.counts.size(), 4u);
+  for (auto c : h.counts) EXPECT_EQ(c, 25u);
+}
+
+TEST(Histogram, MaxValueLandsInLastBin) {
+  const std::vector<double> xs = {0.0, 1.0};
+  const Histogram h = make_histogram(xs, 2);
+  EXPECT_EQ(h.counts.front(), 1u);
+  EXPECT_EQ(h.counts.back(), 1u);
+}
+
+TEST(Histogram, ConstantSampleSingleBin) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  const Histogram h = make_histogram(xs, 3);
+  EXPECT_EQ(h.counts[0], 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  const std::vector<double> xs = {0.0, 10.0};
+  const Histogram h = make_histogram(xs, 5);
+  EXPECT_DOUBLE_EQ(h.bin_left(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(5), 10.0);
+}
+
+TEST(Histogram, PrintsOneLinePerBinWithBars) {
+  std::vector<double> xs;
+  for (int i = 0; i < 30; ++i) xs.push_back(i < 20 ? 1.0 : 2.0);
+  const Histogram h = make_histogram(xs, 2);
+  std::ostringstream os;
+  print_histogram(os, h, 10);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bin full width
+}
+
+TEST(Histogram, EmptyPrintIsGraceful) {
+  std::ostringstream os;
+  print_histogram(os, Histogram{}, 10);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcs::util

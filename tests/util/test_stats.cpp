@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hcs::util {
+namespace {
+
+TEST(Stats, EmptySampleIsAllZero) {
+  const std::vector<double> xs;
+  EXPECT_EQ(mean(xs), 0.0);
+  EXPECT_EQ(stddev(xs), 0.0);
+  EXPECT_EQ(median(xs), 0.0);
+  EXPECT_EQ(min(xs), 0.0);
+  EXPECT_EQ(max(xs), 0.0);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 0u);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 42.0);
+  EXPECT_DOUBLE_EQ(median(xs), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 42.0);
+  EXPECT_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);  // sample (n-1) stddev
+}
+
+TEST(Stats, MedianEvenAndOdd) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 7.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 30.0);
+}
+
+TEST(Stats, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -3.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 7.0), 2.0);
+}
+
+TEST(Stats, QuantileUnsortedInputHandled) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+  EXPECT_DOUBLE_EQ(min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 9.0);
+}
+
+TEST(Stats, SummaryMatchesPieces) {
+  const std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Stats, SummaryToStringMentionsFields) {
+  const Summary s = summarize(std::vector<double>{1.0, 2.0});
+  const std::string str = to_string(s, "us");
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+  EXPECT_NE(str.find("med="), std::string::npos);
+  EXPECT_NE(str.find("us"), std::string::npos);
+}
+
+TEST(Stats, NegativeValues) {
+  const std::vector<double> xs = {-5.0, -1.0, -3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), -3.0);
+  EXPECT_DOUBLE_EQ(min(xs), -5.0);
+  EXPECT_DOUBLE_EQ(max(xs), -1.0);
+}
+
+}  // namespace
+}  // namespace hcs::util

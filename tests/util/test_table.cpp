@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hcs::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"k", "v"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"k"});
+  t.add_row({"plain"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "k\nplain\n");
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, MicrosecondsConversion) {
+  EXPECT_EQ(fmt_us(1.5e-6, 1), "1.5");
+  EXPECT_EQ(fmt_us(2e-3, 0), "2000");
+}
+
+}  // namespace
+}  // namespace hcs::util

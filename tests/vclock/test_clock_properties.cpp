@@ -1,0 +1,100 @@
+// Property-style sweeps over the clock layer: for a grid of drift parameters
+// and seeds, the invariants every other layer relies on must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sim/simulation.hpp"
+#include "vclock/global_clock.hpp"
+#include "vclock/hardware_clock.hpp"
+
+namespace hcs::vclock {
+namespace {
+
+using Params = std::tuple<double /*skew_abs*/, double /*walk_sd*/, std::uint64_t /*seed*/>;
+
+class ClockPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  topology::ClockDriftParams drift() const {
+    const auto& [skew, walk, seed] = GetParam();
+    (void)seed;
+    topology::ClockDriftParams p;
+    p.initial_offset_abs = 5e-3;
+    p.base_skew_abs = skew;
+    p.skew_walk_sd = walk;
+    p.skew_segment_s = 2.0;
+    p.read_noise_sd = 10e-9;
+    p.read_resolution = 1e-9;
+    return p;
+  }
+  std::uint64_t seed() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(ClockPropertyTest, ExactMappingStrictlyIncreasing) {
+  sim::Simulation sim;
+  HardwareClock clk(sim, drift(), seed());
+  double last = clk.at_exact(0.0);
+  for (double t = 0.05; t < 30.0; t += 0.05) {
+    const double v = clk.at_exact(t);
+    ASSERT_GT(v, last) << "t=" << t;
+    last = v;
+  }
+}
+
+TEST_P(ClockPropertyTest, RateStaysWithinPlausibleBounds) {
+  // d(local)/d(true) must stay within 1 +- (skew + a generous walk margin):
+  // a clock that races or stalls would break every offset estimator.
+  sim::Simulation sim;
+  HardwareClock clk(sim, drift(), seed());
+  const auto& [skew, walk, _] = GetParam();
+  const double bound = skew + 40.0 * walk + 1e-9;
+  for (double t = 0.0; t < 60.0; t += 1.0) {
+    const double rate = (clk.at_exact(t + 1.0) - clk.at_exact(t)) / 1.0;
+    EXPECT_NEAR(rate, 1.0, bound) << "t=" << t;
+  }
+}
+
+TEST_P(ClockPropertyTest, InverseRoundTripsThroughDecorators) {
+  sim::Simulation sim;
+  auto hw = std::make_shared<HardwareClock>(sim, drift(), seed());
+  auto g = std::make_shared<GlobalClockLM>(
+      std::make_shared<GlobalClockLM>(hw, LinearModel{2e-6, -3e-6}),
+      LinearModel{-1e-6, 4e-6});
+  for (double t : {0.3, 7.7, 29.9}) {
+    const double v = g->at_exact(t);
+    EXPECT_NEAR(g->true_time_of(v, 0.0, 1.0), t, 1e-9);
+  }
+}
+
+TEST_P(ClockPropertyTest, FlattenUnflattenPreservesBehaviourUnderAnyDrift) {
+  sim::Simulation sim;
+  auto hw = std::make_shared<HardwareClock>(sim, drift(), seed());
+  ClockPtr chain = hw;
+  for (int level = 0; level < 3; ++level) {
+    chain = std::make_shared<GlobalClockLM>(
+        chain, LinearModel{(level + 1) * 1e-6, (level - 1) * 2e-6});
+  }
+  const ClockPtr rebuilt = unflatten_clock(hw, flatten_clock(chain));
+  for (double t : {0.0, 11.1, 44.4}) {
+    EXPECT_NEAR(rebuilt->at_exact(t), chain->at_exact(t), 1e-12);
+  }
+}
+
+TEST_P(ClockPropertyTest, NoisyReadsCenterOnExactMapping) {
+  sim::Simulation sim;
+  HardwareClock clk(sim, drift(), seed());
+  double acc = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) acc += clk.at(3.0) - clk.at_exact(3.0);
+  EXPECT_LT(std::abs(acc / n), 5e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DriftGrid, ClockPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 1e-6, 10e-6),    // base skew
+                       ::testing::Values(0.0, 0.02e-6, 0.2e-6),  // walk sd
+                       ::testing::Values(1u, 42u, 1234u)));      // seeds
+
+}  // namespace
+}  // namespace hcs::vclock

@@ -1,0 +1,113 @@
+#include "vclock/global_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "vclock/hardware_clock.hpp"
+
+namespace hcs::vclock {
+namespace {
+
+topology::ClockDriftParams noiseless() {
+  topology::ClockDriftParams p;
+  p.initial_offset_abs = 1e-3;
+  p.base_skew_abs = 1e-6;
+  p.skew_walk_sd = 0.0;
+  p.read_noise_sd = 0.0;
+  p.read_resolution = 0.0;
+  return p;
+}
+
+class GlobalClockTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  ClockPtr hw_ = std::make_shared<HardwareClock>(sim_, noiseless(), 3);
+};
+
+TEST_F(GlobalClockTest, IdentityWrapperMatchesBase) {
+  const ClockPtr g = GlobalClockLM::identity(hw_);
+  for (double t : {0.0, 5.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(g->at_exact(t), hw_->at_exact(t));
+  }
+}
+
+TEST_F(GlobalClockTest, AppliesModelOnTopOfBase) {
+  const LinearModel lm{2e-6, -1e-6};
+  GlobalClockLM g(hw_, lm);
+  for (double t : {0.0, 7.0, 42.0}) {
+    EXPECT_DOUBLE_EQ(g.at_exact(t), lm.apply(hw_->at_exact(t)));
+  }
+}
+
+TEST_F(GlobalClockTest, NullBaseRejected) {
+  EXPECT_THROW(GlobalClockLM(nullptr, LinearModel{}), std::invalid_argument);
+}
+
+TEST_F(GlobalClockTest, NestingComposes) {
+  const LinearModel inner{1e-6, 3e-6};
+  const LinearModel outer{-2e-6, 5e-6};
+  auto mid = std::make_shared<GlobalClockLM>(hw_, inner);
+  GlobalClockLM top(mid, outer);
+  for (double t : {0.0, 11.0}) {
+    EXPECT_DOUBLE_EQ(top.at_exact(t), outer.apply(inner.apply(hw_->at_exact(t))));
+  }
+}
+
+TEST_F(GlobalClockTest, AdjustInterceptShiftsOutput) {
+  GlobalClockLM g(hw_, LinearModel{0.0, 0.0});
+  const double before = g.at_exact(10.0);
+  g.adjust_intercept(4e-6);
+  EXPECT_DOUBLE_EQ(g.at_exact(10.0), before + 4e-6);
+}
+
+TEST_F(GlobalClockTest, FlattenEncodesChainOutermostFirst) {
+  auto mid = std::make_shared<GlobalClockLM>(hw_, LinearModel{1e-6, 2e-6});
+  auto top = std::make_shared<GlobalClockLM>(mid, LinearModel{3e-6, 4e-6});
+  const std::vector<double> buf = flatten_clock(top);
+  ASSERT_EQ(buf.size(), 5u);
+  EXPECT_DOUBLE_EQ(buf[0], 2.0);
+  EXPECT_DOUBLE_EQ(buf[1], 3e-6);  // outermost slope first
+  EXPECT_DOUBLE_EQ(buf[2], 4e-6);
+  EXPECT_DOUBLE_EQ(buf[3], 1e-6);
+  EXPECT_DOUBLE_EQ(buf[4], 2e-6);
+}
+
+TEST_F(GlobalClockTest, FlattenOfRawHardwareClockIsEmptyChain) {
+  const std::vector<double> buf = flatten_clock(hw_);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_DOUBLE_EQ(buf[0], 0.0);
+}
+
+TEST_F(GlobalClockTest, UnflattenRoundTripsBehaviour) {
+  auto mid = std::make_shared<GlobalClockLM>(hw_, LinearModel{1.5e-6, -2e-6});
+  auto top = std::make_shared<GlobalClockLM>(mid, LinearModel{-0.5e-6, 7e-6});
+  const ClockPtr rebuilt = unflatten_clock(hw_, flatten_clock(top));
+  for (double t : {0.0, 3.0, 99.0}) {
+    EXPECT_NEAR(rebuilt->at_exact(t), top->at_exact(t), 1e-15);
+  }
+}
+
+TEST_F(GlobalClockTest, UnflattenRejectsMalformedBuffers) {
+  EXPECT_THROW(unflatten_clock(hw_, {}), std::invalid_argument);
+  EXPECT_THROW(unflatten_clock(hw_, {2.0, 1e-6}), std::invalid_argument);
+}
+
+TEST_F(GlobalClockTest, CollapseEqualsNestedEvaluation) {
+  auto mid = std::make_shared<GlobalClockLM>(hw_, LinearModel{2e-6, 1e-6});
+  auto top = std::make_shared<GlobalClockLM>(mid, LinearModel{-1e-6, 3e-6});
+  const LinearModel flat = collapse_models(top);
+  // 1e-12 s = 1 ps; the microsecond-scale effects under study sit six orders
+  // of magnitude above this rounding allowance.
+  for (double t : {0.0, 20.0}) {
+    EXPECT_NEAR(flat.apply(hw_->at_exact(t)), top->at_exact(t), 1e-12);
+  }
+}
+
+TEST_F(GlobalClockTest, TrueTimeOfWorksThroughDecorators) {
+  auto g = std::make_shared<GlobalClockLM>(hw_, LinearModel{1e-6, -4e-6});
+  const double target = g->at_exact(12.34);
+  EXPECT_NEAR(g->true_time_of(target, 0.0, 1.0), 12.34, 1e-9);
+}
+
+}  // namespace
+}  // namespace hcs::vclock

@@ -1,0 +1,156 @@
+#include "vclock/hardware_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulation.hpp"
+
+namespace hcs::vclock {
+namespace {
+
+topology::ClockDriftParams quiet_params() {
+  topology::ClockDriftParams p;
+  p.initial_offset_abs = 1e-3;
+  p.base_skew_abs = 1e-6;
+  p.skew_walk_sd = 0.0;   // perfectly linear
+  p.skew_segment_s = 2.0;
+  p.read_noise_sd = 0.0;  // noiseless
+  p.read_resolution = 0.0;
+  return p;
+}
+
+TEST(HardwareClock, ExactMappingIsLinearWithoutWalk) {
+  sim::Simulation sim;
+  HardwareClock clk(sim, quiet_params(), 5);
+  const double o = clk.initial_offset();
+  const double s = clk.base_skew();
+  for (double t : {0.0, 1.0, 10.0, 100.0, 499.0}) {
+    EXPECT_NEAR(clk.at_exact(t), o + (1.0 + s) * t, 1e-12 * (1.0 + t));
+  }
+}
+
+TEST(HardwareClock, InitialOffsetWithinBound) {
+  sim::Simulation sim;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    HardwareClock clk(sim, quiet_params(), seed);
+    EXPECT_LE(std::abs(clk.initial_offset()), 1e-3);
+    EXPECT_LE(std::abs(clk.base_skew()), 1e-6);
+  }
+}
+
+TEST(HardwareClock, StrictlyIncreasingExact) {
+  sim::Simulation sim;
+  auto p = quiet_params();
+  p.skew_walk_sd = 0.05e-6;
+  HardwareClock clk(sim, p, 7);
+  double last = clk.at_exact(0.0);
+  for (double t = 0.1; t < 50.0; t += 0.1) {
+    const double v = clk.at_exact(t);
+    EXPECT_GT(v, last);
+    last = v;
+  }
+}
+
+TEST(HardwareClock, ContinuousAcrossSegmentBoundaries) {
+  sim::Simulation sim;
+  auto p = quiet_params();
+  p.skew_walk_sd = 0.1e-6;
+  HardwareClock clk(sim, p, 11);
+  for (int k = 1; k < 20; ++k) {
+    const double b = k * p.skew_segment_s;
+    EXPECT_NEAR(clk.at_exact(b - 1e-9), clk.at_exact(b + 1e-9), 1e-8);
+  }
+}
+
+TEST(HardwareClock, SkewWalkChangesSlope) {
+  sim::Simulation sim;
+  auto p = quiet_params();
+  p.skew_walk_sd = 0.05e-6;
+  HardwareClock clk(sim, p, 13);
+  // Some segment must differ from the base skew (probability ~1).
+  bool changed = false;
+  for (double t = 0; t < 100; t += p.skew_segment_s) {
+    if (clk.skew_at(t) != clk.skew_at(0.0)) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(HardwareClock, ReadNoiseBoundedAndCentered) {
+  sim::Simulation sim;
+  auto p = quiet_params();
+  p.read_noise_sd = 20e-9;
+  HardwareClock clk(sim, p, 17);
+  const double exact = clk.at_exact(5.0);
+  double acc = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double v = clk.at(5.0);
+    EXPECT_NEAR(v, exact, 200e-9);  // 10 sigma
+    acc += v - exact;
+  }
+  EXPECT_NEAR(acc / n, 0.0, 5e-9);
+}
+
+TEST(HardwareClock, ResolutionQuantizesReads) {
+  sim::Simulation sim;
+  auto p = quiet_params();
+  p.read_noise_sd = 0.0;
+  p.read_resolution = 1e-6;  // gettimeofday-like
+  HardwareClock clk(sim, p, 19);
+  const double v = clk.at(3.3333333);
+  EXPECT_NEAR(std::remainder(v, 1e-6), 0.0, 1e-12);
+}
+
+TEST(HardwareClock, NowReadsAtSimulationTime) {
+  sim::Simulation sim;
+  HardwareClock clk(sim, quiet_params(), 23);
+  bool checked = false;
+  sim.spawn([](sim::Simulation& s, HardwareClock* c, bool* done) -> sim::Task<void> {
+    co_await s.delay(2.5);
+    EXPECT_NEAR(c->now(), c->at_exact(2.5), 1e-9);
+    *done = true;
+  }(sim, &clk, &checked));
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(HardwareClock, DeterministicPathForSeed) {
+  sim::Simulation sim;
+  auto p = quiet_params();
+  p.skew_walk_sd = 0.05e-6;
+  HardwareClock a(sim, p, 31), b(sim, p, 31), c(sim, p, 32);
+  EXPECT_EQ(a.at_exact(123.0), b.at_exact(123.0));
+  EXPECT_NE(a.at_exact(123.0), c.at_exact(123.0));
+}
+
+TEST(HardwareClock, NegativeTimeRejected) {
+  sim::Simulation sim;
+  HardwareClock clk(sim, quiet_params(), 37);
+  EXPECT_THROW(clk.at_exact(-1.0), std::invalid_argument);
+}
+
+TEST(HardwareClock, TrueTimeOfInvertsExact) {
+  sim::Simulation sim;
+  auto p = quiet_params();
+  p.skew_walk_sd = 0.05e-6;
+  HardwareClock clk(sim, p, 41);
+  for (double t : {0.5, 7.0, 33.3, 211.0}) {
+    const double v = clk.at_exact(t);
+    EXPECT_NEAR(clk.true_time_of(v, 0.0, 1.0), t, 1e-9);
+  }
+}
+
+TEST(HardwareClock, DriftMagnitudeMatchesPaperScale) {
+  // Paper Fig. 2a: hundreds of microseconds of relative drift over 500 s.
+  sim::Simulation sim;
+  topology::ClockDriftParams p;  // defaults are the calibrated values
+  HardwareClock a(sim, p, 43), b(sim, p, 44);
+  const double drift =
+      (a.at_exact(500.0) - a.at_exact(0.0)) - (b.at_exact(500.0) - b.at_exact(0.0));
+  EXPECT_GT(std::abs(drift), 5e-6);     // clearly visible
+  EXPECT_LT(std::abs(drift), 5e-3);     // but not absurd
+}
+
+}  // namespace
+}  // namespace hcs::vclock

@@ -1,0 +1,60 @@
+#include "vclock/linear_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcs::vclock {
+namespace {
+
+TEST(LinearModel, IdentityByDefault) {
+  const LinearModel lm;
+  EXPECT_TRUE(lm.is_identity());
+  EXPECT_DOUBLE_EQ(lm.apply(123.456), 123.456);
+}
+
+TEST(LinearModel, ApplyMatchesPaperConvention) {
+  // offset(t) = slope*t + intercept; global = t + offset(t).
+  const LinearModel lm{1e-6, 5e-6};
+  EXPECT_DOUBLE_EQ(lm.apply(10.0), 10.0 + 1e-5 + 5e-6);
+}
+
+TEST(LinearModel, InvertIsInverseOfApply) {
+  const LinearModel lm{2.5e-6, -3e-6};
+  for (double t : {0.0, 1.0, 17.25, 499.9}) {
+    EXPECT_NEAR(lm.invert(lm.apply(t)), t, 1e-12);
+  }
+}
+
+TEST(LinearModel, MergeEqualsComposition) {
+  const LinearModel outer{3e-6, 2e-6};
+  const LinearModel inner{-1.5e-6, 7e-6};
+  const LinearModel m = merge(outer, inner);
+  for (double t : {0.0, 0.5, 10.0, 500.0}) {
+    EXPECT_NEAR(m.apply(t), outer.apply(inner.apply(t)), 1e-15 * (1.0 + t));
+  }
+}
+
+TEST(LinearModel, MergeWithIdentityIsNoop) {
+  const LinearModel lm{4e-6, -2e-6};
+  const LinearModel id;
+  EXPECT_DOUBLE_EQ(merge(id, lm).slope, lm.slope);
+  EXPECT_DOUBLE_EQ(merge(id, lm).intercept, lm.intercept);
+  EXPECT_DOUBLE_EQ(merge(lm, id).slope, lm.slope);
+  EXPECT_DOUBLE_EQ(merge(lm, id).intercept, lm.intercept);
+}
+
+TEST(LinearModel, MergeAssociative) {
+  const LinearModel a{1e-6, 2e-6}, b{-2e-6, 1e-6}, c{3e-6, -4e-6};
+  const LinearModel left = merge(merge(a, b), c);
+  const LinearModel right = merge(a, merge(b, c));
+  EXPECT_NEAR(left.slope, right.slope, 1e-18);
+  EXPECT_NEAR(left.intercept, right.intercept, 1e-18);
+}
+
+TEST(LinearModel, ToStringShowsCoefficients) {
+  const std::string s = to_string(LinearModel{1e-6, 2e-6});
+  EXPECT_NE(s.find("slope"), std::string::npos);
+  EXPECT_NE(s.find("intercept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcs::vclock
