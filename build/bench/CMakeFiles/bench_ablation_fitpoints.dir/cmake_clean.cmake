@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fitpoints.dir/bench_ablation_fitpoints.cpp.o"
+  "CMakeFiles/bench_ablation_fitpoints.dir/bench_ablation_fitpoints.cpp.o.d"
+  "bench_ablation_fitpoints"
+  "bench_ablation_fitpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fitpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resync.dir/bench_ablation_resync.cpp.o"
+  "CMakeFiles/bench_ablation_resync.dir/bench_ablation_resync.cpp.o.d"
+  "bench_ablation_resync"
+  "bench_ablation_resync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_roundtime.dir/bench_ablation_roundtime.cpp.o"
+  "CMakeFiles/bench_ablation_roundtime.dir/bench_ablation_roundtime.cpp.o.d"
+  "bench_ablation_roundtime"
+  "bench_ablation_roundtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_roundtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

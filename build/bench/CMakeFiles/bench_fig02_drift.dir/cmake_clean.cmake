@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_drift.dir/bench_fig02_drift.cpp.o"
+  "CMakeFiles/bench_fig02_drift.dir/bench_fig02_drift.cpp.o.d"
+  "bench_fig02_drift"
+  "bench_fig02_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

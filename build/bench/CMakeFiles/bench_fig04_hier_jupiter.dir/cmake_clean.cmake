@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_hier_jupiter.dir/bench_fig04_hier_jupiter.cpp.o"
+  "CMakeFiles/bench_fig04_hier_jupiter.dir/bench_fig04_hier_jupiter.cpp.o.d"
+  "bench_fig04_hier_jupiter"
+  "bench_fig04_hier_jupiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_hier_jupiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_hier_hydra.dir/bench_fig05_hier_hydra.cpp.o"
+  "CMakeFiles/bench_fig05_hier_hydra.dir/bench_fig05_hier_hydra.cpp.o.d"
+  "bench_fig05_hier_hydra"
+  "bench_fig05_hier_hydra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_hier_hydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

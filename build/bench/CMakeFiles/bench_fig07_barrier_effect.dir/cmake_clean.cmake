@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_barrier_effect.dir/bench_fig07_barrier_effect.cpp.o"
+  "CMakeFiles/bench_fig07_barrier_effect.dir/bench_fig07_barrier_effect.cpp.o.d"
+  "bench_fig07_barrier_effect"
+  "bench_fig07_barrier_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_barrier_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

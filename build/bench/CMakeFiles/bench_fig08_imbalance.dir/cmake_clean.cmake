@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_imbalance.dir/bench_fig08_imbalance.cpp.o"
+  "CMakeFiles/bench_fig08_imbalance.dir/bench_fig08_imbalance.cpp.o.d"
+  "bench_fig08_imbalance"
+  "bench_fig08_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_osu_vs_repro.dir/bench_fig09_osu_vs_repro.cpp.o"
+  "CMakeFiles/bench_fig09_osu_vs_repro.dir/bench_fig09_osu_vs_repro.cpp.o.d"
+  "bench_fig09_osu_vs_repro"
+  "bench_fig09_osu_vs_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_osu_vs_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_collectives.cpp" "bench/CMakeFiles/bench_micro_collectives.dir/bench_micro_collectives.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_collectives.dir/bench_micro_collectives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcs_mpibench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_vclock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

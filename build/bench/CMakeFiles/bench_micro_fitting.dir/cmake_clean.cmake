@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fitting.dir/bench_micro_fitting.cpp.o"
+  "CMakeFiles/bench_micro_fitting.dir/bench_micro_fitting.cpp.o.d"
+  "bench_micro_fitting"
+  "bench_micro_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_bench_common.dir/common.cpp.o"
+  "CMakeFiles/hcs_bench_common.dir/common.cpp.o.d"
+  "libhcs_bench_common.a"
+  "libhcs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

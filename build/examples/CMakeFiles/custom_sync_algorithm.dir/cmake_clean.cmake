@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sync_algorithm.dir/custom_sync_algorithm.cpp.o"
+  "CMakeFiles/custom_sync_algorithm.dir/custom_sync_algorithm.cpp.o.d"
+  "custom_sync_algorithm"
+  "custom_sync_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sync_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

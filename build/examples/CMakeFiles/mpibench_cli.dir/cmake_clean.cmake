@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpibench_cli.dir/mpibench_cli.cpp.o"
+  "CMakeFiles/mpibench_cli.dir/mpibench_cli.cpp.o.d"
+  "mpibench_cli"
+  "mpibench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpibench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_app.dir/trace_app.cpp.o"
+  "CMakeFiles/trace_app.dir/trace_app.cpp.o.d"
+  "trace_app"
+  "trace_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_collective.dir/tune_collective.cpp.o"
+  "CMakeFiles/tune_collective.dir/tune_collective.cpp.o.d"
+  "tune_collective"
+  "tune_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

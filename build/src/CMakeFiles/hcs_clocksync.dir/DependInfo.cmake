@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocksync/accuracy.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/accuracy.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/accuracy.cpp.o.d"
+  "/root/repo/src/clocksync/clock_prop.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/clock_prop.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/clock_prop.cpp.o.d"
+  "/root/repo/src/clocksync/factory.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/factory.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/factory.cpp.o.d"
+  "/root/repo/src/clocksync/fitting.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/fitting.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/fitting.cpp.o.d"
+  "/root/repo/src/clocksync/hca.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/hca.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/hca.cpp.o.d"
+  "/root/repo/src/clocksync/hca2.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/hca2.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/hca2.cpp.o.d"
+  "/root/repo/src/clocksync/hca3.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/hca3.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/hca3.cpp.o.d"
+  "/root/repo/src/clocksync/hierarchical.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/hierarchical.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/hierarchical.cpp.o.d"
+  "/root/repo/src/clocksync/jk.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/jk.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/jk.cpp.o.d"
+  "/root/repo/src/clocksync/meanrtt_offset.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/meanrtt_offset.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/meanrtt_offset.cpp.o.d"
+  "/root/repo/src/clocksync/model_learning.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/model_learning.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/model_learning.cpp.o.d"
+  "/root/repo/src/clocksync/resync.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/resync.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/resync.cpp.o.d"
+  "/root/repo/src/clocksync/skampi_offset.cpp" "src/CMakeFiles/hcs_clocksync.dir/clocksync/skampi_offset.cpp.o" "gcc" "src/CMakeFiles/hcs_clocksync.dir/clocksync/skampi_offset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcs_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_vclock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_clocksync.dir/clocksync/accuracy.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/accuracy.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/clock_prop.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/clock_prop.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/factory.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/factory.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/fitting.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/fitting.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/hca.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/hca.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/hca2.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/hca2.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/hca3.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/hca3.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/hierarchical.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/hierarchical.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/jk.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/jk.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/meanrtt_offset.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/meanrtt_offset.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/model_learning.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/model_learning.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/resync.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/resync.cpp.o.d"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/skampi_offset.cpp.o"
+  "CMakeFiles/hcs_clocksync.dir/clocksync/skampi_offset.cpp.o.d"
+  "libhcs_clocksync.a"
+  "libhcs_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

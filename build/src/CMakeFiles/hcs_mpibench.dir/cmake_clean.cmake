@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_mpibench.dir/mpibench/barrier_scheme.cpp.o"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/barrier_scheme.cpp.o.d"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/imbalance.cpp.o"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/imbalance.cpp.o.d"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/roundtime_scheme.cpp.o"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/roundtime_scheme.cpp.o.d"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/suites.cpp.o"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/suites.cpp.o.d"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/window_scheme.cpp.o"
+  "CMakeFiles/hcs_mpibench.dir/mpibench/window_scheme.cpp.o.d"
+  "libhcs_mpibench.a"
+  "libhcs_mpibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_mpibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/hcs_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/hcs_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/hcs_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/hcs_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/hcs_sim.dir/sim/simulation.cpp.o.d"
+  "libhcs_sim.a"
+  "libhcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/coll_allgather.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_allgather.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_allgather.cpp.o.d"
+  "/root/repo/src/simmpi/coll_allreduce.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_allreduce.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_allreduce.cpp.o.d"
+  "/root/repo/src/simmpi/coll_alltoall.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_alltoall.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_alltoall.cpp.o.d"
+  "/root/repo/src/simmpi/coll_barrier.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_barrier.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_barrier.cpp.o.d"
+  "/root/repo/src/simmpi/coll_bcast.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_bcast.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_bcast.cpp.o.d"
+  "/root/repo/src/simmpi/coll_gather.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_gather.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_gather.cpp.o.d"
+  "/root/repo/src/simmpi/coll_reduce.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_reduce.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_reduce.cpp.o.d"
+  "/root/repo/src/simmpi/coll_reduce_scatter.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_reduce_scatter.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_reduce_scatter.cpp.o.d"
+  "/root/repo/src/simmpi/coll_scan.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_scan.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_scan.cpp.o.d"
+  "/root/repo/src/simmpi/coll_scatter.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_scatter.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/coll_scatter.cpp.o.d"
+  "/root/repo/src/simmpi/collectives.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/collectives.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/collectives.cpp.o.d"
+  "/root/repo/src/simmpi/comm.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/comm.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/comm.cpp.o.d"
+  "/root/repo/src/simmpi/network.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/network.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/network.cpp.o.d"
+  "/root/repo/src/simmpi/world.cpp" "src/CMakeFiles/hcs_simmpi.dir/simmpi/world.cpp.o" "gcc" "src/CMakeFiles/hcs_simmpi.dir/simmpi/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_vclock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_allgather.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_allgather.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_allreduce.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_allreduce.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_alltoall.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_alltoall.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_barrier.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_barrier.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_bcast.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_bcast.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_gather.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_gather.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_reduce.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_reduce.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_reduce_scatter.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_reduce_scatter.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_scan.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_scan.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_scatter.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/coll_scatter.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/collectives.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/collectives.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/comm.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/comm.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/network.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/network.cpp.o.d"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/world.cpp.o"
+  "CMakeFiles/hcs_simmpi.dir/simmpi/world.cpp.o.d"
+  "libhcs_simmpi.a"
+  "libhcs_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_topology.dir/topology/presets.cpp.o"
+  "CMakeFiles/hcs_topology.dir/topology/presets.cpp.o.d"
+  "CMakeFiles/hcs_topology.dir/topology/topology.cpp.o"
+  "CMakeFiles/hcs_topology.dir/topology/topology.cpp.o.d"
+  "libhcs_topology.a"
+  "libhcs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

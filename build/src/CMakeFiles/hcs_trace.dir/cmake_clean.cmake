@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/hcs_trace.dir/trace/trace.cpp.o.d"
+  "libhcs_trace.a"
+  "libhcs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

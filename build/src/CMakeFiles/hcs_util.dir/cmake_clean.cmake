@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_util.dir/util/cli.cpp.o"
+  "CMakeFiles/hcs_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/hcs_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/hcs_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/hcs_util.dir/util/stats.cpp.o"
+  "CMakeFiles/hcs_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/hcs_util.dir/util/table.cpp.o"
+  "CMakeFiles/hcs_util.dir/util/table.cpp.o.d"
+  "libhcs_util.a"
+  "libhcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

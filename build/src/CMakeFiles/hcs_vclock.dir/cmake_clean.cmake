@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_vclock.dir/vclock/clock.cpp.o"
+  "CMakeFiles/hcs_vclock.dir/vclock/clock.cpp.o.d"
+  "CMakeFiles/hcs_vclock.dir/vclock/global_clock.cpp.o"
+  "CMakeFiles/hcs_vclock.dir/vclock/global_clock.cpp.o.d"
+  "CMakeFiles/hcs_vclock.dir/vclock/hardware_clock.cpp.o"
+  "CMakeFiles/hcs_vclock.dir/vclock/hardware_clock.cpp.o.d"
+  "CMakeFiles/hcs_vclock.dir/vclock/linear_model.cpp.o"
+  "CMakeFiles/hcs_vclock.dir/vclock/linear_model.cpp.o.d"
+  "libhcs_vclock.a"
+  "libhcs_vclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_vclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/clocksync/test_accuracy.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_accuracy.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_accuracy.cpp.o.d"
+  "/root/repo/tests/clocksync/test_clockprop.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_clockprop.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_clockprop.cpp.o.d"
+  "/root/repo/tests/clocksync/test_factory.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_factory.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_factory.cpp.o.d"
+  "/root/repo/tests/clocksync/test_fitting.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_fitting.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_fitting.cpp.o.d"
+  "/root/repo/tests/clocksync/test_hierarchical.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/clocksync/test_model_learning.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_model_learning.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_model_learning.cpp.o.d"
+  "/root/repo/tests/clocksync/test_offset_algorithms.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_offset_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_offset_algorithms.cpp.o.d"
+  "/root/repo/tests/clocksync/test_resync.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_resync.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_resync.cpp.o.d"
+  "/root/repo/tests/clocksync/test_sync_algorithms.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_sync_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_sync_algorithms.cpp.o.d"
+  "/root/repo/tests/clocksync/test_sync_structure.cpp" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_sync_structure.cpp.o" "gcc" "tests/CMakeFiles/test_clocksync.dir/clocksync/test_sync_structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcs_mpibench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_vclock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

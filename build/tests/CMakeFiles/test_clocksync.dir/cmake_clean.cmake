@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocksync.dir/clocksync/test_accuracy.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_accuracy.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_clockprop.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_clockprop.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_factory.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_factory.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_fitting.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_fitting.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_hierarchical.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_hierarchical.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_model_learning.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_model_learning.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_offset_algorithms.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_offset_algorithms.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_resync.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_resync.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_sync_algorithms.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_sync_algorithms.cpp.o.d"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_sync_structure.cpp.o"
+  "CMakeFiles/test_clocksync.dir/clocksync/test_sync_structure.cpp.o.d"
+  "test_clocksync"
+  "test_clocksync.pdb"
+  "test_clocksync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

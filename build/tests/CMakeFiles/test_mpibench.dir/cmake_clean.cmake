@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpibench.dir/mpibench/test_imbalance.cpp.o"
+  "CMakeFiles/test_mpibench.dir/mpibench/test_imbalance.cpp.o.d"
+  "CMakeFiles/test_mpibench.dir/mpibench/test_roundtime.cpp.o"
+  "CMakeFiles/test_mpibench.dir/mpibench/test_roundtime.cpp.o.d"
+  "CMakeFiles/test_mpibench.dir/mpibench/test_schemes.cpp.o"
+  "CMakeFiles/test_mpibench.dir/mpibench/test_schemes.cpp.o.d"
+  "CMakeFiles/test_mpibench.dir/mpibench/test_suites.cpp.o"
+  "CMakeFiles/test_mpibench.dir/mpibench/test_suites.cpp.o.d"
+  "test_mpibench"
+  "test_mpibench.pdb"
+  "test_mpibench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

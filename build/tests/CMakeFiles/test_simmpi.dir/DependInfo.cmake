@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simmpi/test_burst.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_burst.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_burst.cpp.o.d"
+  "/root/repo/tests/simmpi/test_collective_timing.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_collective_timing.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_collective_timing.cpp.o.d"
+  "/root/repo/tests/simmpi/test_collectives.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_collectives.cpp.o.d"
+  "/root/repo/tests/simmpi/test_comm_split.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_comm_split.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_comm_split.cpp.o.d"
+  "/root/repo/tests/simmpi/test_network.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_network.cpp.o.d"
+  "/root/repo/tests/simmpi/test_nonblocking.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_nonblocking.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_nonblocking.cpp.o.d"
+  "/root/repo/tests/simmpi/test_p2p.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_p2p.cpp.o.d"
+  "/root/repo/tests/simmpi/test_reduce_scatter_scan.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_reduce_scatter_scan.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_reduce_scatter_scan.cpp.o.d"
+  "/root/repo/tests/simmpi/test_world.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_world.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcs_mpibench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_vclock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi.dir/simmpi/test_burst.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_burst.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_collective_timing.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_collective_timing.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_collectives.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_collectives.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_comm_split.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_comm_split.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_network.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_network.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_nonblocking.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_nonblocking.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_p2p.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_p2p.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_reduce_scatter_scan.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_reduce_scatter_scan.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_world.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_world.cpp.o.d"
+  "test_simmpi"
+  "test_simmpi.pdb"
+  "test_simmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

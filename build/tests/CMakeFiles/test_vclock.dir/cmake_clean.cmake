@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vclock.dir/vclock/test_clock_properties.cpp.o"
+  "CMakeFiles/test_vclock.dir/vclock/test_clock_properties.cpp.o.d"
+  "CMakeFiles/test_vclock.dir/vclock/test_global_clock.cpp.o"
+  "CMakeFiles/test_vclock.dir/vclock/test_global_clock.cpp.o.d"
+  "CMakeFiles/test_vclock.dir/vclock/test_hardware_clock.cpp.o"
+  "CMakeFiles/test_vclock.dir/vclock/test_hardware_clock.cpp.o.d"
+  "CMakeFiles/test_vclock.dir/vclock/test_linear_model.cpp.o"
+  "CMakeFiles/test_vclock.dir/vclock/test_linear_model.cpp.o.d"
+  "test_vclock"
+  "test_vclock.pdb"
+  "test_vclock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

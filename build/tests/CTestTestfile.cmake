@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_vclock[1]_include.cmake")
+include("/root/repo/build/tests/test_clocksync[1]_include.cmake")
+include("/root/repo/build/tests/test_mpibench[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test([=[smoke_quickstart]=] "/root/repo/build/examples/quickstart" "--nodes" "2" "--cores" "2")
+set_tests_properties([=[smoke_quickstart]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[smoke_mpibench_cli]=] "/root/repo/build/examples/mpibench_cli" "--machine" "testbox" "--nodes" "2" "--cores" "2" "--msizes" "8" "--nrep" "10")
+set_tests_properties([=[smoke_mpibench_cli]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;83;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[smoke_custom_sync]=] "/root/repo/build/examples/custom_sync_algorithm" "--nodes" "2" "--cores" "2")
+set_tests_properties([=[smoke_custom_sync]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[smoke_trace_app]=] "/root/repo/build/examples/trace_app" "--nodes" "2" "--cores" "2" "--iterations" "4")
+set_tests_properties([=[smoke_trace_app]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig02]=] "/root/repo/build/bench/bench_fig02_drift" "--scale" "0.05")
+set_tests_properties([=[smoke_bench_fig02]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;87;add_test;/root/repo/tests/CMakeLists.txt;0;")
