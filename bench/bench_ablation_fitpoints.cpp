@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.25);
+  const Observability obs(opt);
   const auto machine = topology::jupiter().with_nodes(16);  // 256 ranks
   const int nmpiruns = 3;
   print_header("Ablation (fit points / ping-pongs)", "HCA3 parameter sweep", machine, opt);

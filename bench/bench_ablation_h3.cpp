@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.25);
+  const Observability obs(opt);
   const int nfit = scaled(1000, opt.scale, 50);
   const int npp = scaled(100, opt.scale, 10);
   const int nmpiruns = 3;

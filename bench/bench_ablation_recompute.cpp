@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.1);
+  const Observability obs(opt);
   const auto machine = topology::jupiter().with_nodes(16);  // 256 ranks
 
   const int nfit = scaled(1000, opt.scale, 40);

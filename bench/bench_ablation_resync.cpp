@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.25);
+  const Observability obs(opt);
   const auto machine = topology::jupiter().with_nodes(8);
   const double session_s = 60.0;
   print_header("Ablation (periodic re-sync, extension)",

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.5);
+  const Observability obs(opt);
 
   // Spiky network: ~1 outlier of mean 300 us per few hundred messages.
   auto machine = topology::jupiter().with_nodes(8);

@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 1.0);
+  const Observability obs(opt);
 
   // "we only use one rank per compute node ... of Hydra": 10 nodes x 1 rank.
   auto machine = topology::hydra().with_nodes(10);

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.1);
+  const Observability obs(opt);
   const auto machine = topology::jupiter().with_nodes(32);
 
   const int npp = scaled(100, opt.scale, 10);

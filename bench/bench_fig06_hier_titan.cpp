@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.05);
+  const Observability obs(opt);
   const auto machine = topology::titan();  // 1024 x 16
 
   const int npp = scaled(100, opt.scale, 8);

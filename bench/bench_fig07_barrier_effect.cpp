@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.1);
+  const Observability obs(opt);
   const auto machine = topology::jupiter().with_nodes(32);
   const int nrep = scaled(300, opt.scale, 25);
   print_header("Fig. 7", "MPI_Allreduce latency by benchmark suite x barrier algorithm, " +

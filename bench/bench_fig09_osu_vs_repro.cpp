@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.1);
+  const Observability obs(opt);
   const auto machine = topology::titan().with_nodes(64);  // 64 x 16 = 1024 ranks
   const int nrep = scaled(200, opt.scale, 15);
   const int nmpiruns = 3;

@@ -31,7 +31,7 @@ TraceOutcome run_traced_app(const topology::MachineConfig& machine, bool use_glo
                             int iterations, const std::string& sync_label, std::uint64_t seed) {
   simmpi::World world(machine, seed);
   const int p = world.size();
-  std::vector<trace::Tracer> tracers;
+  std::vector<trace::IntervalTracer> tracers;
   tracers.reserve(static_cast<std::size_t>(p));
   world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
     vclock::ClockPtr trace_clock = ctx.base_clock();
@@ -40,7 +40,7 @@ TraceOutcome run_traced_app(const topology::MachineConfig& machine, bool use_glo
       trace_clock = co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
     }
     tracers.emplace_back(ctx.rank(), trace_clock);
-    trace::Tracer& tracer = tracers.back();
+    trace::IntervalTracer& tracer = tracers.back();
     for (int it = 0; it < iterations; ++it) {
       // Imbalanced compute phase (deterministic per-rank smoothing work).
       const double compute = 40e-6 + 0.4e-6 * (ctx.rank() % 16);
@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   using namespace hcs;
   using namespace hcs::bench;
   const BenchOptions opt = parse_common(argc, argv, 0.25);
+  const Observability obs(opt);
 
   // 27 nodes x 8 ranks; paper's Jupiter subset.
   auto base = topology::jupiter().with_nodes(27);

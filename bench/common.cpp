@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "clocksync/factory.hpp"
 #include "clocksync/skampi_offset.hpp"
 #include "simmpi/world.hpp"
+#include "trace/chrome_export.hpp"
 
 namespace hcs::bench {
 
@@ -16,7 +18,49 @@ BenchOptions parse_common(int argc, const char* const* argv, double default_scal
   opt.scale = cli.scale(default_scale);
   opt.seed = cli.seed(1);
   opt.csv = cli.has("csv");
+  opt.trace_out = cli.trace_out();
+  opt.metrics_out = cli.metrics_out();
   return opt;
+}
+
+Observability::Observability(const BenchOptions& opt)
+    : trace_path_(opt.trace_out), metrics_path_(opt.metrics_out) {
+  if (!trace_path_.empty()) {
+    tracer_ = std::make_unique<trace::Tracer>();
+    trace::install_tracer(tracer_.get());
+  }
+  // Metrics drive both the CSV dump and the end-of-run summary; enable them
+  // whenever either output was requested.
+  if (!metrics_path_.empty() || !trace_path_.empty()) {
+    metrics_ = std::make_unique<trace::MetricsRegistry>();
+    trace::install_metrics(metrics_.get());
+  }
+}
+
+Observability::~Observability() {
+  if (tracer_) {
+    if (trace::write_chrome_trace_file(trace_path_, *tracer_)) {
+      std::cout << "\nwrote Chrome trace (" << tracer_->recorded() - tracer_->dropped()
+                << " events, " << tracer_->dropped() << " dropped): " << trace_path_ << "\n";
+    } else {
+      std::cerr << "failed to write trace: " << trace_path_ << "\n";
+    }
+    trace::install_tracer(nullptr);
+  }
+  if (metrics_) {
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (out) {
+        trace::write_metrics_csv(out, *metrics_);
+        std::cout << "wrote metrics CSV: " << metrics_path_ << "\n";
+      } else {
+        std::cerr << "failed to write metrics: " << metrics_path_ << "\n";
+      }
+    }
+    std::cout << "\n--- metrics summary (histograms in us) ---\n";
+    trace::print_metrics_summary(std::cout, *metrics_);
+    trace::install_metrics(nullptr);
+  }
 }
 
 void print_header(const std::string& figure, const std::string& what,

@@ -1,20 +1,25 @@
 // Shared helpers for the figure-reproduction bench binaries.
 //
 // Every bench binary accepts:
-//   --scale S   (or $HCLOCKSYNC_SCALE): multiplies repetition counts / fit
-//               points; 1.0 = the paper's full configuration.  Each binary
-//               picks a default sized for a one-core machine.
-//   --seed N    : base seed; mpirun i uses seed N + i.
-//   --csv       : additionally emit CSV rows.
+//   --scale S        (or $HCLOCKSYNC_SCALE): multiplies repetition counts /
+//                    fit points; 1.0 = the paper's full configuration.  Each
+//                    binary picks a default sized for a one-core machine.
+//   --seed N         : base seed; mpirun i uses seed N + i.
+//   --csv            : additionally emit CSV rows.
+//   --trace-out F    : dump a Chrome trace (chrome://tracing / Perfetto).
+//   --metrics-out F  : dump the metrics registry as CSV.
 // Headers always state machine, scale and the paper figure being reproduced.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "clocksync/accuracy.hpp"
 #include "topology/presets.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -25,9 +30,29 @@ struct BenchOptions {
   double scale = 1.0;
   std::uint64_t seed = 1;
   bool csv = false;
+  std::string trace_out;    // empty = tracing off
+  std::string metrics_out;  // empty = metrics CSV off
 };
 
 BenchOptions parse_common(int argc, const char* const* argv, double default_scale);
+
+/// Installs a tracer and/or metrics registry for the binary's lifetime when
+/// the corresponding --trace-out/--metrics-out flag was given (construct it
+/// before the first World so hot paths resolve their metric handles).  The
+/// destructor writes the requested files and prints the metrics summary.
+class Observability {
+ public:
+  explicit Observability(const BenchOptions& opt);
+  ~Observability();
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+ private:
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<trace::MetricsRegistry> metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 /// Prints the standard experiment header.
 void print_header(const std::string& figure, const std::string& what,

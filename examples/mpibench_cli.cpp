@@ -1,11 +1,12 @@
 // mpibench_cli — a ReproMPI-style command-line benchmark runner on top of the
 // simulated cluster; the "product" the paper's methodology ships.
 //
-//   $ ./examples/mpibench_cli --machine jupiter --nodes 8 \
-//       --op allreduce --op-algo rec_doubling \
-//       --msizes 4,16,64,256,1024 --scheme roundtime \
-//       --sync "hca3/recompute_intercept/300/skampi_offset/30" \
+//   $ ./examples/mpibench_cli --machine jupiter --nodes 8
+//       --op allreduce --op-algo rec_doubling
+//       --msizes 4,16,64,256,1024 --scheme roundtime
+//       --sync "hca3/recompute_intercept/300/skampi_offset/30"
 //       --nrep 100 --summary median --csv
+//   (one command; wrapped here for readability)
 //
 // Options:
 //   --machine jupiter|hydra|titan|testbox   (default testbox)

@@ -13,9 +13,9 @@ if [[ $# -ge 1 ]]; then
   export HCLOCKSYNC_SCALE="$1"
 fi
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+cmake -B build
+cmake --build build -j "$(nproc)"
+ctest --test-dir build -j "$(nproc)" 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   [[ -f "$b" && -x "$b" ]] || continue
   "$b"

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "clocksync/model_learning.hpp"
+#include "trace/span.hpp"
 #include "vclock/global_clock.hpp"
 
 namespace hcs::clocksync {
@@ -17,6 +18,7 @@ std::string HCA3Sync::name() const { return sync_label("hca3", cfg_, *oalg_); }
 sim::Task<vclock::ClockPtr> HCA3Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const int nprocs = comm.size();
   const int r = comm.rank();
+  HCS_TRACE_SCOPE(Sync, comm.my_world_rank(), "hca3.sync_clocks", nprocs);
 
   int nrounds = 0;
   while ((2 << nrounds) <= nprocs) ++nrounds;  // floor(log2(nprocs))

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "trace/span.hpp"
 #include "vclock/global_clock.hpp"
 
 namespace hcs::clocksync {
@@ -27,20 +28,28 @@ sim::Task<vclock::ClockPtr> HierarchicalSync::sync_clocks(simmpi::Comm& comm,
 
 // Algorithm 4 (H2HCA).
 sim::Task<vclock::ClockPtr> HierarchicalSync::sync_h2(simmpi::Comm& comm, vclock::ClockPtr clk) {
+  const int wr = comm.my_world_rank();
   // Communicator creation (MPI_COMM_TYPE_SHARED analogue + a leaders split);
   // deliberately inside the timed region, as in the paper's evaluation.
-  simmpi::Comm comm_intranode = co_await comm.split_shared_node();
-  const int leader_color = comm_intranode.rank() == 0 ? 0 : simmpi::Comm::kUndefined;
-  simmpi::Comm comm_internode = co_await comm.split(leader_color, comm.rank());
+  simmpi::Comm comm_intranode;
+  simmpi::Comm comm_internode;
+  {
+    HCS_TRACE_SCOPE(Sync, wr, "hier.split");
+    comm_intranode = co_await comm.split_shared_node();
+    const int leader_color = comm_intranode.rank() == 0 ? 0 : simmpi::Comm::kUndefined;
+    comm_internode = co_await comm.split(leader_color, comm.rank());
+  }
 
   // Step 1: synchronization between nodes.
   vclock::ClockPtr global_clk1 = vclock::GlobalClockLM::identity(clk);
   if (comm_internode.valid() && comm_internode.size() > 1) {
+    HCS_TRACE_SCOPE(Sync, wr, "hier.top");
     global_clk1 = co_await top_->sync_clocks(comm_internode, clk);
   }
   // Step 2: synchronization within the compute node.
   vclock::ClockPtr global_clk2 = global_clk1;
   if (comm_intranode.size() > 1) {
+    HCS_TRACE_SCOPE(Sync, wr, "hier.bottom");
     global_clk2 = co_await bottom_->sync_clocks(comm_intranode, global_clk1);
   }
   co_return global_clk2;
@@ -48,25 +57,35 @@ sim::Task<vclock::ClockPtr> HierarchicalSync::sync_h2(simmpi::Comm& comm, vclock
 
 // §IV-D (H3HCA): node leaders / socket leaders per node / within-socket.
 sim::Task<vclock::ClockPtr> HierarchicalSync::sync_h3(simmpi::Comm& comm, vclock::ClockPtr clk) {
-  simmpi::Comm comm_socket = co_await comm.split_shared_socket();
-  const auto loc = comm.world().topo().locate(comm.my_world_rank());
-  const int socket_leader_color =
-      comm_socket.rank() == 0 ? loc.node : simmpi::Comm::kUndefined;
-  simmpi::Comm comm_socket_leaders = co_await comm.split(socket_leader_color, comm.rank());
-  const bool is_node_leader = comm_socket_leaders.valid() && comm_socket_leaders.rank() == 0;
-  const int node_leader_color = is_node_leader ? 0 : simmpi::Comm::kUndefined;
-  simmpi::Comm comm_internode = co_await comm.split(node_leader_color, comm.rank());
+  const int wr = comm.my_world_rank();
+  simmpi::Comm comm_socket;
+  simmpi::Comm comm_socket_leaders;
+  simmpi::Comm comm_internode;
+  {
+    HCS_TRACE_SCOPE(Sync, wr, "hier.split");
+    comm_socket = co_await comm.split_shared_socket();
+    const auto loc = comm.world().topo().locate(comm.my_world_rank());
+    const int socket_leader_color =
+        comm_socket.rank() == 0 ? loc.node : simmpi::Comm::kUndefined;
+    comm_socket_leaders = co_await comm.split(socket_leader_color, comm.rank());
+    const bool is_node_leader = comm_socket_leaders.valid() && comm_socket_leaders.rank() == 0;
+    const int node_leader_color = is_node_leader ? 0 : simmpi::Comm::kUndefined;
+    comm_internode = co_await comm.split(node_leader_color, comm.rank());
+  }
 
   vclock::ClockPtr global_clk1 = vclock::GlobalClockLM::identity(clk);
   if (comm_internode.valid() && comm_internode.size() > 1) {
+    HCS_TRACE_SCOPE(Sync, wr, "hier.top");
     global_clk1 = co_await top_->sync_clocks(comm_internode, clk);
   }
   vclock::ClockPtr global_clk2 = global_clk1;
   if (comm_socket_leaders.valid() && comm_socket_leaders.size() > 1) {
+    HCS_TRACE_SCOPE(Sync, wr, "hier.mid");
     global_clk2 = co_await mid_->sync_clocks(comm_socket_leaders, global_clk1);
   }
   vclock::ClockPtr global_clk3 = global_clk2;
   if (comm_socket.size() > 1) {
+    HCS_TRACE_SCOPE(Sync, wr, "hier.bottom");
     global_clk3 = co_await bottom_->sync_clocks(comm_socket, global_clk2);
   }
   co_return global_clk3;

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "clocksync/fitting.hpp"
+#include "trace/metrics.hpp"
+#include "trace/span.hpp"
 
 namespace hcs::clocksync {
 
@@ -11,6 +13,8 @@ sim::Task<vclock::LinearModel> learn_clock_model(simmpi::Comm& comm, int p_ref, 
                                                  vclock::Clock& clk, OffsetAlgorithm& oalg,
                                                  SyncConfig cfg) {
   const int me = comm.rank();
+  HCS_TRACE_SCOPE(Sync, comm.my_world_rank(), "learn_clock_model",
+                  comm.world_rank(me == p_ref ? other_rank : p_ref));
   vclock::LinearModel lm;  // identity; returned as-is on the reference side
 
   if (me == p_ref) {
@@ -34,8 +38,11 @@ sim::Task<vclock::LinearModel> learn_clock_model(simmpi::Comm& comm, int p_ref, 
     xfit.push_back(o.timestamp);
     yfit.push_back(o.offset);
   }
+  HCS_METRIC_ADD("sync.fit_points", cfg.nfitpoints);
   if (cfg.nfitpoints >= 2) {
-    lm = fit_linear_model(xfit, yfit).model;
+    const FitResult fit = fit_linear_model(xfit, yfit);
+    lm = fit.model;
+    HCS_METRIC_OBSERVE_RAW("sync.fit_r2", fit.r2);
   } else {
     // Degenerate configuration: a single fit point fixes only the offset.
     lm.slope = 0.0;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "simmpi/collectives.hpp"
+#include "trace/metrics.hpp"
+#include "trace/span.hpp"
 #include "util/vec.hpp"
 
 namespace hcs::clocksync {
@@ -28,6 +30,8 @@ sim::Task<vclock::ClockPtr> ResyncManager::tick(simmpi::Comm& comm, vclock::Cloc
     resync_now = decision.at(0) != 0.0;
   }
   if (resync_now) {
+    HCS_TRACE_INSTANT(Sync, comm.my_world_rank(), "resync", resyncs_);
+    if (comm.rank() == 0) HCS_METRIC_INC("sync.resyncs");  // once per round, not per rank
     current_ = co_await inner_->sync_clocks(comm, std::move(base));
     deadline_ = current_->now() + interval_;
     ++resyncs_;

@@ -1,6 +1,8 @@
 #include "mpibench/barrier_scheme.hpp"
 
 #include "simmpi/collectives.hpp"
+#include "trace/metrics.hpp"
+#include "trace/span.hpp"
 
 namespace hcs::mpibench {
 
@@ -18,6 +20,7 @@ CollectiveOp make_barrier_op(simmpi::BarrierAlgo algo) {
 
 sim::Task<MeasurementResult> run_barrier_scheme(simmpi::Comm& comm, vclock::Clock& clk,
                                                 CollectiveOp op, BarrierSchemeParams params) {
+  HCS_TRACE_SCOPE(Bench, comm.my_world_rank(), "barrier_scheme", params.nrep);
   std::vector<double> my_latencies;
   my_latencies.reserve(static_cast<std::size_t>(params.nrep));
   for (int rep = 0; rep < params.nrep; ++rep) {
@@ -25,6 +28,7 @@ sim::Task<MeasurementResult> run_barrier_scheme(simmpi::Comm& comm, vclock::Cloc
     const double t0 = clk.now();
     co_await op(comm);
     my_latencies.push_back(clk.now() - t0);
+    if (comm.rank() == 0) HCS_METRIC_INC("mpibench.reps.valid");
   }
   const std::vector<double> all = co_await simmpi::gather(comm, std::move(my_latencies), 0);
 

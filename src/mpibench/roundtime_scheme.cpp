@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "mpibench/window_scheme.hpp"  // wait_until_global
+#include "trace/metrics.hpp"
+#include "trace/span.hpp"
 #include "util/vec.hpp"
 
 namespace hcs::mpibench {
@@ -14,6 +16,7 @@ sim::Task<MeasurementResult> run_roundtime_scheme(simmpi::Comm& comm, vclock::Cl
     throw std::invalid_argument("Round-Time: slack factor B must be >= 1");
   }
   const int r = comm.rank();
+  HCS_TRACE_SCOPE(Bench, comm.my_world_rank(), "roundtime_scheme", params.max_nrep);
 
   // ESTIMATE_LATENCY(MPI_Bcast): the quantity that matters is how long an
   // announcement needs to reach the *last* rank.  The root timestamps each
@@ -60,10 +63,14 @@ sim::Task<MeasurementResult> run_roundtime_scheme(simmpi::Comm& comm, vclock::Cl
     if (flags.at(0) == 0.0) {
       record.push_back(end - start_time);
       record.push_back(end);
-      if (r == 0) start_times.push_back(start_time);
+      if (r == 0) {
+        start_times.push_back(start_time);
+        HCS_METRIC_INC("mpibench.reps.valid");
+      }
       ++nrep;
     } else {
       ++invalid_total;
+      if (r == 0) HCS_METRIC_INC("mpibench.reps.invalid");
     }
     if (flags.at(1) != 0.0 || nrep >= params.max_nrep) break;
   }

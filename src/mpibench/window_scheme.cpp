@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/metrics.hpp"
+#include "trace/span.hpp"
 #include "util/vec.hpp"
 
 namespace hcs::mpibench {
@@ -17,6 +19,7 @@ sim::Task<bool> wait_until_global(simmpi::Comm& comm, vclock::Clock& g_clk, doub
 
 sim::Task<MeasurementResult> run_window_scheme(simmpi::Comm& comm, vclock::Clock& g_clk,
                                                CollectiveOp op, WindowSchemeParams params) {
+  HCS_TRACE_SCOPE(Bench, comm.my_world_rank(), "window_scheme", params.nrep);
   // Rank 0 announces the first window start on the global clock.
   std::vector<double> begin_msg;
   if (comm.rank() == 0) begin_msg = util::vec(g_clk.now() + params.initial_slack);
@@ -55,8 +58,10 @@ sim::Task<MeasurementResult> run_window_scheme(simmpi::Comm& comm, vclock::Clock
     }
     if (!all_on_time) {
       ++result.invalid_reps;
+      HCS_METRIC_INC("mpibench.reps.invalid");
       continue;
     }
+    HCS_METRIC_INC("mpibench.reps.valid");
     result.latencies.push_back(std::move(lats));
     const double start_time = t_begin + static_cast<double>(rep) * params.window;
     result.global_runtimes.push_back(max_end - start_time);

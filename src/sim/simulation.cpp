@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/metrics.hpp"
+
 namespace hcs::sim {
 
 // Wrapper coroutine that owns a spawned Task and notifies the simulation on
@@ -86,6 +88,9 @@ void Simulation::run(std::uint64_t max_events) {
     first_error_ = nullptr;
     std::rethrow_exception(error);
   }
+  // Metrics are reported once per run(), never inside the per-event loop:
+  // bench_micro_sim guards the loop's per-event cost.
+  const std::uint64_t events_before = events_processed_;
   while (!queue_.empty()) {
     if (events_processed_ >= max_events) {
       throw std::runtime_error("Simulation::run: event budget exceeded (" +
@@ -103,6 +108,9 @@ void Simulation::run(std::uint64_t max_events) {
       std::rethrow_exception(error);
     }
   }
+  HCS_METRIC_ADD("sim.events_processed", events_processed_ - events_before);
+  HCS_METRIC_SET("sim.virtual_time_s", now_);
+  HCS_METRIC_SET("sim.processes_spawned", static_cast<double>(spawned_));
 }
 
 }  // namespace hcs::sim

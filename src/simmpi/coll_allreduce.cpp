@@ -217,6 +217,7 @@ sim::Task<std::vector<double>> allreduce_rabenseifner(Comm& comm, std::vector<do
 
 sim::Task<std::vector<double>> allreduce(Comm& comm, std::vector<double> data, ReduceOp op,
                                          AllreduceAlgo algo, std::int64_t wire_bytes) {
+  HCS_TRACE_SCOPE(Coll, comm.my_world_rank(), "allreduce", wire_bytes);
   comm.advance_collective();
   if (comm.size() == 1) co_return data;
   switch (algo) {

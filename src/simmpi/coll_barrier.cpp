@@ -126,6 +126,7 @@ sim::Task<void> barrier_recursive_doubling(Comm& comm) {
 }  // namespace
 
 sim::Task<void> barrier(Comm& comm, BarrierAlgo algo) {
+  HCS_TRACE_SCOPE(Coll, comm.my_world_rank(), "barrier", static_cast<std::int64_t>(algo));
   comm.advance_collective();
   if (comm.size() == 1) co_return;
   switch (algo) {

@@ -95,6 +95,7 @@ sim::Task<std::vector<double>> bcast_scatter_allgather(Comm& comm, std::vector<d
 
 sim::Task<std::vector<double>> bcast(Comm& comm, std::vector<double> data, int root,
                                      BcastAlgo algo, std::int64_t wire_bytes) {
+  HCS_TRACE_SCOPE(Coll, comm.my_world_rank(), "bcast", wire_bytes);
   detail::check_root(comm, root);
   comm.advance_collective();
   if (comm.size() == 1) co_return data;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "simmpi/collectives.hpp"
+#include "trace/span.hpp"
 
 namespace hcs::simmpi::detail {
 

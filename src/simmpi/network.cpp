@@ -10,7 +10,25 @@ NetworkModel::NetworkModel(const topology::ClusterTopology& topo,
       params_(params),
       rng_(seed),
       egress_free_(static_cast<std::size_t>(topo.nodes()), 0.0),
-      ingress_free_(static_cast<std::size_t>(topo.nodes()), 0.0) {}
+      ingress_free_(static_cast<std::size_t>(topo.nodes()), 0.0) {
+  if (trace::MetricsRegistry* m = trace::active_metrics()) {
+    static constexpr const char* kLevelNames[3] = {"intra_socket", "intra_node", "inter_node"};
+    for (int level = 0; level < 3; ++level) {
+      const std::string suffix = kLevelNames[level];
+      metrics_[level].messages = &m->counter("net.messages." + suffix);
+      metrics_[level].bytes = &m->counter("net.bytes." + suffix);
+      metrics_[level].delay = &m->histogram("net.delay." + suffix);
+    }
+  }
+}
+
+void NetworkModel::count_delivery(LinkLevel level, std::int64_t bytes, sim::Time delay) {
+  LevelMetrics& m = metrics_[static_cast<int>(level)];
+  if (!m.messages) return;
+  m.messages->inc();
+  m.bytes->inc(static_cast<std::uint64_t>(bytes));
+  m.delay->observe(delay);
+}
 
 LinkLevel NetworkModel::classify(int src_rank, int dst_rank) const {
   const auto a = topo_->locate(src_rank);
@@ -49,7 +67,9 @@ sim::Time NetworkModel::deliver_time(int src_rank, int dst_rank, std::int64_t by
                                      sim::Time depart_ready) {
   const LinkLevel level = classify(src_rank, dst_rank);
   if (level != LinkLevel::kInterNode) {
-    return depart_ready + sample_delay(level, bytes);
+    const sim::Time d = sample_delay(level, bytes);
+    count_delivery(level, bytes, d);
+    return depart_ready + d;
   }
   const auto src_node = static_cast<std::size_t>(topo_->locate(src_rank).node);
   const auto dst_node = static_cast<std::size_t>(topo_->locate(dst_rank).node);
@@ -60,12 +80,17 @@ sim::Time NetworkModel::deliver_time(int src_rank, int dst_rank, std::int64_t by
   sim::Time arrive = depart + sample_delay(level, bytes);
   arrive = std::max(arrive, ingress_free_[dst_node]);
   ingress_free_[dst_node] = arrive + nic_busy;
+  // The observed delay includes NIC queueing: hand-off to arrival.
+  count_delivery(level, bytes, arrive - depart_ready);
   return arrive;
 }
 
 sim::Time NetworkModel::deliver_time_uncontended(int src_rank, int dst_rank, std::int64_t bytes,
                                                  sim::Time depart_ready) {
-  return depart_ready + sample_delay(classify(src_rank, dst_rank), bytes);
+  const LinkLevel level = classify(src_rank, dst_rank);
+  const sim::Time d = sample_delay(level, bytes);
+  count_delivery(level, bytes, d);
+  return depart_ready + d;
 }
 
 }  // namespace hcs::simmpi

@@ -14,6 +14,7 @@
 #include "sim/time.hpp"
 #include "topology/params.hpp"
 #include "topology/topology.hpp"
+#include "trace/metrics.hpp"
 
 namespace hcs::simmpi {
 
@@ -48,11 +49,22 @@ class NetworkModel {
   double expected_delay(LinkLevel level, std::int64_t bytes) const;
 
  private:
+  // Metric handles resolved once at construction against the registry that
+  // was active then (install metrics before building the World); null when
+  // metrics are off, so the per-message cost is one branch.
+  struct LevelMetrics {
+    trace::Counter* messages = nullptr;
+    trace::Counter* bytes = nullptr;
+    trace::HistogramMetric* delay = nullptr;
+  };
+  void count_delivery(LinkLevel level, std::int64_t bytes, sim::Time delay);
+
   const topology::ClusterTopology* topo_;
   topology::NetworkParams params_;
   sim::Rng rng_;
   std::vector<sim::Time> egress_free_;   // per node
   std::vector<sim::Time> ingress_free_;  // per node
+  LevelMetrics metrics_[3];              // indexed by LinkLevel
 };
 
 }  // namespace hcs::simmpi

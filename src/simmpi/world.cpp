@@ -33,9 +33,20 @@ World::World(topology::MachineConfig machine, std::uint64_t seed)
         std::make_shared<vclock::HardwareClock>(sim_, machine_.clocks, sim::splitmix64(sm)));
   }
   mailboxes_.resize(static_cast<std::size_t>(size()));
+  time_source_.sim = &sim_;
+  if (trace::Tracer* tracer = trace::active_tracer()) {
+    tracer->set_time_source(&time_source_, trace::TimeSourceKind::kSimTime);
+  }
+  if (trace::MetricsRegistry* m = trace::active_metrics()) {
+    rtt_metric_ = &m->histogram("sync.rtt");
+    pingpong_counter_ = &m->counter("sync.pingpongs");
+  }
 }
 
-World::~World() = default;
+World::~World() {
+  trace::Tracer* tracer = trace::active_tracer();
+  if (tracer && tracer->time_source() == &time_source_) tracer->set_time_source(nullptr);
+}
 
 vclock::ClockPtr World::base_clock(int rank) const {
   return hw_clocks_[static_cast<std::size_t>(machine_.topo.time_source_id(rank))];
@@ -220,11 +231,19 @@ void World::synthesize_burst(BurstState& st) {
     const sim::Time recv_time = arrive_client + o_r;
     s.client_recv = st.client_clock->at(recv_time);
     st.samples.push_back(s);
+    if (rtt_metric_) rtt_metric_->observe(recv_time - tc);  // true round-trip time
     tc = recv_time;
     tr = reply_depart;
   }
   st.client_done = tc;
   st.ref_done = tr;
+  if (pingpong_counter_) pingpong_counter_->inc(static_cast<std::uint64_t>(st.nexchanges));
+  if (trace::Tracer* tracer = trace::active_tracer()) {
+    // Explicit timestamps: the burst is synthesized, so "now" would misplace
+    // it.  This span is where HCA3 spends its RTT budget.
+    tracer->record_complete(st.client_rank, trace::Category::kNet, "pingpong_burst",
+                            st.client_ready, st.client_done - st.client_ready, st.nexchanges);
+  }
 }
 
 sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_client,

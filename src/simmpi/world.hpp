@@ -23,6 +23,7 @@
 #include "simmpi/request.hpp"
 #include "simmpi/network.hpp"
 #include "topology/presets.hpp"
+#include "trace/tracer.hpp"
 #include "vclock/clock.hpp"
 #include "vclock/hardware_clock.hpp"
 
@@ -120,12 +121,22 @@ class World {
   };
   struct BurstState;
 
+  // Adapter handed to the active tracer so spans recorded anywhere in the
+  // process are stamped with this World's simulated time.
+  struct SimTimeSource final : trace::TimeSource {
+    sim::Simulation* sim = nullptr;
+    double trace_now() const override { return sim->now(); }
+  };
+
   static std::uint64_t pair_key(int a, int b, int world_size);
   void synthesize_burst(BurstState& st);
 
   topology::MachineConfig machine_;
   sim::Simulation sim_;
   NetworkModel network_;
+  SimTimeSource time_source_;
+  trace::HistogramMetric* rtt_metric_ = nullptr;
+  trace::Counter* pingpong_counter_ = nullptr;
   std::vector<std::shared_ptr<vclock::HardwareClock>> hw_clocks_;  // per time source
   std::vector<Mailbox> mailboxes_;
   std::map<std::uint64_t, std::shared_ptr<BurstState>> bursts_;

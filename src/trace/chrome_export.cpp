@@ -1,0 +1,95 @@
+#include "trace/chrome_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace hcs::trace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_number(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  os << buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+
+  // Metadata: name the process and one thread per rank so Perfetto shows
+  // "rank N" rows instead of bare tids.
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"hclocksync\"}}";
+  std::set<std::int32_t> ranks;
+  for (const TraceEvent& ev : events) ranks.insert(ev.rank);
+  for (const std::int32_t rank : ranks) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << rank
+       << ",\"args\":{\"name\":\"rank " << rank << "\"}}";
+  }
+
+  for (const TraceEvent& ev : events) {
+    sep();
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"" << to_string(ev.cat)
+       << "\",\"ph\":\"" << (ev.instant() ? 'i' : 'X') << "\",\"pid\":0,\"tid\":" << ev.rank
+       << ",\"ts\":";
+    write_number(os, ev.ts * 1e6);
+    if (ev.instant()) {
+      os << ",\"s\":\"t\"";
+    } else {
+      os << ",\"dur\":";
+      write_number(os, ev.dur * 1e6);
+    }
+    os << ",\"args\":{\"arg\":" << ev.arg << ",\"time_source\":\"" << to_string(ev.source)
+       << "\"}}";
+  }
+  os << "]}";
+}
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  write_chrome_trace(os, tracer.merged_events());
+}
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, tracer);
+  out.flush();
+  return out.good();
+}
+
+}  // namespace hcs::trace

@@ -1,0 +1,34 @@
+// Chrome Trace Event Format export for the structured tracer.
+//
+// Produces the JSON-object form ({"traceEvents":[...]}) readable by
+// chrome://tracing and https://ui.perfetto.dev: one "X" (complete) event per
+// span, one "i" (instant) event per instant, plus "M" metadata events naming
+// the process and one thread per rank.  Timestamps are microseconds; tid is
+// the rank, so the timeline shows one row per rank like the paper's Gantt
+// charts (Fig. 10).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace hcs::trace {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Writes `events` (typically Tracer::merged_events()) as Chrome trace JSON.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// Convenience: merge + write.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Writes the tracer's merged events to `path`; returns false if the file
+/// could not be opened or written.
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer);
+
+}  // namespace hcs::trace

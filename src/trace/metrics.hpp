@@ -1,0 +1,168 @@
+// Metrics registry: counters, gauges and sample histograms that the
+// simulator, the network model and the sync algorithms report into.
+//
+// Like the tracer, a registry is installed globally (install_metrics /
+// ScopedMetrics); with none installed every HCS_METRIC_* macro is a pointer
+// load and a branch.  Hot callers (NetworkModel, World) resolve their
+// Counter/HistogramMetric pointers once at construction — registry entries
+// are stable for the registry's lifetime — so the per-message cost with
+// metrics ON is a few adds, not a map lookup.
+//
+// Histograms keep exact count/sum/min/max and a capacity-bounded sample
+// reservoir (stride decimation: when full, every other retained sample is
+// discarded and the sampling stride doubles — deterministic, no RNG).
+// Percentiles use the nearest-rank method over the retained samples.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hcs::trace {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Unit of a histogram's observations.  Seconds-valued histograms get their
+/// summary columns rendered in microseconds; unitless ones (ratios, counts
+/// per round, r^2) are printed raw.
+enum class MetricUnit : std::uint8_t { kSeconds, kNone };
+
+class HistogramMetric {
+ public:
+  static constexpr std::size_t kDefaultSampleCap = 1 << 16;
+
+  explicit HistogramMetric(std::size_t sample_cap = kDefaultSampleCap,
+                           MetricUnit unit = MetricUnit::kSeconds);
+
+  void observe(double x);
+
+  MetricUnit unit() const noexcept { return unit_; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double mean() const noexcept { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Nearest-rank percentile (q in [0, 100]) over the retained samples.
+  double percentile(double q) const;
+
+  /// Retained samples, in observation order (decimated once past the cap).
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> samples_;
+  std::size_t cap_;
+  MetricUnit unit_;
+  std::uint64_t stride_ = 1;  // record every stride_-th observation
+  std::uint64_t since_last_ = 0;
+};
+
+/// Named metrics, iterated in name order (deterministic exports).  References
+/// returned by counter()/gauge()/histogram() stay valid for the registry's
+/// lifetime (std::map nodes are stable).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `unit` only takes effect on first creation of `name`.
+  HistogramMetric& histogram(const std::string& name, MetricUnit unit = MetricUnit::kSeconds);
+
+  const std::map<std::string, Counter>& counters() const noexcept { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const noexcept { return gauges_; }
+  const std::map<std::string, HistogramMetric>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, HistogramMetric> histograms_;
+};
+
+/// The globally active registry (nullptr = metrics off, the default).
+MetricsRegistry* active_metrics() noexcept;
+void install_metrics(MetricsRegistry* registry) noexcept;
+
+/// RAII install/uninstall, restoring the previous registry.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry* registry);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// CSV dump: one row per metric with kind, count/value and distribution
+/// columns (mean/p50/p90/p99/min/max for histograms).
+void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry);
+
+/// Human-readable end-of-run summary (util::Table): counters & gauges first,
+/// then histogram percentiles.  `unit_scale` multiplies the columns of
+/// seconds-valued histograms (1e6 renders them as microseconds); unitless
+/// histograms print raw.
+void print_metrics_summary(std::ostream& os, const MetricsRegistry& registry,
+                           double unit_scale = 1e6);
+
+}  // namespace hcs::trace
+
+#define HCS_METRIC_INC(name)                                                          \
+  do {                                                                                \
+    if (::hcs::trace::MetricsRegistry* hcs_m = ::hcs::trace::active_metrics())        \
+      hcs_m->counter(name).inc();                                                     \
+  } while (0)
+
+#define HCS_METRIC_ADD(name, n)                                                       \
+  do {                                                                                \
+    if (::hcs::trace::MetricsRegistry* hcs_m = ::hcs::trace::active_metrics())        \
+      hcs_m->counter(name).inc(static_cast<std::uint64_t>(n));                        \
+  } while (0)
+
+#define HCS_METRIC_SET(name, v)                                                       \
+  do {                                                                                \
+    if (::hcs::trace::MetricsRegistry* hcs_m = ::hcs::trace::active_metrics())        \
+      hcs_m->gauge(name).set(v);                                                      \
+  } while (0)
+
+#define HCS_METRIC_OBSERVE(name, x)                                                   \
+  do {                                                                                \
+    if (::hcs::trace::MetricsRegistry* hcs_m = ::hcs::trace::active_metrics())        \
+      hcs_m->histogram(name).observe(x);                                              \
+  } while (0)
+
+#define HCS_METRIC_OBSERVE_RAW(name, x)                                               \
+  do {                                                                                \
+    if (::hcs::trace::MetricsRegistry* hcs_m = ::hcs::trace::active_metrics())        \
+      hcs_m->histogram(name, ::hcs::trace::MetricUnit::kNone).observe(x);             \
+  } while (0)

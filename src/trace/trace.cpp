@@ -5,13 +5,15 @@
 #include <limits>
 #include <stdexcept>
 
+#include "trace/chrome_export.hpp"
+
 namespace hcs::trace {
 
-Tracer::Tracer(int rank, vclock::ClockPtr clock) : rank_(rank), clock_(std::move(clock)) {
+IntervalTracer::IntervalTracer(int rank, vclock::ClockPtr clock) : rank_(rank), clock_(std::move(clock)) {
   if (!clock_) throw std::invalid_argument("Tracer: null clock");
 }
 
-std::size_t Tracer::begin_event(const std::string& name, int iteration) {
+std::size_t IntervalTracer::begin_event(const std::string& name, int iteration) {
   Interval iv;
   iv.event = name;
   iv.iteration = iteration;
@@ -20,17 +22,17 @@ std::size_t Tracer::begin_event(const std::string& name, int iteration) {
   return intervals_.size() - 1;
 }
 
-void Tracer::end_event(std::size_t index) {
-  if (index >= intervals_.size()) throw std::out_of_range("Tracer::end_event: bad index");
+void IntervalTracer::end_event(std::size_t index) {
+  if (index >= intervals_.size()) throw std::out_of_range("IntervalTracer::end_event: bad index");
   intervals_[index].end = clock_->now();
 }
 
-std::vector<GanttRow> gantt_rows(const std::vector<Tracer>& tracers, const std::string& event,
+std::vector<GanttRow> gantt_rows(const std::vector<IntervalTracer>& tracers, const std::string& event,
                                  int iteration) {
   std::vector<GanttRow> rows;
   rows.reserve(tracers.size());
   double min_start = std::numeric_limits<double>::infinity();
-  for (const Tracer& tracer : tracers) {
+  for (const IntervalTracer& tracer : tracers) {
     for (const Interval& iv : tracer.intervals()) {
       if (iv.event == event && iv.iteration == iteration) {
         GanttRow row;
@@ -47,19 +49,19 @@ std::vector<GanttRow> gantt_rows(const std::vector<Tracer>& tracers, const std::
   return rows;
 }
 
-std::string to_chrome_trace_json(const std::vector<Tracer>& tracers) {
+std::string to_chrome_trace_json(const std::vector<IntervalTracer>& tracers) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char buf[256];
-  for (const Tracer& tracer : tracers) {
+  for (const IntervalTracer& tracer : tracers) {
     for (const Interval& iv : tracer.intervals()) {
       if (!first) out += ',';
       first = false;
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"%s\",\"cat\":\"mpi\",\"ph\":\"X\",\"pid\":0,"
                     "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"iteration\":%d}}",
-                    iv.event.c_str(), tracer.rank(), iv.start * 1e6, iv.duration() * 1e6,
-                    iv.iteration);
+                    json_escape(iv.event).c_str(), tracer.rank(), iv.start * 1e6,
+                    iv.duration() * 1e6, iv.iteration);
       out += buf;
     }
   }

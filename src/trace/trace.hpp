@@ -22,9 +22,9 @@ struct Interval {
 };
 
 /// One per rank; not shared.
-class Tracer {
+class IntervalTracer {
  public:
-  Tracer(int rank, vclock::ClockPtr clock);
+  IntervalTracer(int rank, vclock::ClockPtr clock);
 
   /// Begins an interval and returns its index (for end_event).
   std::size_t begin_event(const std::string& name, int iteration);
@@ -51,7 +51,7 @@ struct GanttRow {
 /// Extracts the rows for `event` at `iteration` across all tracers,
 /// normalizing the start times to the minimum (the paper's "normalized
 /// time" axis).  Tracers must be ordered by rank.
-std::vector<GanttRow> gantt_rows(const std::vector<Tracer>& tracers, const std::string& event,
+std::vector<GanttRow> gantt_rows(const std::vector<IntervalTracer>& tracers, const std::string& event,
                                  int iteration);
 
 /// Serializes all recorded intervals into the Chrome Trace Event Format
@@ -60,6 +60,6 @@ std::vector<GanttRow> gantt_rows(const std::vector<Tracer>& tracers, const std::
 /// tracer's own clock.  This is the practical payoff of a global clock for
 /// tracing (paper §V-C): recorded with local clocks the timeline is
 /// scrambled; with a synchronized clock it lines up.
-std::string to_chrome_trace_json(const std::vector<Tracer>& tracers);
+std::string to_chrome_trace_json(const std::vector<IntervalTracer>& tracers);
 
 }  // namespace hcs::trace

@@ -32,6 +32,11 @@ class Cli {
   /// Seed: --seed beats fallback.
   std::uint64_t seed(std::uint64_t fallback) const;
 
+  /// Observability outputs: "--trace-out run.json" requests a Chrome-trace
+  /// dump, "--metrics-out run.csv" a metrics CSV.  Empty = disabled.
+  std::string trace_out() const { return get("trace-out", ""); }
+  std::string metrics_out() const { return get("metrics-out", ""); }
+
  private:
   std::string program_;
   std::map<std::string, std::string> options_;

@@ -1,0 +1,76 @@
+// validate_trace <trace.json>
+//
+// Standalone Chrome-trace validator used by the ctest integration fixture:
+// trace_app writes a trace, this tool re-parses it with the same strict mini
+// JSON parser the unit tests use and checks the Trace Event Format schema
+// (object form, traceEvents array, per-phase required fields).  Exits 0 on
+// success, 1 with a diagnostic otherwise.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "support/mini_json.hpp"
+
+namespace {
+
+using hcs::testsupport::JsonParser;
+using hcs::testsupport::JsonValue;
+
+int fail(const std::string& what) {
+  std::cerr << "validate_trace: " << what << "\n";
+  return 1;
+}
+
+}  // namespace
+
+namespace {
+
+int validate(const JsonValue& doc) {
+  if (!doc.is_object()) return fail("document is not a JSON object");
+  if (!doc.has("traceEvents")) return fail("missing traceEvents");
+  if (!doc.at("traceEvents").is_array()) return fail("traceEvents is not an array");
+
+  std::size_t n_spans = 0, n_instants = 0, n_meta = 0;
+  for (const JsonValue& ev : doc.at("traceEvents").as_array()) {
+    if (!ev.is_object()) return fail("event is not an object");
+    for (const char* key : {"name", "ph", "pid", "tid"}) {
+      if (!ev.has(key)) return fail(std::string("event missing \"") + key + "\"");
+    }
+    const std::string ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      ++n_meta;
+      continue;
+    }
+    if (!ev.has("ts") || !ev.at("ts").is_number()) return fail("event missing numeric ts");
+    if (ph == "X") {
+      ++n_spans;
+      if (!ev.has("dur") || !ev.at("dur").is_number()) return fail("X event missing dur");
+      if (ev.at("dur").as_number() < 0) return fail("X event with negative dur");
+    } else if (ph == "i") {
+      ++n_instants;
+    } else {
+      return fail("unexpected phase \"" + ph + "\"");
+    }
+  }
+
+  std::cout << "valid Chrome trace: " << n_spans << " spans, " << n_instants
+            << " instants, " << n_meta << " metadata events\n";
+  if (n_spans + n_instants == 0) return fail("trace contains no events");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return fail("usage: validate_trace <trace.json>");
+  std::ifstream in(argv[1]);
+  if (!in) return fail(std::string("cannot open ") + argv[1]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return validate(JsonParser::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}

@@ -10,9 +10,9 @@
 namespace hcs::trace {
 namespace {
 
-TEST(Tracer, RecordsIntervalsInClockUnits) {
+TEST(IntervalTracer, RecordsIntervalsInClockUnits) {
   simmpi::World w(topology::testbox(1, 1), 3);
-  Tracer tracer(0, w.base_clock(0));
+  IntervalTracer tracer(0, w.base_clock(0));
   w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
     const std::size_t idx = tracer.begin_event("compute", 0);
     co_await ctx.sim().delay(1e-3);
@@ -23,19 +23,19 @@ TEST(Tracer, RecordsIntervalsInClockUnits) {
   EXPECT_EQ(tracer.intervals()[0].event, "compute");
 }
 
-TEST(Tracer, NullClockRejected) {
-  EXPECT_THROW(Tracer(0, nullptr), std::invalid_argument);
+TEST(IntervalTracer, NullClockRejected) {
+  EXPECT_THROW(IntervalTracer(0, nullptr), std::invalid_argument);
 }
 
-TEST(Tracer, EndEventValidatesIndex) {
+TEST(IntervalTracer, EndEventValidatesIndex) {
   simmpi::World w(topology::testbox(1, 1), 3);
-  Tracer tracer(0, w.base_clock(0));
+  IntervalTracer tracer(0, w.base_clock(0));
   EXPECT_THROW(tracer.end_event(0), std::out_of_range);
 }
 
 TEST(Gantt, NormalizesToEarliestStart) {
   simmpi::World w(topology::testbox(1, 2), 5);
-  std::vector<Tracer> tracers;
+  std::vector<IntervalTracer> tracers;
   tracers.emplace_back(0, w.base_clock(0));
   tracers.emplace_back(1, w.base_clock(1));
   w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
@@ -54,7 +54,7 @@ TEST(Gantt, NormalizesToEarliestStart) {
 
 TEST(Gantt, FiltersByEventAndIteration) {
   simmpi::World w(topology::testbox(1, 1), 7);
-  std::vector<Tracer> tracers;
+  std::vector<IntervalTracer> tracers;
   tracers.emplace_back(0, w.base_clock(0));
   w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
     for (int it = 0; it < 3; ++it) {
@@ -78,7 +78,7 @@ TEST(Gantt, LocalClockOffsetsDistortStarts) {
   auto machine = topology::testbox(2, 1);
   machine.clocks.initial_offset_abs = 50e-3;
   simmpi::World w(machine, 9);
-  std::vector<Tracer> local_tracers, shared_tracers;
+  std::vector<IntervalTracer> local_tracers, shared_tracers;
   for (int r = 0; r < 2; ++r) {
     local_tracers.emplace_back(r, w.base_clock(r));
     shared_tracers.emplace_back(r, w.base_clock(0));  // same clock: "global"
@@ -103,7 +103,7 @@ TEST(Gantt, LocalClockOffsetsDistortStarts) {
 
 TEST(ChromeTrace, EmitsValidEventPerInterval) {
   simmpi::World w(topology::testbox(1, 2), 11);
-  std::vector<Tracer> tracers;
+  std::vector<IntervalTracer> tracers;
   tracers.emplace_back(0, w.base_clock(0));
   tracers.emplace_back(1, w.base_clock(1));
   w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {

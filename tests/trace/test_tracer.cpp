@@ -1,0 +1,221 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clocksync/factory.hpp"
+#include "simmpi/world.hpp"
+#include "topology/presets.hpp"
+#include "trace/span.hpp"
+
+namespace hcs::trace {
+namespace {
+
+struct FakeTimeSource final : TimeSource {
+  double t = 0.0;
+  double trace_now() const override { return t; }
+};
+
+TEST(StructuredTracer, NowIsZeroWithoutTimeSource) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.now(), 0.0);
+  EXPECT_EQ(tracer.time_source(), nullptr);
+}
+
+TEST(StructuredTracer, UsesInstalledTimeSource) {
+  Tracer tracer;
+  FakeTimeSource src;
+  src.t = 1.5;
+  tracer.set_time_source(&src, TimeSourceKind::kGlobalClock);
+  EXPECT_EQ(tracer.now(), 1.5);
+  EXPECT_EQ(tracer.time_source_kind(), TimeSourceKind::kGlobalClock);
+  tracer.record_instant(0, Category::kApp, "tick");
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts, 1.5);
+  EXPECT_TRUE(events[0].instant());
+  EXPECT_EQ(events[0].source, TimeSourceKind::kGlobalClock);
+}
+
+TEST(StructuredTracer, InvalidRingCapacityThrows) {
+  EXPECT_THROW(Tracer(0), std::invalid_argument);
+}
+
+TEST(StructuredTracer, RingOverflowDropsOldestOnly) {
+  Tracer tracer(4);
+  for (int i = 0; i < 6; ++i) {
+    tracer.record_complete(0, Category::kApp, "e", static_cast<double>(i), 0.1);
+  }
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 4u);
+  // The two oldest events (ts 0, 1) were overwritten.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].ts, static_cast<double>(i + 2));
+  }
+}
+
+TEST(StructuredTracer, RingsArePerRank) {
+  Tracer tracer(2);
+  tracer.record_complete(0, Category::kApp, "a", 0.0, 0.1);
+  tracer.record_complete(0, Category::kApp, "b", 1.0, 0.1);
+  tracer.record_complete(5, Category::kApp, "c", 2.0, 0.1);  // rank gap is fine
+  EXPECT_EQ(tracer.dropped(), 0u);  // rank 0 exactly full, rank 5 has room
+  EXPECT_EQ(tracer.merged_events().size(), 3u);
+}
+
+TEST(StructuredTracer, MergeOrdersByTimestampThenSequence) {
+  Tracer tracer;
+  // Same timestamp on three ranks: record order must break the tie.
+  tracer.record_complete(2, Category::kApp, "second", 1.0, 0.1);
+  tracer.record_complete(0, Category::kApp, "third", 1.0, 0.1);
+  tracer.record_complete(1, Category::kApp, "first", 0.5, 0.1);
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "first");
+  EXPECT_STREQ(events[1].name, "second");
+  EXPECT_STREQ(events[2].name, "third");
+  EXPECT_LT(events[1].seq, events[2].seq);
+}
+
+TEST(StructuredTracer, NegativeDurationClampedToZero) {
+  Tracer tracer;
+  tracer.record_complete(0, Category::kApp, "e", 1.0, -0.5);
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].dur, 0.0);     // clamped, so it is still a span ...
+  EXPECT_FALSE(events[0].instant());  // ... not reinterpreted as an instant
+}
+
+TEST(StructuredTracer, ClearResetsEverything) {
+  Tracer tracer(1);
+  tracer.record_instant(0, Category::kApp, "a");
+  tracer.record_instant(0, Category::kApp, "b");
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.merged_events().empty());
+}
+
+TEST(StructuredTracer, EnumNames) {
+  EXPECT_STREQ(to_string(Category::kSync), "sync");
+  EXPECT_STREQ(to_string(Category::kNet), "net");
+  EXPECT_STREQ(to_string(TimeSourceKind::kSimTime), "sim");
+  EXPECT_STREQ(to_string(TimeSourceKind::kLocalClock), "local");
+}
+
+TEST(ScopedTracerInstall, RestoresPreviousTracer) {
+  ASSERT_EQ(active_tracer(), nullptr);
+  Tracer outer, inner;
+  {
+    const ScopedTracer a(&outer);
+    EXPECT_EQ(active_tracer(), &outer);
+    {
+      const ScopedTracer b(&inner);
+      EXPECT_EQ(active_tracer(), &inner);
+    }
+    EXPECT_EQ(active_tracer(), &outer);
+  }
+  EXPECT_EQ(active_tracer(), nullptr);
+}
+
+TEST(SpanTest, RecordsIntervalOnDestruction) {
+  Tracer tracer;
+  FakeTimeSource src;
+  tracer.set_time_source(&src);
+  {
+    const Span span(&tracer, Category::kSync, 3, "work", 42);
+    src.t = 2.0;  // time passes inside the scope
+  }
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "work");
+  EXPECT_EQ(events[0].ts, 0.0);
+  EXPECT_EQ(events[0].dur, 2.0);
+  EXPECT_EQ(events[0].rank, 3);
+  EXPECT_EQ(events[0].arg, 42);
+  EXPECT_EQ(events[0].cat, Category::kSync);
+}
+
+TEST(SpanTest, NullTracerIsInert) {
+  const Span span(nullptr, Category::kApp, 0, "ignored");
+  // Nothing to assert beyond "does not crash / does not touch a tracer".
+  SUCCEED();
+}
+
+TEST(SpanMacros, NoOpWithoutInstalledTracer) {
+  ASSERT_EQ(active_tracer(), nullptr);
+  {
+    HCS_TRACE_SCOPE(App, 0, "scope_without_tracer", 1);
+    HCS_TRACE_INSTANT(App, 0, "instant_without_tracer");
+  }
+  SUCCEED();
+}
+
+TEST(SpanMacros, RecordIntoInstalledTracer) {
+  Tracer tracer;
+  FakeTimeSource src;
+  tracer.set_time_source(&src);
+  {
+    const ScopedTracer install(&tracer);
+    {
+      HCS_TRACE_SCOPE(Coll, 1, "macro_span", 7);
+      src.t = 1.0;
+      HCS_TRACE_INSTANT(Sync, 2, "macro_instant", 9);
+    }
+  }
+  const auto events = tracer.merged_events();
+  ASSERT_EQ(events.size(), 2u);
+  // The span covers [0, 1] and the instant fired at ts 1, so (ts, seq) order
+  // puts the span first even though the instant was recorded earlier.
+  EXPECT_STREQ(events[0].name, "macro_span");
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].arg, 7);
+  EXPECT_EQ(events[0].dur, 1.0);
+  EXPECT_STREQ(events[1].name, "macro_instant");
+  EXPECT_EQ(events[1].rank, 2);
+  EXPECT_EQ(events[1].arg, 9);
+}
+
+TEST(StructuredTracer, IdenticalSimRunsProduceIdenticalStreams) {
+  // The determinism contract: two identical HCA3 runs under fresh tracers
+  // yield byte-identical merged event streams.
+  const auto run_once = [](std::vector<TraceEvent>& out) {
+    Tracer tracer;
+    const ScopedTracer install(&tracer);
+    simmpi::World world(topology::testbox(2, 2), 17);
+    world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+      auto sync = clocksync::make_sync("hca3/recompute_intercept/50/skampi_offset/10");
+      (void)co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    });
+    out = tracer.merged_events();
+  };
+  std::vector<TraceEvent> first, second;
+  run_once(first);
+  run_once(second);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_STREQ(first[i].name, second[i].name);
+    EXPECT_EQ(first[i].ts, second[i].ts);
+    EXPECT_EQ(first[i].dur, second[i].dur);
+    EXPECT_EQ(first[i].seq, second[i].seq);
+    EXPECT_EQ(first[i].rank, second[i].rank);
+    EXPECT_EQ(first[i].cat, second[i].cat);
+  }
+}
+
+TEST(StructuredTracer, WorldInstallsSimTimeSource) {
+  Tracer tracer;
+  const ScopedTracer install(&tracer);
+  {
+    simmpi::World world(topology::testbox(1, 2), 3);
+    EXPECT_NE(tracer.time_source(), nullptr);
+    EXPECT_EQ(tracer.time_source_kind(), TimeSourceKind::kSimTime);
+  }
+  // World destruction must clear its dangling time source.
+  EXPECT_EQ(tracer.time_source(), nullptr);
+}
+
+}  // namespace
+}  // namespace hcs::trace
