@@ -90,11 +90,21 @@ int main(int argc, char** argv) {
       {&per_node, "per-node / H3HCA", 3},
       {&per_socket, "per-socket / H3HCA", 3},
   };
-  for (const Case& c : cases) {
+  // Flatten (case, run); the seed depends only on the run index, as in the
+  // sequential loop this replaces.
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<Outcome> outcomes = pool.map(
+      static_cast<int>(cases.size()) * nmpiruns, opt.seed, [&](const runner::Trial& trial) {
+        const Case& c = cases[static_cast<std::size_t>(trial.index / nmpiruns)];
+        return run(*c.machine, c.levels, nfit, npp,
+                   opt.seed + static_cast<std::uint64_t>(trial.index % nmpiruns));
+      });
+  for (std::size_t case_idx = 0; case_idx < cases.size(); ++case_idx) {
+    const Case& c = cases[case_idx];
     std::vector<double> durations, offsets;
     for (int r = 0; r < nmpiruns; ++r) {
-      const Outcome o = run(*c.machine, c.levels, nfit, npp,
-                            opt.seed + static_cast<std::uint64_t>(r));
+      const Outcome& o =
+          outcomes[case_idx * static_cast<std::size_t>(nmpiruns) + static_cast<std::size_t>(r)];
       durations.push_back(o.duration);
       offsets.push_back(o.max_offset_us);
     }

@@ -70,9 +70,19 @@ int main(int argc, char** argv) {
                             std::to_string(scaled(1000, opt.scale, 50)) + "/skampi_offset/" +
                             std::to_string(scaled(100, opt.scale, 10));
 
+  // Each interval's session is an independent mpirun — fan them out.
+  const std::vector<double> intervals{5.0, 10.0, 20.0, 60.0, 1e9};
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<Outcome> outcomes =
+      pool.map(static_cast<int>(intervals.size()), opt.seed, [&](const runner::Trial& trial) {
+        return run_session(machine, intervals[static_cast<std::size_t>(trial.index)], session_s,
+                           label, opt.seed);
+      });
+
   util::Table table({"resync_interval_s", "resyncs", "sync_cost_s", "residual_after_60s_us"});
-  for (const double interval : {5.0, 10.0, 20.0, 60.0, 1e9}) {
-    const Outcome o = run_session(machine, interval, session_s, label, opt.seed);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const double interval = intervals[i];
+    const Outcome& o = outcomes[i];
     table.add_row({interval > 1e8 ? "never (one-shot)" : util::fmt(interval, 0),
                    std::to_string(o.resyncs), util::fmt(o.sync_cost_s, 3),
                    util::fmt(o.residual_us, 3)});

@@ -66,26 +66,40 @@ int main(int argc, char** argv) {
 
   util::Table table({"scheme", "valid_reps", "invalid_reps", "median_runtime_us"});
 
-  for (const double window_us : {40.0, 80.0, 400.0}) {
-    const auto outcome =
-        run_scheme(machine, sync_label, opt.seed, [&](simmpi::RankCtx& ctx, vclock::Clock& g) {
-          mpibench::WindowSchemeParams params;
-          params.nrep = nrep;
-          params.window = window_us * 1e-6;
-          return mpibench::run_window_scheme(ctx.comm_world(), g, op, params);
-        });
-    table.add_row({"window/" + util::fmt(window_us, 0) + "us", std::to_string(outcome.valid),
+  // Window-scheme and Round-Time trials are all independent mpiruns.
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<double> windows_us{40.0, 80.0, 400.0};
+  const std::vector<SchemeOutcome> window_outcomes =
+      pool.map(static_cast<int>(windows_us.size()), opt.seed, [&](const runner::Trial& trial) {
+        const double window_us = windows_us[static_cast<std::size_t>(trial.index)];
+        return run_scheme(machine, sync_label, opt.seed,
+                          [&](simmpi::RankCtx& ctx, vclock::Clock& g) {
+                            mpibench::WindowSchemeParams params;
+                            params.nrep = nrep;
+                            params.window = window_us * 1e-6;
+                            return mpibench::run_window_scheme(ctx.comm_world(), g, op, params);
+                          });
+      });
+  const std::vector<double> slacks{1.5, 3.0, 10.0};
+  const std::vector<SchemeOutcome> slack_outcomes =
+      pool.map(static_cast<int>(slacks.size()), opt.seed, [&](const runner::Trial& trial) {
+        const double slack = slacks[static_cast<std::size_t>(trial.index)];
+        return run_scheme(machine, sync_label, opt.seed,
+                          [&](simmpi::RankCtx& ctx, vclock::Clock& g) {
+                            mpibench::RoundTimeParams params;
+                            params.max_nrep = nrep;
+                            params.slack_factor = slack;
+                            return mpibench::run_roundtime_scheme(ctx.comm_world(), g, op, params);
+                          });
+      });
+  for (std::size_t i = 0; i < windows_us.size(); ++i) {
+    const SchemeOutcome& outcome = window_outcomes[i];
+    table.add_row({"window/" + util::fmt(windows_us[i], 0) + "us", std::to_string(outcome.valid),
                    std::to_string(outcome.invalid), util::fmt(outcome.median_runtime_us, 2)});
   }
-  for (const double slack : {1.5, 3.0, 10.0}) {
-    const auto outcome =
-        run_scheme(machine, sync_label, opt.seed, [&](simmpi::RankCtx& ctx, vclock::Clock& g) {
-          mpibench::RoundTimeParams params;
-          params.max_nrep = nrep;
-          params.slack_factor = slack;
-          return mpibench::run_roundtime_scheme(ctx.comm_world(), g, op, params);
-        });
-    table.add_row({"round-time/B=" + util::fmt(slack, 1), std::to_string(outcome.valid),
+  for (std::size_t i = 0; i < slacks.size(); ++i) {
+    const SchemeOutcome& outcome = slack_outcomes[i];
+    table.add_row({"round-time/B=" + util::fmt(slacks[i], 1), std::to_string(outcome.valid),
                    std::to_string(outcome.invalid), util::fmt(outcome.median_runtime_us, 2)});
   }
   table.print(std::cout);

@@ -63,15 +63,26 @@ int main(int argc, char** argv) {
                                  std::to_string(scaled(1000, opt.scale, 40)) +
                                  "/skampi_offset/" + std::to_string(scaled(100, opt.scale, 10));
 
+  const std::vector<std::int64_t> msizes{4, 8, 16};
+  const std::vector<simmpi::BarrierAlgo> barriers{simmpi::BarrierAlgo::kBruck,
+                                                  simmpi::BarrierAlgo::kRecursiveDoubling,
+                                                  simmpi::BarrierAlgo::kTree};
+  const int nbarriers = static_cast<int>(barriers.size());
+  // Every (msize, barrier) cell is an independent mpirun — fan them out.
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<Cell> cells = pool.map(
+      static_cast<int>(msizes.size()) * nbarriers, opt.seed, [&](const runner::Trial& trial) {
+        return run_cell(machine, msizes[static_cast<std::size_t>(trial.index / nbarriers)],
+                        barriers[static_cast<std::size_t>(trial.index % nbarriers)], nrep,
+                        sync_label, opt.seed);
+      });
+
   util::Table table({"msize_B", "barrier", "IMB_us", "OSU_us", "ReproMPI_us"});
-  for (std::int64_t msize : {4, 8, 16}) {
-    for (simmpi::BarrierAlgo barrier :
-         {simmpi::BarrierAlgo::kBruck, simmpi::BarrierAlgo::kRecursiveDoubling,
-          simmpi::BarrierAlgo::kTree}) {
-      const Cell c = run_cell(machine, msize, barrier, nrep, sync_label, opt.seed);
-      table.add_row({std::to_string(msize), simmpi::to_string(barrier), util::fmt(c.imb_us, 2),
-                     util::fmt(c.osu_us, 2), util::fmt(c.repro_us, 2)});
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    table.add_row({std::to_string(msizes[i / barriers.size()]),
+                   simmpi::to_string(barriers[i % barriers.size()]), util::fmt(c.imb_us, 2),
+                   util::fmt(c.osu_us, 2), util::fmt(c.repro_us, 2)});
   }
   table.print(std::cout);
   if (opt.csv) table.print_csv(std::cout);

@@ -52,15 +52,28 @@ int main(int argc, char** argv) {
                                  std::to_string(scaled(1000, opt.scale, 40)) +
                                  "/skampi_offset/" + std::to_string(scaled(100, opt.scale, 10));
 
+  const std::vector<simmpi::BarrierAlgo> algos{
+      simmpi::BarrierAlgo::kBruck, simmpi::BarrierAlgo::kDoubleRing,
+      simmpi::BarrierAlgo::kRecursiveDoubling, simmpi::BarrierAlgo::kTree};
+  // All (algo, run) mpiruns are independent; the seed depends only on the
+  // run index, as in the sequential loop this replaces.
+  runner::TrialRunner pool(opt.jobs);
+  const auto runs = pool.map(static_cast<int>(algos.size()) * nmpiruns, opt.seed,
+                             [&](const runner::Trial& trial) {
+                               return one_mpirun(
+                                   machine, algos[static_cast<std::size_t>(trial.index / nmpiruns)],
+                                   ncalls, sync_label,
+                                   opt.seed + static_cast<std::uint64_t>(trial.index % nmpiruns));
+                             });
+
   util::Table table({"barrier", "n", "min_us", "q25_us", "median_us", "q75_us", "max_us",
                      "mean_us"});
-  for (simmpi::BarrierAlgo algo :
-       {simmpi::BarrierAlgo::kBruck, simmpi::BarrierAlgo::kDoubleRing,
-        simmpi::BarrierAlgo::kRecursiveDoubling, simmpi::BarrierAlgo::kTree}) {
+  for (std::size_t algo_idx = 0; algo_idx < algos.size(); ++algo_idx) {
+    const simmpi::BarrierAlgo algo = algos[algo_idx];
     std::vector<double> pooled;
     for (int run = 0; run < nmpiruns; ++run) {
-      const auto imbalances = one_mpirun(machine, algo, ncalls, sync_label,
-                                         opt.seed + static_cast<std::uint64_t>(run));
+      const auto& imbalances =
+          runs[algo_idx * static_cast<std::size_t>(nmpiruns) + static_cast<std::size_t>(run)];
       pooled.insert(pooled.end(), imbalances.begin(), imbalances.end());
     }
     const util::Summary s = util::summarize(pooled);

@@ -65,13 +65,25 @@ int main(int argc, char** argv) {
                                  "/skampi_offset/" + std::to_string(scaled(100, opt.scale, 10)) +
                                  "/bottom/clockpropagation";
 
+  const std::vector<std::int64_t> msizes{4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  // All (msize, run) mpiruns are independent; the seed depends only on the
+  // run index, as in the sequential loop this replaces.
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<Point> points = pool.map(
+      static_cast<int>(msizes.size()) * nmpiruns, opt.seed, [&](const runner::Trial& trial) {
+        return one_mpirun(machine, msizes[static_cast<std::size_t>(trial.index / nmpiruns)], nrep,
+                          sync_label,
+                          opt.seed + static_cast<std::uint64_t>(trial.index % nmpiruns));
+      });
+
   util::Table table({"msize_B", "IMB_us", "OSU_us", "Repro_us", "Repro_min_us", "Repro_max_us",
                      "IMB/Repro", "OSU/Repro"});
-  for (std::int64_t msize : {4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+  for (std::size_t msize_idx = 0; msize_idx < msizes.size(); ++msize_idx) {
+    const std::int64_t msize = msizes[msize_idx];
     std::vector<double> imb, osu, repro;
     for (int run = 0; run < nmpiruns; ++run) {
-      const Point p =
-          one_mpirun(machine, msize, nrep, sync_label, opt.seed + static_cast<std::uint64_t>(run));
+      const Point& p =
+          points[msize_idx * static_cast<std::size_t>(nmpiruns) + static_cast<std::size_t>(run)];
       imb.push_back(p.imb_us);
       osu.push_back(p.osu_us);
       repro.push_back(p.repro_us);

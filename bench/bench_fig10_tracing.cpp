@@ -113,14 +113,27 @@ int main(int argc, char** argv) {
   gtod.clocks.initial_offset_abs = 150e-6;
   gtod.clocks.read_resolution = 1e-6;
 
-  print_gantt("clock_gettime + global clock (paper 10a): aligned starts, ~tens of us",
-              run_traced_app(cgt, true, iterations, sync_label, opt.seed).rows);
-  print_gantt("clock_gettime + local clock (paper 10b): offsets dominate completely",
-              run_traced_app(cgt, false, iterations, sync_label, opt.seed).rows);
-  print_gantt("gettimeofday + global clock (paper 10c): aligned starts, ~tens of us",
-              run_traced_app(gtod, true, iterations, sync_label, opt.seed).rows);
-  print_gantt("gettimeofday + local clock (paper 10d): ~100s of us scatter",
-              run_traced_app(gtod, false, iterations, sync_label, opt.seed).rows);
+  struct Config {
+    const topology::MachineConfig* machine;
+    bool use_global_clock;
+    std::string title;
+  };
+  const std::vector<Config> configs = {
+      {&cgt, true, "clock_gettime + global clock (paper 10a): aligned starts, ~tens of us"},
+      {&cgt, false, "clock_gettime + local clock (paper 10b): offsets dominate completely"},
+      {&gtod, true, "gettimeofday + global clock (paper 10c): aligned starts, ~tens of us"},
+      {&gtod, false, "gettimeofday + local clock (paper 10d): ~100s of us scatter"},
+  };
+  // The four timer/clock configurations are independent mpiruns — fan out.
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<TraceOutcome> outcomes =
+      pool.map(static_cast<int>(configs.size()), opt.seed, [&](const runner::Trial& trial) {
+        const Config& c = configs[static_cast<std::size_t>(trial.index)];
+        return run_traced_app(*c.machine, c.use_global_clock, iterations, sync_label, opt.seed);
+      });
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    print_gantt(configs[i].title, outcomes[i].rows);
+  }
 
   std::cout << "Shape check: start-time spread is seconds-scale in 10b, ~100s of us in 10d, "
                "and only tens of us with the global clock (10a/10c).\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -15,11 +16,21 @@ namespace hcs::bench {
 BenchOptions parse_common(int argc, const char* const* argv, double default_scale) {
   const util::Cli cli(argc, argv, {"csv"});
   BenchOptions opt;
-  opt.scale = cli.scale(default_scale);
-  opt.seed = cli.seed(1);
-  opt.csv = cli.has("csv");
-  opt.trace_out = cli.trace_out();
-  opt.metrics_out = cli.metrics_out();
+  try {
+    cli.reject_unknown({"scale", "seed", "jobs", "csv", "trace-out", "metrics-out"});
+    opt.scale = cli.scale(default_scale);
+    opt.seed = cli.seed(1);
+    opt.jobs = cli.jobs(1);
+    opt.csv = cli.has("csv");
+    opt.trace_out = cli.trace_out();
+    opt.metrics_out = cli.metrics_out();
+  } catch (const std::exception& e) {
+    std::cerr << cli.program() << ": " << e.what() << "\n"
+              << "usage: " << cli.program()
+              << " [--scale S] [--seed N] [--jobs J] [--csv]"
+                 " [--trace-out FILE] [--metrics-out FILE]\n";
+    std::exit(2);
+  }
   return opt;
 }
 
@@ -102,11 +113,23 @@ void run_and_print_sync_experiment(util::Table& table, const topology::MachineCo
                                    const std::vector<std::string>& labels, int nmpiruns,
                                    double wait_time, double sample_fraction,
                                    const BenchOptions& opt) {
-  for (const std::string& label : labels) {
+  // Flatten (label, run) into one trial index so all mpiruns of all
+  // algorithms fan out together; the seed depends only on `run`, matching
+  // the sequential convention (mpirun i of every algorithm uses seed + i).
+  const int nlabels = static_cast<int>(labels.size());
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<SyncAccuracyPoint> points =
+      pool.map(nlabels * nmpiruns, opt.seed, [&](const runner::Trial& trial) {
+        const int label_idx = trial.index / nmpiruns;
+        const int run = trial.index % nmpiruns;
+        return run_sync_accuracy(machine, labels[label_idx], wait_time, sample_fraction,
+                                 opt.seed + static_cast<std::uint64_t>(run));
+      });
+  for (int label_idx = 0; label_idx < nlabels; ++label_idx) {
+    const std::string& label = labels[static_cast<std::size_t>(label_idx)];
     std::vector<double> durations, t0s, t1s;
     for (int run = 0; run < nmpiruns; ++run) {
-      const SyncAccuracyPoint p = run_sync_accuracy(machine, label, wait_time, sample_fraction,
-                                                    opt.seed + static_cast<std::uint64_t>(run));
+      const SyncAccuracyPoint& p = points[static_cast<std::size_t>(label_idx * nmpiruns + run)];
       durations.push_back(p.duration);
       t0s.push_back(p.max_offset_t0);
       t1s.push_back(p.max_offset_t1);

@@ -5,10 +5,15 @@
 //                    fit points; 1.0 = the paper's full configuration.  Each
 //                    binary picks a default sized for a one-core machine.
 //   --seed N         : base seed; mpirun i uses seed N + i.
+//   --jobs J         (or $HCLOCKSYNC_JOBS): worker threads for independent
+//                    trials; 0 = one per hardware thread.  Output is
+//                    byte-identical for any J (see runner::TrialRunner).
 //   --csv            : additionally emit CSV rows.
 //   --trace-out F    : dump a Chrome trace (chrome://tracing / Perfetto).
 //   --metrics-out F  : dump the metrics registry as CSV.
-// Headers always state machine, scale and the paper figure being reproduced.
+// Unknown options are an error (exit code 2), so "--job 4" can't silently
+// run the default configuration.  Headers always state machine, scale and
+// the paper figure being reproduced.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "clocksync/accuracy.hpp"
+#include "runner/trial_runner.hpp"
 #include "topology/presets.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
@@ -29,11 +35,15 @@ namespace hcs::bench {
 struct BenchOptions {
   double scale = 1.0;
   std::uint64_t seed = 1;
+  int jobs = 1;             // worker threads for independent trials; 0 = auto
   bool csv = false;
   std::string trace_out;    // empty = tracing off
   std::string metrics_out;  // empty = metrics CSV off
 };
 
+/// Parses the shared bench options.  Rejects unknown options: prints the
+/// error and the known set to stderr and exits with code 2, so a typo never
+/// silently runs the default configuration.
 BenchOptions parse_common(int argc, const char* const* argv, double default_scale);
 
 /// Installs a tracer and/or metrics registry for the binary's lifetime when

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Measures the simulator hot path (bench_micro_sim) and the parallel trial
+# runner (bench_fig03_algorithms wall time at --jobs 1 vs --jobs nproc) and
+# writes the result as JSON.
+#
+#   scripts/bench_perf.sh [BUILD_DIR]     (default: build)
+#
+# Environment:
+#   BENCH_OUT       output path (default: BENCH_pr2.json in the repo root)
+#   BASELINE_JSON   optional google-benchmark JSON of the same micro suite
+#                   from a baseline tree; per-benchmark speedups are computed
+#                   against it and embedded under "baseline".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${BENCH_OUT:-BENCH_pr2.json}"
+MICRO="$BUILD_DIR/bench/bench_micro_sim"
+FIG03="$BUILD_DIR/bench/bench_fig03_algorithms"
+[[ -x "$MICRO" && -x "$FIG03" ]] \
+  || { echo "bench_perf.sh: build '$BUILD_DIR' first (cmake --build $BUILD_DIR -j)" >&2; exit 1; }
+
+MICRO_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON"' EXIT
+# Repetitions + best-of: on shared/virtualized machines single runs swing by
+# 10-20%; the fastest repetition is the least-perturbed measurement.
+"$MICRO" \
+  --benchmark_filter='BM_EventQueuePushPop|BM_SimulationDelayChain|BM_TaskCallChain' \
+  --benchmark_min_time=0.5 --benchmark_repetitions=5 \
+  --benchmark_format=json > "$MICRO_JSON"
+
+# Wall time of a full figure reproduction at a fixed scale, serial vs. all
+# cores.  The output is byte-identical either way; only the clock differs.
+fig03_seconds() {
+  local start_ns end_ns
+  start_ns=$(date +%s%N)
+  "$FIG03" --scale 0.05 --seed 1 --jobs "$1" > /dev/null
+  end_ns=$(date +%s%N)
+  awk -v a="$start_ns" -v b="$end_ns" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+}
+NPROC=$(nproc)
+FIG03_J1=$(fig03_seconds 1)
+FIG03_JN=$(fig03_seconds "$NPROC")
+
+python3 - "$MICRO_JSON" "$OUT" "$FIG03_J1" "$FIG03_JN" "$NPROC" "${BASELINE_JSON:-}" <<'PY'
+import json
+import sys
+
+micro_path, out_path, fig03_j1, fig03_jn, nproc, baseline_path = sys.argv[1:7]
+
+def micro_table(path):
+    with open(path) as f:
+        doc = json.load(f)
+    table = {}
+    for bench in doc["benchmarks"]:
+        if "items_per_second" not in bench:  # e.g. an unfiltered baseline run
+            continue
+        if bench.get("run_type") == "aggregate":  # keep raw repetitions only
+            continue
+        name = bench["name"].split("/repeats:")[0]
+        entry = {
+            "real_time_ns": round(bench["real_time"], 1),
+            "items_per_second": round(bench["items_per_second"]),
+            "per_item_ns": round(1e9 / bench["items_per_second"], 2),
+        }
+        if name not in table or entry["per_item_ns"] < table[name]["per_item_ns"]:
+            table[name] = entry  # best repetition wins
+    return table
+
+micro = micro_table(micro_path)
+result = {
+    "suite": "pr2: parallel trial runner + simulator hot path",
+    "notes": [
+        "per-benchmark values are the best repetition (least-perturbed run on a shared machine)",
+        "baseline should be captured with this same script from a pre-PR tree, ideally interleaved with the current binary",
+        "fig03 jobs_nproc equals jobs_1 when nproc is 1; the runner's speedup needs real cores",
+    ],
+    "machine": {"nproc": int(nproc)},
+    "micro": micro,
+    "fig03_wall_seconds": {
+        "scale": 0.05,
+        "jobs_1": float(fig03_j1),
+        "jobs_nproc": float(fig03_jn),
+        "speedup": round(float(fig03_j1) / float(fig03_jn), 2),
+    },
+}
+if baseline_path:
+    baseline = micro_table(baseline_path)
+    result["baseline"] = baseline
+    result["speedup_vs_baseline"] = {
+        name: round(baseline[name]["per_item_ns"] / micro[name]["per_item_ns"], 3)
+        for name in micro
+        if name in baseline
+    }
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"bench_perf.sh: wrote {out_path}")
+PY

@@ -1,0 +1,93 @@
+#include "runner/trial_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcs::runner {
+
+int resolve_jobs(int jobs) noexcept {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+// Per-trial observability sinks, created lazily only when the launching
+// thread had sinks installed.  Kept until all trials finish, then folded
+// into the parent in trial-index order.
+struct TrialSinks {
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<trace::MetricsRegistry> metrics;
+};
+
+}  // namespace
+
+void TrialRunner::run_indexed(int ntrials, std::uint64_t base_seed,
+                              const std::function<void(const Trial&)>& body) {
+  if (ntrials <= 0) return;
+  const auto n = static_cast<std::size_t>(ntrials);
+
+  // Sinks of the launching thread; trials get private ones mirroring these.
+  trace::Tracer* const parent_tracer = trace::active_tracer();
+  trace::MetricsRegistry* const parent_metrics = trace::active_metrics();
+
+  std::vector<TrialSinks> sinks(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<int> next{0};
+  std::atomic<bool> poisoned{false};
+
+  const auto worker = [&]() noexcept {
+    for (;;) {
+      if (poisoned.load(std::memory_order_relaxed)) return;
+      const int index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= ntrials) return;
+      TrialSinks& sink = sinks[static_cast<std::size_t>(index)];
+      try {
+        if (parent_tracer != nullptr) {
+          sink.tracer = std::make_unique<trace::Tracer>(parent_tracer->ring_capacity());
+        }
+        if (parent_metrics != nullptr) sink.metrics = std::make_unique<trace::MetricsRegistry>();
+        // Scoped install on *this* worker thread (the slots are thread_local);
+        // restored before the next trial regardless of how the body exits.
+        const trace::ScopedTracer install_tracer(sink.tracer.get());
+        const trace::ScopedMetrics install_metrics(sink.metrics.get());
+        body(Trial{index, base_seed + static_cast<std::uint64_t>(index)});
+      } catch (...) {
+        errors[static_cast<std::size_t>(index)] = std::current_exception();
+        poisoned.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int nworkers = jobs_ < ntrials ? jobs_ : ntrials;
+  if (nworkers <= 1) {
+    // Same code path as the parallel case (private sinks, merge below), so
+    // J=1 output is byte-identical to any J by construction.
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nworkers));
+    for (int w = 0; w < nworkers; ++w) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Fold per-trial observability into the parent in trial-index order: the
+  // merged stream is what a sequential run would have recorded.
+  for (const TrialSinks& sink : sinks) {
+    if (parent_metrics != nullptr && sink.metrics) parent_metrics->merge_from(*sink.metrics);
+    if (parent_tracer != nullptr && sink.tracer) parent_tracer->absorb(*sink.tracer);
+  }
+
+  // Rethrow the lowest-index error — the one a sequential run hits first.
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace hcs::runner

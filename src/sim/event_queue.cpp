@@ -1,26 +1,40 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-#include <cassert>
-
 namespace hcs::sim {
 
-void EventQueue::push(Time time, std::coroutine_handle<> handle) {
-  heap_.push_back(Event{time, next_seq_++, handle});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-}
-
-Time EventQueue::next_time() const {
-  assert(!heap_.empty());
-  return heap_.front().time;
-}
-
-EventQueue::Event EventQueue::pop() {
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Event ev = heap_.back();
-  heap_.pop_back();
-  return ev;
+// Out of line on purpose: sift-down only runs for pops on a populated heap,
+// while push/pop stay inline in the header for the hot path.
+//
+// Bottom-up variant (the std::pop_heap trick): the displaced event comes
+// from the end of the heap, so it almost always belongs near a leaf again.
+// Walking the hole straight to the bottom and then sifting the event back up
+// skips the against-the-event comparison at every level, cutting average
+// comparisons by ~a quarter on large heaps.
+void EventQueue::sift_down(std::size_t hole, Event ev) noexcept {
+  const std::size_t n = heap_.size();
+  const std::size_t start = hole;
+  // Phase 1: promote the earliest of up to four adjacent children into the
+  // hole until the hole reaches a leaf.
+  std::size_t first_child = hole * kArity + 1;
+  while (first_child < n) {
+    std::size_t best = first_child;
+    const std::size_t end = first_child + kArity < n ? first_child + kArity : n;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+    first_child = hole * kArity + 1;
+  }
+  // Phase 2: sift the displaced event back up to its true position (usually
+  // zero or one level).
+  while (hole > start) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!before(ev, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = ev;
 }
 
 }  // namespace hcs::sim

@@ -1,0 +1,81 @@
+// Thread-local freelist allocator for coroutine frames.
+//
+// Every blocking operation in the simulator (delay, p2p, collectives, the
+// sync algorithms' phases) is a short-lived Task<T> coroutine whose frame
+// would otherwise round-trip through malloc/free millions of times per run.
+// FramePool recycles those frames through per-thread, size-bucketed
+// freelists: allocation is a pointer pop in the steady state, deallocation a
+// pointer push, and no locks are involved because each thread owns its own
+// cache (runner::TrialRunner runs whole trials per thread, so frames are
+// born and die on the same thread).
+//
+// Layout: each block carries a small header tagging its bucket so sized and
+// unsized deallocation both work; frames larger than the largest bucket fall
+// through to ::operator new/delete untouched.  Blocks freed on a different
+// thread than the one that allocated them simply land in the freeing
+// thread's cache — correct, just not what the layout is optimized for.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace hcs::sim::detail {
+
+class FramePool {
+ public:
+  static void* allocate(std::size_t bytes) {
+    const std::size_t total = bytes + kHeader;
+    const std::size_t bucket = (total + kGranularity - 1) / kGranularity;
+    if (bucket >= kBuckets) return finish(::operator new(total), 0);  // 0 = unpooled
+    Cache& c = cache();
+    if (void* p = c.free[bucket]) {
+      c.free[bucket] = *static_cast<void**>(p);
+      return finish(p, bucket);
+    }
+    return finish(::operator new(bucket * kGranularity), bucket);
+  }
+
+  static void deallocate(void* user) noexcept {
+    void* p = static_cast<char*>(user) - kHeader;
+    const std::size_t bucket = *static_cast<std::size_t*>(p);
+    if (bucket == 0) {
+      ::operator delete(p);
+      return;
+    }
+    Cache& c = cache();
+    *static_cast<void**>(p) = c.free[bucket];
+    c.free[bucket] = p;
+  }
+
+ private:
+  // The header must preserve the alignment ::operator new guarantees, since
+  // coroutine frames assume at most that from their promise's operator new.
+  static constexpr std::size_t kHeader = alignof(std::max_align_t);
+  static constexpr std::size_t kGranularity = 64;  // one cache line per step
+  static constexpr std::size_t kBuckets = 33;      // pooled blocks up to 2 KiB
+
+  struct Cache {
+    void* free[kBuckets] = {};
+    ~Cache() {
+      for (void* head : free) {
+        while (head != nullptr) {
+          void* next = *static_cast<void**>(head);
+          ::operator delete(head);
+          head = next;
+        }
+      }
+    }
+  };
+
+  static Cache& cache() noexcept {
+    static thread_local Cache c;
+    return c;
+  }
+
+  static void* finish(void* p, std::size_t bucket) noexcept {
+    *static_cast<std::size_t*>(p) = bucket;
+    return static_cast<char*>(p) + kHeader;
+  }
+};
+
+}  // namespace hcs::sim::detail

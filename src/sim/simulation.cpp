@@ -16,12 +16,17 @@ struct Simulation::RootFrame {
 
   struct promise_type {
     Simulation* sim;
+    std::size_t live_index = 0;  // slot in live_roots_; kept current on swaps
     std::exception_ptr error = nullptr;
+
+    static void* operator new(std::size_t bytes) { return detail::FramePool::allocate(bytes); }
+    static void operator delete(void* p) noexcept { detail::FramePool::deallocate(p); }
+    static void operator delete(void* p, std::size_t) noexcept { detail::FramePool::deallocate(p); }
 
     promise_type(Simulation& s, Task<void>&&) noexcept : sim(&s) {}
 
     RootFrame get_return_object() noexcept {
-      sim->on_root_started(Handle::from_promise(*this));
+      live_index = sim->on_root_started(Handle::from_promise(*this));
       return {};
     }
     std::suspend_never initial_suspend() noexcept { return {}; }
@@ -31,9 +36,9 @@ struct Simulation::RootFrame {
       void await_suspend(Handle h) noexcept {
         Simulation* sim = h.promise().sim;
         std::exception_ptr error = h.promise().error;
-        void* addr = h.address();
+        const std::size_t live_index = h.promise().live_index;
         h.destroy();
-        sim->on_root_finished(addr, error);
+        sim->on_root_finished(live_index, error);
       }
       void await_resume() noexcept {}
     };
@@ -60,23 +65,26 @@ Simulation::~Simulation() {
   for (auto h : live_roots_) h.destroy();
 }
 
-void Simulation::schedule_at(Time t, std::coroutine_handle<> handle) {
-  queue_.push(std::max(t, now_), handle);
-}
-
 void Simulation::spawn(Task<void> task) { run_root(*this, std::move(task)); }
 
-void Simulation::on_root_started(std::coroutine_handle<> handle) {
+std::size_t Simulation::on_root_started(std::coroutine_handle<> handle) {
   ++spawned_;
   live_roots_.push_back(handle);
+  return live_roots_.size() - 1;
 }
 
-void Simulation::on_root_finished(void* address, std::exception_ptr error) {
+void Simulation::on_root_finished(std::size_t live_index, std::exception_ptr error) {
   ++finished_;
-  const auto it = std::find_if(live_roots_.begin(), live_roots_.end(),
-                               [&](std::coroutine_handle<> h) { return h.address() == address; });
-  assert(it != live_roots_.end());
-  live_roots_.erase(it);
+  assert(live_index < live_roots_.size());
+  // Swap-and-pop: O(1) removal.  The root moved into the vacated slot must
+  // learn its new index, which the RootFrame promise stores.
+  const std::size_t last = live_roots_.size() - 1;
+  if (live_index != last) {
+    live_roots_[live_index] = live_roots_[last];
+    RootFrame::Handle::from_address(live_roots_[live_index].address()).promise().live_index =
+        live_index;
+  }
+  live_roots_.pop_back();
   if (error && !first_error_) first_error_ = error;
 }
 

@@ -29,8 +29,12 @@ class Simulation {
   Time now() const noexcept { return now_; }
   Rng& rng() noexcept { return rng_; }
 
-  /// Schedules `handle` to resume at absolute time `t` (>= now()).
-  void schedule_at(Time t, std::coroutine_handle<> handle);
+  /// Schedules `handle` to resume at absolute time `t` (>= now()).  Inline:
+  /// together with EventQueue::push this is the schedule half of the
+  /// per-event hot path (bench_micro_sim / BM_SimulationDelayChain).
+  void schedule_at(Time t, std::coroutine_handle<> handle) {
+    queue_.push(t < now_ ? now_ : t, handle);
+  }
 
   /// Awaitable that suspends the calling coroutine for `dt` (>= 0) seconds.
   /// Even dt == 0 goes through the event queue, preserving FIFO fairness.
@@ -39,7 +43,9 @@ class Simulation {
       Simulation& sim;
       Time dt;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { sim.schedule_at(sim.now_ + dt, h); }
+      // Pushes directly instead of going through schedule_at: dt >= 0 is
+      // checked below, so the t < now_ clamp can never fire on this path.
+      void await_suspend(std::coroutine_handle<> h) { sim.queue_.push(sim.now_ + dt, h); }
       void await_resume() const noexcept {}
     };
     if (dt < 0) throw std::invalid_argument("Simulation::delay: negative duration");
@@ -60,8 +66,11 @@ class Simulation {
 
   // Internal: called by the spawn wrapper coroutine (public only because the
   // wrapper's nested promise type cannot be befriended before definition).
-  void on_root_started(std::coroutine_handle<> handle);
-  void on_root_finished(void* address, std::exception_ptr error);
+  // on_root_started returns the root's slot in live_roots_; the promise keeps
+  // it current across swap-and-pop removals so on_root_finished is O(1)
+  // instead of a linear scan (quadratic teardown for many processes).
+  std::size_t on_root_started(std::coroutine_handle<> handle);
+  void on_root_finished(std::size_t live_index, std::exception_ptr error);
 
   struct RootFrame;  // wrapper coroutine that notifies completion (internal)
 

@@ -11,8 +11,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_pool.hpp"
 
 namespace hcs::sim {
 
@@ -23,6 +26,13 @@ namespace detail {
 
 class TaskPromiseBase {
  public:
+  // Route every Task frame through the thread-local freelist: blocking-op
+  // coroutines are created and destroyed millions of times per simulation,
+  // and this turns the malloc/free round-trip into two pointer moves.
+  static void* operator new(std::size_t bytes) { return FramePool::allocate(bytes); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept { FramePool::deallocate(p); }
+
   std::suspend_always initial_suspend() noexcept { return {}; }
 
   struct FinalAwaiter {

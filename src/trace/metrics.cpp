@@ -18,6 +18,10 @@ void HistogramMetric::observe(double x) {
   sum_ += x;
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
+  retain_sample(x);
+}
+
+void HistogramMetric::retain_sample(double x) {
   if (++since_last_ < stride_) return;
   since_last_ = 0;
   if (samples_.size() == cap_) {
@@ -29,6 +33,14 @@ void HistogramMetric::observe(double x) {
     stride_ *= 2;
   }
   samples_.push_back(x);
+}
+
+void HistogramMetric::merge_from(const HistogramMetric& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (const double x : other.samples_) retain_sample(x);
 }
 
 double HistogramMetric::percentile(double q) const {
@@ -55,8 +67,17 @@ void MetricsRegistry::clear() {
   histograms_.clear();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].inc(c.value());
+  for (const auto& [name, g] : other.gauges_) gauges_[name].set(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_.try_emplace(name, HistogramMetric(HistogramMetric::kDefaultSampleCap, h.unit()))
+        .first->second.merge_from(h);
+  }
+}
+
 namespace {
-MetricsRegistry* g_active_metrics = nullptr;
+thread_local MetricsRegistry* g_active_metrics = nullptr;
 }  // namespace
 
 MetricsRegistry* active_metrics() noexcept { return g_active_metrics; }

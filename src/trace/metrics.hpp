@@ -1,9 +1,12 @@
 // Metrics registry: counters, gauges and sample histograms that the
 // simulator, the network model and the sync algorithms report into.
 //
-// Like the tracer, a registry is installed globally (install_metrics /
-// ScopedMetrics); with none installed every HCS_METRIC_* macro is a pointer
-// load and a branch.  Hot callers (NetworkModel, World) resolve their
+// Like the tracer, a registry is installed per-thread (install_metrics /
+// ScopedMetrics write a thread_local slot); with none installed every
+// HCS_METRIC_* macro is a pointer load and a branch.  Thread scoping lets
+// runner::TrialRunner hand each concurrent trial a private registry and
+// merge them in trial-index order afterwards (merge_from), keeping the
+// record path lock-free.  Hot callers (NetworkModel, World) resolve their
 // Counter/HistogramMetric pointers once at construction — registry entries
 // are stable for the registry's lifetime — so the per-message cost with
 // metrics ON is a few adds, not a map lookup.
@@ -69,7 +72,15 @@ class HistogramMetric {
   /// Retained samples, in observation order (decimated once past the cap).
   const std::vector<double>& samples() const noexcept { return samples_; }
 
+  /// Folds `other` into this histogram: exact aggregates (count/sum/min/max)
+  /// merge exactly; other's retained samples are replayed through this
+  /// histogram's reservoir in their observation order.  Merging per-trial
+  /// histograms in trial-index order is deterministic for any thread count.
+  void merge_from(const HistogramMetric& other);
+
  private:
+  void retain_sample(double x);
+
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
@@ -102,13 +113,22 @@ class MetricsRegistry {
   }
   void clear();
 
+  /// Folds `other` into this registry: counters add, gauges take other's
+  /// value (the later writer wins, as in a sequential run), histograms merge
+  /// via HistogramMetric::merge_from.  Used by runner::TrialRunner to fold
+  /// per-trial registries back into the parent in trial-index order.
+  void merge_from(const MetricsRegistry& other);
+
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, HistogramMetric> histograms_;
 };
 
-/// The globally active registry (nullptr = metrics off, the default).
+/// The calling thread's active registry (nullptr = metrics off, the
+/// default).  The slot is thread_local: installing a registry affects only
+/// the current thread, and a registry must not be shared between threads
+/// without external synchronization.
 MetricsRegistry* active_metrics() noexcept;
 void install_metrics(MetricsRegistry* registry) noexcept;
 

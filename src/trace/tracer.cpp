@@ -98,6 +98,28 @@ std::vector<TraceEvent> Tracer::merged_events() const {
   return out;
 }
 
+void Tracer::absorb(const Tracer& other) {
+  // Replay other's events in record (seq) order so the result is exactly what
+  // recording them here in the first place would have produced.
+  std::vector<TraceEvent> events;
+  events.reserve(other.recorded_ > other.dropped_
+                     ? static_cast<std::size_t>(other.recorded_ - other.dropped_)
+                     : 0);
+  for (const Ring& ring : other.rings_) {
+    if (!ring.wrapped) {
+      events.insert(events.end(), ring.buf.begin(), ring.buf.end());
+      continue;
+    }
+    events.insert(events.end(), ring.buf.begin() + static_cast<std::ptrdiff_t>(ring.next),
+                  ring.buf.end());
+    events.insert(events.end(), ring.buf.begin(),
+                  ring.buf.begin() + static_cast<std::ptrdiff_t>(ring.next));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  for (const TraceEvent& ev : events) push(ev.rank, ev);
+}
+
 void Tracer::clear() {
   rings_.clear();
   seq_ = 0;
@@ -106,7 +128,7 @@ void Tracer::clear() {
 }
 
 namespace {
-Tracer* g_active_tracer = nullptr;
+thread_local Tracer* g_active_tracer = nullptr;
 }  // namespace
 
 Tracer* active_tracer() noexcept { return g_active_tracer; }

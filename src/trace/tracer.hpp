@@ -7,10 +7,13 @@
 // deterministic stream ordered by (timestamp, record sequence) — identical
 // runs produce identical streams, which the tests assert.
 //
-// The tracer is installed globally (install_tracer / ScopedTracer); the
-// HCS_TRACE_SCOPE macro in span.hpp reads the active tracer through a single
-// pointer load, so instrumentation costs one branch when tracing is off and
-// can be compiled out entirely with -DHCS_TRACE_DISABLE.
+// The tracer is installed per-thread (install_tracer / ScopedTracer write a
+// thread_local slot); the HCS_TRACE_SCOPE macro in span.hpp reads the active
+// tracer through a single pointer load, so instrumentation costs one branch
+// when tracing is off and can be compiled out entirely with
+// -DHCS_TRACE_DISABLE.  Thread scoping is what lets runner::TrialRunner give
+// every concurrent trial a private tracer and merge them deterministically
+// afterwards (absorb) without any locking on the record path.
 //
 // Timestamps come from a TimeSource.  simmpi::World installs itself as the
 // source (true simulated time) while it is alive; exporters label events
@@ -57,6 +60,8 @@ class Tracer {
 
   explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
 
+  std::size_t ring_capacity() const noexcept { return capacity_; }
+
   /// Sets (or clears, with nullptr) the timestamp provider.  Not owned.
   void set_time_source(TimeSource* source, TimeSourceKind kind = TimeSourceKind::kSimTime);
   const TimeSource* time_source() const noexcept { return source_; }
@@ -80,6 +85,14 @@ class Tracer {
   /// so the order is total and identical across identical runs.
   std::vector<TraceEvent> merged_events() const;
 
+  /// Appends every event of `other` (in `other`'s record order) to this
+  /// tracer, re-sequencing them as if they had just been recorded here.
+  /// Absorbing per-trial tracers in trial-index order therefore yields the
+  /// exact stream a sequential run of those trials would have produced —
+  /// the merge step of runner::TrialRunner.  Events keep their rank,
+  /// timestamps and time-source label; ring capacity applies as usual.
+  void absorb(const Tracer& other);
+
   void clear();
 
  private:
@@ -100,7 +113,10 @@ class Tracer {
   std::uint64_t dropped_ = 0;
 };
 
-/// The globally active tracer (nullptr = tracing off, the default).
+/// The calling thread's active tracer (nullptr = tracing off, the default).
+/// The slot is thread_local: installing a tracer affects only the current
+/// thread, and a tracer must not be shared between threads without external
+/// synchronization.
 Tracer* active_tracer() noexcept;
 void install_tracer(Tracer* tracer) noexcept;
 

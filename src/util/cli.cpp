@@ -29,6 +29,18 @@ Cli::Cli(int argc, const char* const* argv, std::vector<std::string> known_flags
   }
 }
 
+void Cli::reject_unknown(const std::vector<std::string>& known_options) const {
+  for (const auto& [key, value] : options_) {
+    if (std::find(known_options.begin(), known_options.end(), key) != known_options.end()) {
+      continue;
+    }
+    std::string known = "(known:";
+    for (const std::string& k : known_options) known += " --" + k;
+    known += ")";
+    throw std::invalid_argument("unknown option --" + key + " " + known);
+  }
+}
+
 bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
 
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
@@ -62,6 +74,19 @@ double Cli::scale(double fallback) const {
 
 std::uint64_t Cli::seed(std::uint64_t fallback) const {
   return static_cast<std::uint64_t>(get_int("seed", static_cast<std::int64_t>(fallback)));
+}
+
+int Cli::jobs(int fallback) const {
+  std::int64_t j = fallback;
+  if (const char* env = std::getenv("HCLOCKSYNC_JOBS")) {
+    j = std::stoll(env);
+  }
+  j = get_int("jobs", j);
+  if (j < 0) {
+    throw std::invalid_argument("jobs must be >= 0 (0 = one per hardware thread), got " +
+                                std::to_string(j));
+  }
+  return static_cast<int>(j);
 }
 
 }  // namespace hcs::util

@@ -1,9 +1,12 @@
 // Minimal command-line option parser for the bench and example binaries.
 //
-// Supports "--key value", "--key=value" and boolean "--flag" forms.  Unknown
-// options raise; positional arguments are collected in order.  The scale
+// Supports "--key value", "--key=value" and boolean "--flag" forms;
+// positional arguments are collected in order.  Callers that know their full
+// option set call reject_unknown() after construction, turning typos like
+// "--job 4" into an error instead of a silently ignored option.  The scale
 // factor used by every bench binary is also read from the HCLOCKSYNC_SCALE
-// environment variable (command line wins).
+// environment variable, and the worker count from HCLOCKSYNC_JOBS (command
+// line wins in both cases).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +21,11 @@ class Cli {
   /// Parses argv.  `known_flags` lists boolean options (no value expected).
   Cli(int argc, const char* const* argv, std::vector<std::string> known_flags = {});
 
+  /// Throws std::invalid_argument naming the offender (and the known set)
+  /// if any parsed option is not in `known_options`.  Flags passed to the
+  /// constructor must be listed again here.
+  void reject_unknown(const std::vector<std::string>& known_options) const;
+
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& fallback) const;
   double get_double(const std::string& key, double fallback) const;
@@ -31,6 +39,11 @@ class Cli {
 
   /// Seed: --seed beats fallback.
   std::uint64_t seed(std::uint64_t fallback) const;
+
+  /// Worker threads: --jobs beats $HCLOCKSYNC_JOBS beats fallback.
+  /// 0 means "one per hardware thread" (resolved by runner::resolve_jobs);
+  /// negative values throw.
+  int jobs(int fallback = 1) const;
 
   /// Observability outputs: "--trace-out run.json" requests a Chrome-trace
   /// dump, "--metrics-out run.csv" a metrics CSV.  Empty = disabled.

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 namespace hcs::sim {
 namespace {
 
@@ -78,6 +82,71 @@ TEST(EventQueue, ManyEventsSorted) {
     EXPECT_GE(t, last);
     last = t;
   }
+}
+
+// The ordering contract the simulator depends on: among equal timestamps,
+// pops come in push order (FIFO), even when pushes at that timestamp are
+// interleaved with pushes and pops at other timestamps.
+TEST(EventQueue, InterleavedEqualTimesStayFifo) {
+  EventQueue q;
+  q.push(2.0, tag(1));
+  q.push(1.0, tag(9));
+  q.push(2.0, tag(2));
+  EXPECT_EQ(q.pop().handle.address(), tag(9).address());
+  q.push(2.0, tag(3));
+  q.push(3.0, tag(8));
+  q.push(2.0, tag(4));
+  for (std::uintptr_t expected = 1; expected <= 4; ++expected) {
+    const EventQueue::Event ev = q.pop();
+    EXPECT_EQ(ev.time, 2.0);
+    EXPECT_EQ(ev.handle.address(), tag(expected).address());
+  }
+  EXPECT_EQ(q.pop().handle.address(), tag(8).address());
+}
+
+// Randomized check against a reference sort by (time, push order): the heap
+// must produce exactly the stable order, whatever the arity or sift details.
+TEST(EventQueue, RandomizedMatchesStableOrder) {
+  std::mt19937_64 rng(42);
+  // Few distinct timestamps => many ties, stressing the seq tiebreak.
+  std::uniform_int_distribution<int> time_dist(0, 20);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue q;
+    struct Ref {
+      Time time;
+      std::uintptr_t id;
+    };
+    std::vector<Ref> ref;
+    for (std::uintptr_t i = 1; i <= 500; ++i) {
+      const Time t = static_cast<Time>(time_dist(rng));
+      q.push(t, tag(i));
+      ref.push_back({t, i});
+    }
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const Ref& a, const Ref& b) { return a.time < b.time; });
+    for (const Ref& expected : ref) {
+      ASSERT_FALSE(q.empty());
+      const EventQueue::Event ev = q.pop();
+      EXPECT_EQ(ev.time, expected.time);
+      EXPECT_EQ(ev.handle.address(), tag(expected.id).address());
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// clear() must also reset the tiebreak sequence so a reused queue orders
+// exactly like a fresh one.
+TEST(EventQueue, ReuseAfterClearKeepsFifoTies) {
+  EventQueue q;
+  q.push(1.0, tag(1));
+  q.push(1.0, tag(2));
+  q.clear();
+  q.push(5.0, tag(3));
+  q.push(5.0, tag(4));
+  q.push(5.0, tag(5));
+  EXPECT_EQ(q.pop().handle.address(), tag(3).address());
+  EXPECT_EQ(q.pop().handle.address(), tag(4).address());
+  EXPECT_EQ(q.pop().handle.address(), tag(5).address());
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 namespace hcs::sim {
@@ -139,6 +140,32 @@ TEST(Simulation, SpawnInsideRunningProcess) {
   sim.run();
   EXPECT_EQ(children_done, 3);
   EXPECT_EQ(sim.processes_finished(), 4u);
+}
+
+TEST(Simulation, TenThousandProcessesFinishInAnyOrder) {
+  // Regression guard for the live-roots bookkeeping: finishing used to do a
+  // linear scan over all live roots, making a p-process run O(p^2) in the
+  // teardown phase.  With swap-and-pop it is O(p) total; at p = 10000 the
+  // quadratic version takes seconds while this runs in milliseconds.  The
+  // staggered delays make processes finish in an order different from spawn
+  // order, exercising the swap (not just the pop-last fast path).
+  Simulation sim;
+  int done = 0;
+  constexpr int kProcs = 10000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProcs; ++i) {
+    sim.spawn([](Simulation& s, int* done, int i) -> Task<void> {
+      // Earlier spawns finish later: reverse completion order.
+      co_await s.delay(1.0 + static_cast<Time>(kProcs - i) * 1e-6);
+      ++*done;
+    }(sim, &done, i));
+  }
+  sim.run();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(done, kProcs);
+  EXPECT_EQ(sim.processes_finished(), static_cast<std::size_t>(kProcs));
+  // Generous bound (quadratic teardown alone needs multiple seconds).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2000);
 }
 
 TEST(Simulation, AbandonedBlockedProcessIsReclaimed) {

@@ -1,0 +1,32 @@
+# Runs BINARY twice (--jobs 1 vs --jobs 4, otherwise identical arguments)
+# and fails unless stdout is byte-identical: the TrialRunner determinism
+# guarantee, asserted end-to-end on a real bench binary.
+#
+# Usage: cmake -DBINARY=<path> -DOUT_DIR=<dir> -P compare_jobs_output.cmake
+foreach(required BINARY OUT_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "compare_jobs_output.cmake: -D${required}=... is required")
+  endif()
+endforeach()
+
+set(args --scale 0.02 --seed 3 --csv)
+
+execute_process(COMMAND ${BINARY} ${args} --jobs 1
+                OUTPUT_FILE ${OUT_DIR}/jobs1.out RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "${BINARY} --jobs 1 failed with exit code ${rc1}")
+endif()
+
+execute_process(COMMAND ${BINARY} ${args} --jobs 4
+                OUTPUT_FILE ${OUT_DIR}/jobs4.out RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "${BINARY} --jobs 4 failed with exit code ${rc4}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${OUT_DIR}/jobs1.out ${OUT_DIR}/jobs4.out
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "output differs between --jobs 1 and --jobs 4 "
+                      "(${OUT_DIR}/jobs1.out vs ${OUT_DIR}/jobs4.out)")
+endif()

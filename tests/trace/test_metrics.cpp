@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "clocksync/factory.hpp"
 #include "simmpi/world.hpp"
@@ -109,6 +110,71 @@ TEST(Registry, EmptyAndClear) {
   EXPECT_FALSE(reg.empty());
   reg.clear();
   EXPECT_TRUE(reg.empty());
+}
+
+TEST(Histogram, MergeFromCombinesAggregatesAndReplaysSamples) {
+  HistogramMetric a, b;
+  a.observe(1.0);
+  a.observe(3.0);
+  b.observe(-2.0);
+  b.observe(10.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_EQ(a.samples(), (std::vector<double>{1.0, 3.0, -2.0, 10.0}));
+}
+
+TEST(Histogram, MergeInOrderMatchesSequentialObservation) {
+  // The TrialRunner merge contract: observing trial 0's samples then trial
+  // 1's into one histogram must equal merging per-trial histograms in trial
+  // order — including the deterministic decimation state.
+  HistogramMetric sequential(16), trial0(16), trial1(16), merged(16);
+  for (int i = 0; i < 100; ++i) {
+    sequential.observe(i);
+    trial0.observe(i);
+  }
+  for (int i = 100; i < 200; ++i) {
+    sequential.observe(i);
+    trial1.observe(i);
+  }
+  merged.merge_from(trial0);
+  merged.merge_from(trial1);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), sequential.sum());
+  EXPECT_LE(merged.samples().size(), 16u);
+}
+
+TEST(Registry, MergeFromFoldsAllKinds) {
+  MetricsRegistry parent, trial;
+  parent.counter("hits").inc(2);
+  parent.gauge("level").set(0.25);
+  parent.histogram("lat").observe(1.0);
+  trial.counter("hits").inc(3);
+  trial.counter("misses").inc(1);
+  trial.gauge("level").set(0.75);
+  trial.histogram("lat").observe(3.0);
+  trial.histogram("ratio", MetricUnit::kNone).observe(0.5);
+  parent.merge_from(trial);
+  EXPECT_EQ(parent.counter("hits").value(), 5u);
+  EXPECT_EQ(parent.counter("misses").value(), 1u);
+  // Gauges take the merged-in value: the later writer wins, as sequentially.
+  EXPECT_EQ(parent.gauge("level").value(), 0.75);
+  EXPECT_EQ(parent.histogram("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(parent.histogram("lat").max(), 3.0);
+  // Histograms created by the merge keep the trial's unit.
+  EXPECT_EQ(parent.histogram("ratio").unit(), MetricUnit::kNone);
+}
+
+TEST(MetricsThreadScope, InstallIsPerThread) {
+  MetricsRegistry reg;
+  const ScopedMetrics install(&reg);
+  ASSERT_EQ(active_metrics(), &reg);
+  MetricsRegistry* seen_on_other_thread = &reg;  // sentinel: must be overwritten
+  std::thread([&] { seen_on_other_thread = active_metrics(); }).join();
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+  EXPECT_EQ(active_metrics(), &reg);
 }
 
 TEST(MetricsMacros, NoOpWithoutInstalledRegistry) {

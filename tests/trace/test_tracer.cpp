@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "clocksync/factory.hpp"
 #include "simmpi/world.hpp"
 #include "topology/presets.hpp"
@@ -102,6 +104,79 @@ TEST(StructuredTracer, EnumNames) {
   EXPECT_STREQ(to_string(Category::kNet), "net");
   EXPECT_STREQ(to_string(TimeSourceKind::kSimTime), "sim");
   EXPECT_STREQ(to_string(TimeSourceKind::kLocalClock), "local");
+}
+
+TEST(StructuredTracer, AbsorbAppendsInRecordOrderAndResequences) {
+  Tracer parent, trial;
+  parent.record_complete(0, Category::kApp, "p0", 0.0, 0.1);
+  trial.record_complete(1, Category::kSync, "t0", 5.0, 0.2, 7);
+  trial.record_complete(0, Category::kApp, "t1", 3.0, 0.1);
+  parent.absorb(trial);
+  EXPECT_EQ(parent.recorded(), 3u);
+  const auto events = parent.merged_events();
+  ASSERT_EQ(events.size(), 3u);
+  // Absorbed events keep rank/ts/arg but get fresh sequence numbers, so the
+  // merged stream orders them as if the parent had just recorded them.
+  EXPECT_STREQ(events[0].name, "p0");
+  EXPECT_STREQ(events[1].name, "t1");
+  EXPECT_STREQ(events[2].name, "t0");
+  EXPECT_EQ(events[2].rank, 1);
+  EXPECT_EQ(events[2].arg, 7);
+  EXPECT_EQ(events[2].cat, Category::kSync);
+  EXPECT_LT(events[0].seq, events[2].seq);
+}
+
+TEST(StructuredTracer, AbsorbInTrialOrderMatchesSequentialRecording) {
+  // The TrialRunner merge contract: recording trials A then B into one
+  // tracer must equal recording each into its own tracer and absorbing
+  // A then B.
+  auto record_trial = [](Tracer& t, int trial) {
+    const double base = static_cast<double>(trial);
+    t.record_complete(trial, Category::kBench, "sync", base + 0.25, 0.5);
+    t.record_instant(trial, Category::kBench, "done", trial);
+  };
+  Tracer sequential;
+  record_trial(sequential, 0);
+  record_trial(sequential, 1);
+
+  Tracer parent, trial0, trial1;
+  record_trial(trial0, 0);
+  record_trial(trial1, 1);
+  parent.absorb(trial0);
+  parent.absorb(trial1);
+
+  const auto expected = sequential.merged_events();
+  const auto merged = parent.merged_events();
+  ASSERT_EQ(merged.size(), expected.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_STREQ(merged[i].name, expected[i].name);
+    EXPECT_EQ(merged[i].rank, expected[i].rank);
+    EXPECT_EQ(merged[i].ts, expected[i].ts);
+    EXPECT_EQ(merged[i].seq, expected[i].seq);
+  }
+}
+
+TEST(StructuredTracer, AbsorbRespectsRingCapacity) {
+  Tracer parent(2), trial(8);
+  for (int i = 0; i < 6; ++i) {
+    trial.record_complete(0, Category::kApp, "e", static_cast<double>(i), 0.1);
+  }
+  parent.absorb(trial);
+  EXPECT_EQ(parent.dropped(), 4u);
+  const auto events = parent.merged_events();
+  ASSERT_EQ(events.size(), 2u);  // the newest two survive
+  EXPECT_DOUBLE_EQ(events[0].ts, 4.0);
+  EXPECT_DOUBLE_EQ(events[1].ts, 5.0);
+}
+
+TEST(TracerThreadScope, InstallIsPerThread) {
+  Tracer tracer;
+  const ScopedTracer install(&tracer);
+  ASSERT_EQ(active_tracer(), &tracer);
+  Tracer* seen_on_other_thread = &tracer;  // sentinel: must be overwritten
+  std::thread([&] { seen_on_other_thread = active_tracer(); }).join();
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+  EXPECT_EQ(active_tracer(), &tracer);
 }
 
 TEST(ScopedTracerInstall, RestoresPreviousTracer) {

@@ -73,5 +73,56 @@ TEST(Cli, ScaleOutOfRangeThrows) {
   EXPECT_THROW(cli2.scale(), std::invalid_argument);
 }
 
+TEST(Cli, RejectUnknownAcceptsKnownSet) {
+  const Cli cli = make({"prog", "--seed", "3", "--csv"}, {"csv"});
+  EXPECT_NO_THROW(cli.reject_unknown({"seed", "csv"}));
+}
+
+TEST(Cli, RejectUnknownThrowsOnTypo) {
+  // "--job 4" (missing the s) must be an error, not a silently ignored
+  // option running the default configuration.
+  const Cli cli = make({"prog", "--job", "4"});
+  try {
+    cli.reject_unknown({"jobs", "seed"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--job"), std::string::npos) << what;
+    EXPECT_NE(what.find("--jobs"), std::string::npos) << what;  // known set listed
+  }
+}
+
+TEST(Cli, RejectUnknownSeesEqualsForm) {
+  const Cli cli = make({"prog", "--traceout=x.json"});
+  EXPECT_THROW(cli.reject_unknown({"trace-out"}), std::invalid_argument);
+}
+
+TEST(Cli, JobsFromCommandLineBeatsEnv) {
+  ::setenv("HCLOCKSYNC_JOBS", "8", 1);
+  const Cli cli = make({"prog", "--jobs", "2"});
+  EXPECT_EQ(cli.jobs(), 2);
+  ::unsetenv("HCLOCKSYNC_JOBS");
+}
+
+TEST(Cli, JobsFromEnv) {
+  ::setenv("HCLOCKSYNC_JOBS", "3", 1);
+  const Cli cli = make({"prog"});
+  EXPECT_EQ(cli.jobs(), 3);
+  ::unsetenv("HCLOCKSYNC_JOBS");
+}
+
+TEST(Cli, JobsDefaultsAndZeroMeansAuto) {
+  const Cli cli = make({"prog"});
+  EXPECT_EQ(cli.jobs(), 1);
+  EXPECT_EQ(cli.jobs(4), 4);
+  const Cli cli0 = make({"prog", "--jobs", "0"});
+  EXPECT_EQ(cli0.jobs(), 0);  // 0 = auto, resolved by runner::resolve_jobs
+}
+
+TEST(Cli, NegativeJobsThrows) {
+  const Cli cli = make({"prog", "--jobs", "-2"});
+  EXPECT_THROW(cli.jobs(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hcs::util
