@@ -1,0 +1,90 @@
+// Ablation — synchronization robustness under message loss: drop rate x
+// algorithm, reporting accuracy plus how many ranks each sync flagged as
+// degraded or failed.  Not a paper figure; it exercises the deterministic
+// fault-injection subsystem (docs/fault-injection.md) end to end.
+//
+// Expected shape: at 0% every algorithm is clean; as the drop rate grows the
+// burst retry/timeout machinery keeps every sync terminating, accuracy decays
+// gracefully, and the degraded-rank count rises (JK's O(p) serial schedule
+// accumulates the most lost exchanges).  Any extra --fault specs given on the
+// command line are injected on top of the swept drop fault.
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcs;
+  using namespace hcs::bench;
+  const BenchOptions opt = parse_common(argc, argv, 1.0);
+  const Observability obs(opt);
+  const auto machine = topology::testbox(4, 2);  // 8 ranks, 2 per node
+
+  const int nfit = scaled(100, opt.scale, 20);
+  const int npp = scaled(20, opt.scale, 5);
+  const int nmpiruns = 3;
+  const std::vector<double> drop_rates = {0.0, 0.01, 0.02, 0.05};
+  print_header("Ablation (faults)",
+               "sync robustness vs. message drop rate, " + std::to_string(nmpiruns) + " mpiruns",
+               machine, opt);
+
+  const std::string suffix =
+      "/" + std::to_string(nfit) + "/skampi_offset/" + std::to_string(npp);
+  const std::string inner = std::to_string(nfit) + "/skampi_offset/" + std::to_string(npp);
+  const std::vector<std::string> labels = {
+      "hca" + suffix,
+      "hca2" + suffix,
+      "hca3" + suffix,
+      "jk" + suffix,
+      "top/hca3/" + inner + "/bottom/clockpropagation",
+      "top/hca3/" + inner + "/bottom/hca3/" + inner,
+  };
+
+  // One trial per (drop rate, algorithm, mpirun); seeds depend only on the
+  // mpirun index so every cell sees the same worlds.
+  const int nlabels = static_cast<int>(labels.size());
+  const int nrates = static_cast<int>(drop_rates.size());
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<SyncAccuracyPoint> points =
+      pool.map(nrates * nlabels * nmpiruns, opt.seed, [&](const runner::Trial& trial) {
+        const int rate_idx = trial.index / (nlabels * nmpiruns);
+        const int label_idx = (trial.index / nmpiruns) % nlabels;
+        const int run = trial.index % nmpiruns;
+        fault::FaultPlan plan = opt.fault_plan;
+        if (drop_rates[static_cast<std::size_t>(rate_idx)] > 0.0) {
+          fault::FaultSpec drop;
+          drop.kind = fault::FaultKind::kDrop;
+          drop.p = drop_rates[static_cast<std::size_t>(rate_idx)];
+          plan.add(drop);
+        }
+        return run_sync_accuracy(machine, labels[static_cast<std::size_t>(label_idx)], 2.0, 1.0,
+                                 opt.seed + static_cast<std::uint64_t>(run), plan);
+      });
+
+  util::Table table({"drop_rate", "algorithm", "sync_duration_s", "max_offset_0s_us",
+                     "max_offset_2s_us", "degraded_ranks", "failed_ranks"});
+  for (int rate_idx = 0; rate_idx < nrates; ++rate_idx) {
+    for (int label_idx = 0; label_idx < nlabels; ++label_idx) {
+      std::vector<double> durations, t0s, t1s;
+      int degraded = 0, failed = 0;
+      for (int run = 0; run < nmpiruns; ++run) {
+        const SyncAccuracyPoint& p = points[static_cast<std::size_t>(
+            (rate_idx * nlabels + label_idx) * nmpiruns + run)];
+        durations.push_back(p.duration);
+        t0s.push_back(p.max_offset_t0);
+        t1s.push_back(p.max_offset_t1);
+        degraded += p.degraded_ranks;
+        failed += p.failed_ranks;
+      }
+      table.add_row({util::fmt(drop_rates[static_cast<std::size_t>(rate_idx)], 2),
+                     labels[static_cast<std::size_t>(label_idx)],
+                     util::fmt(util::mean(durations), 4), util::fmt_us(util::mean(t0s), 3),
+                     util::fmt_us(util::mean(t1s), 3), std::to_string(degraded),
+                     std::to_string(failed)});
+    }
+  }
+  table.print(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nShape check: 0% drop is clean everywhere; degraded_ranks grows with the drop "
+               "rate while every sync still terminates.\n";
+  return 0;
+}

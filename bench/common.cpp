@@ -7,28 +7,70 @@
 #include <iostream>
 
 #include "clocksync/factory.hpp"
+#include "simmpi/collectives.hpp"
 #include "clocksync/skampi_offset.hpp"
 #include "simmpi/world.hpp"
 #include "trace/chrome_export.hpp"
 
 namespace hcs::bench {
 
+const BenchFlag kBenchFlags[] = {
+    {"scale", "S",
+     "workload multiplier in (0, 4]; 1.0 = paper configuration ($HCLOCKSYNC_SCALE)"},
+    {"seed", "N", "base seed; mpirun i uses seed N + i"},
+    {"jobs", "J",
+     "worker threads for independent trials; 0 = one per hardware thread ($HCLOCKSYNC_JOBS)"},
+    {"csv", nullptr, "additionally emit CSV rows"},
+    {"trace-out", "FILE", "write a Chrome trace (chrome://tracing / Perfetto)"},
+    {"metrics-out", "FILE", "write the metrics registry as CSV"},
+    {"fault", "SPEC",
+     "inject a fault, repeatable; SPEC = kind:key=value,... e.g. drop:p=0.01,level=network "
+     "(see docs/fault-injection.md)"},
+    {"fault-seed", "N", "seed of the fault-injection RNG stream (default 0)"},
+    {"help", nullptr, "print this help and exit"},
+};
+const std::size_t kBenchFlagCount = sizeof(kBenchFlags) / sizeof(kBenchFlags[0]);
+
+void print_usage(std::ostream& os, const std::string& program) {
+  os << "usage: " << program;
+  for (std::size_t i = 0; i < kBenchFlagCount; ++i) {
+    const BenchFlag& f = kBenchFlags[i];
+    os << " [--" << f.name;
+    if (f.arg) os << " " << f.arg;
+    os << "]";
+  }
+  os << "\n\noptions:\n";
+  for (std::size_t i = 0; i < kBenchFlagCount; ++i) {
+    const BenchFlag& f = kBenchFlags[i];
+    std::string head = "  --" + std::string(f.name) + (f.arg ? " " + std::string(f.arg) : "");
+    head.resize(std::max<std::size_t>(head.size() + 2, 22), ' ');
+    os << head << f.help << "\n";
+  }
+}
+
 BenchOptions parse_common(int argc, const char* const* argv, double default_scale) {
-  const util::Cli cli(argc, argv, {"csv"});
+  const util::Cli cli(argc, argv, {"csv", "help"});
+  if (cli.has("help")) {
+    print_usage(std::cout, cli.program());
+    std::exit(0);
+  }
   BenchOptions opt;
   try {
-    cli.reject_unknown({"scale", "seed", "jobs", "csv", "trace-out", "metrics-out"});
+    std::vector<std::string> known;
+    for (std::size_t i = 0; i < kBenchFlagCount; ++i) known.push_back(kBenchFlags[i].name);
+    cli.reject_unknown(known);
     opt.scale = cli.scale(default_scale);
     opt.seed = cli.seed(1);
     opt.jobs = cli.jobs(1);
     opt.csv = cli.has("csv");
     opt.trace_out = cli.trace_out();
     opt.metrics_out = cli.metrics_out();
+    for (const std::string& spec : cli.get_all("fault")) opt.fault_plan.add(spec);
+    opt.fault_plan.set_seed(
+        static_cast<std::uint64_t>(cli.get_int("fault-seed", 0)));
   } catch (const std::exception& e) {
-    std::cerr << cli.program() << ": " << e.what() << "\n"
-              << "usage: " << cli.program()
-              << " [--scale S] [--seed N] [--jobs J] [--csv]"
-                 " [--trace-out FILE] [--metrics-out FILE]\n";
+    std::cerr << cli.program() << ": " << e.what() << "\n";
+    print_usage(std::cerr, cli.program());
     std::exit(2);
   }
   return opt;
@@ -79,7 +121,12 @@ void print_header(const std::string& figure, const std::string& what,
   std::cout << "=== " << figure << ": " << what << " ===\n"
             << "machine: " << machine.describe() << "\n"
             << "scale: " << opt.scale << " (1.0 = paper configuration), seed: " << opt.seed
-            << "\n\n";
+            << "\n";
+  if (!opt.fault_plan.empty()) {
+    std::cout << "faults: " << opt.fault_plan.describe() << " (fault-seed "
+              << opt.fault_plan.seed() << ")\n";
+  }
+  std::cout << "\n";
 }
 
 int scaled(int value, double scale, int min_value) {
@@ -88,22 +135,32 @@ int scaled(int value, double scale, int min_value) {
 
 SyncAccuracyPoint run_sync_accuracy(const topology::MachineConfig& machine,
                                     const std::string& label, double wait_time,
-                                    double sample_fraction, std::uint64_t seed) {
-  simmpi::World world(machine, seed);
+                                    double sample_fraction, std::uint64_t seed,
+                                    const fault::FaultPlan& fault_plan) {
+  simmpi::World world(machine, seed, fault_plan);
   SyncAccuracyPoint point;
   const std::vector<int> clients =
       clocksync::sample_clients(world.size(), 0, sample_fraction, seed ^ 0xabcdefULL);
   world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
     auto sync = clocksync::make_sync(label);
     const sim::Time begin = ctx.sim().now();
-    const vclock::ClockPtr g = co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    const clocksync::SyncResult res =
+        co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
     point.duration = std::max(point.duration, ctx.sim().now() - begin);
     clocksync::SKaMPIOffset oalg(20);
-    const clocksync::AccuracyResult acc =
-        co_await clocksync::check_clock_accuracy(ctx.comm_world(), *g, oalg, wait_time, clients);
+    const clocksync::AccuracyResult acc = co_await clocksync::check_clock_accuracy(
+        ctx.comm_world(), *res.clock, oalg, wait_time, clients);
+    // Per-rank health to rank 0; collectives ride the reliable transport, so
+    // this completes (and stays cheap) even under fault injection.
+    std::vector<double> mine(1, static_cast<double>(res.report.health));
+    const std::vector<double> health = co_await simmpi::gather(ctx.comm_world(), std::move(mine));
     if (ctx.rank() == 0) {
       point.max_offset_t0 = acc.max_abs_t0;
       point.max_offset_t1 = acc.max_abs_t1;
+      for (const double h : health) {
+        if (h == static_cast<double>(clocksync::SyncHealth::kDegraded)) ++point.degraded_ranks;
+        if (h == static_cast<double>(clocksync::SyncHealth::kFailed)) ++point.failed_ranks;
+      }
     }
   });
   return point;
@@ -123,21 +180,26 @@ void run_and_print_sync_experiment(util::Table& table, const topology::MachineCo
         const int label_idx = trial.index / nmpiruns;
         const int run = trial.index % nmpiruns;
         return run_sync_accuracy(machine, labels[label_idx], wait_time, sample_fraction,
-                                 opt.seed + static_cast<std::uint64_t>(run));
+                                 opt.seed + static_cast<std::uint64_t>(run), opt.fault_plan);
       });
   for (int label_idx = 0; label_idx < nlabels; ++label_idx) {
     const std::string& label = labels[static_cast<std::size_t>(label_idx)];
     std::vector<double> durations, t0s, t1s;
+    int degraded = 0, failed = 0;
     for (int run = 0; run < nmpiruns; ++run) {
       const SyncAccuracyPoint& p = points[static_cast<std::size_t>(label_idx * nmpiruns + run)];
       durations.push_back(p.duration);
       t0s.push_back(p.max_offset_t0);
       t1s.push_back(p.max_offset_t1);
+      degraded += p.degraded_ranks;
+      failed += p.failed_ranks;
       table.add_row({label, std::to_string(run), util::fmt(p.duration, 4),
-                     util::fmt_us(p.max_offset_t0, 3), util::fmt_us(p.max_offset_t1, 3)});
+                     util::fmt_us(p.max_offset_t0, 3), util::fmt_us(p.max_offset_t1, 3),
+                     std::to_string(p.degraded_ranks), std::to_string(p.failed_ranks)});
     }
     table.add_row({label + " [mean]", "-", util::fmt(util::mean(durations), 4),
-                   util::fmt_us(util::mean(t0s), 3), util::fmt_us(util::mean(t1s), 3)});
+                   util::fmt_us(util::mean(t0s), 3), util::fmt_us(util::mean(t1s), 3),
+                   std::to_string(degraded), std::to_string(failed)});
   }
 }
 

@@ -1,27 +1,24 @@
 // Shared helpers for the figure-reproduction bench binaries.
 //
-// Every bench binary accepts:
-//   --scale S        (or $HCLOCKSYNC_SCALE): multiplies repetition counts /
-//                    fit points; 1.0 = the paper's full configuration.  Each
-//                    binary picks a default sized for a one-core machine.
-//   --seed N         : base seed; mpirun i uses seed N + i.
-//   --jobs J         (or $HCLOCKSYNC_JOBS): worker threads for independent
-//                    trials; 0 = one per hardware thread.  Output is
-//                    byte-identical for any J (see runner::TrialRunner).
-//   --csv            : additionally emit CSV rows.
-//   --trace-out F    : dump a Chrome trace (chrome://tracing / Perfetto).
-//   --metrics-out F  : dump the metrics registry as CSV.
-// Unknown options are an error (exit code 2), so "--job 4" can't silently
-// run the default configuration.  Headers always state machine, scale and
-// the paper figure being reproduced.
+// Every bench binary accepts the flags documented in kBenchFlags below
+// (--help prints the same table): --scale/--seed/--jobs/--csv, the
+// observability outputs --trace-out/--metrics-out, and the fault-injection
+// options --fault (repeatable) and --fault-seed.  Unknown options are an
+// error (exit code 2), so "--job 4" can't silently run the default
+// configuration.  Headers always state machine, scale and the paper figure
+// being reproduced.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "clocksync/accuracy.hpp"
+#include "clocksync/sync_algorithm.hpp"
+#include "fault/fault_plan.hpp"
 #include "runner/trial_runner.hpp"
 #include "topology/presets.hpp"
 #include "trace/metrics.hpp"
@@ -39,11 +36,29 @@ struct BenchOptions {
   bool csv = false;
   std::string trace_out;    // empty = tracing off
   std::string metrics_out;  // empty = metrics CSV off
+  fault::FaultPlan fault_plan;  // empty = no fault injection
 };
 
-/// Parses the shared bench options.  Rejects unknown options: prints the
-/// error and the known set to stderr and exits with code 2, so a typo never
-/// silently runs the default configuration.
+/// One --flag the bench binaries understand; the single source of truth for
+/// --help, the usage line and reject_unknown (a flag parse_common reads but
+/// this table omits would fail the help_lists_all_flags ctest).
+struct BenchFlag {
+  const char* name;  // without the leading "--"
+  const char* arg;   // metavar, or nullptr for boolean flags
+  const char* help;
+};
+
+/// Every flag parse_common parses, in display order.
+extern const BenchFlag kBenchFlags[];
+extern const std::size_t kBenchFlagCount;
+
+/// Writes the usage line plus one line per kBenchFlags entry.
+void print_usage(std::ostream& os, const std::string& program);
+
+/// Parses the shared bench options.  --help prints the flag table and exits
+/// 0.  Rejects unknown options and malformed --fault specs: prints the error
+/// and the usage to stderr and exits with code 2, so a typo never silently
+/// runs the default configuration.
 BenchOptions parse_common(int argc, const char* const* argv, double default_scale);
 
 /// Installs a tracer and/or metrics registry for the binary's lifetime when
@@ -76,12 +91,17 @@ struct SyncAccuracyPoint {
   double duration = 0.0;       // seconds to synchronize (incl. comm creation)
   double max_offset_t0 = 0.0;  // max |offset| right after sync
   double max_offset_t1 = 0.0;  // max |offset| wait_time later
+  int degraded_ranks = 0;      // ranks whose sync report says kDegraded
+  int failed_ranks = 0;        // ranks whose sync report says kFailed
 };
 
 /// Synchronizes with `label`, then runs Check-Global-Clock (Algorithm 6).
+/// With a non-empty `fault_plan` the World injects faults; per-rank sync
+/// health is gathered to rank 0 and summarized in the returned point.
 SyncAccuracyPoint run_sync_accuracy(const topology::MachineConfig& machine,
                                     const std::string& label, double wait_time,
-                                    double sample_fraction, std::uint64_t seed);
+                                    double sample_fraction, std::uint64_t seed,
+                                    const fault::FaultPlan& fault_plan = {});
 
 /// Runs `label` nmpiruns times and prints one row per run plus a mean row,
 /// mirroring the point-clouds of the paper's Figs. 3-6.

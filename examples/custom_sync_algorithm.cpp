@@ -31,18 +31,21 @@ class OffsetOnlySync final : public clocksync::ClockSync {
  public:
   explicit OffsetOnlySync(int nexchanges) : oalg_(nexchanges) {}
 
-  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override {
+  sim::Task<clocksync::SyncResult> sync_clocks(simmpi::Comm& comm,
+                                               vclock::ClockPtr clk) override {
     const int r = comm.rank();
     if (r == 0) {
       for (int client = 1; client < comm.size(); ++client) {
         (void)co_await oalg_.measure_offset(comm, *clk, 0, client);
       }
-      co_return vclock::GlobalClockLM::identity(std::move(clk));
+      co_return clocksync::SyncResult{vclock::GlobalClockLM::identity(std::move(clk)), {}};
     }
     const clocksync::ClockOffset o = co_await oalg_.measure_offset(comm, *clk, 0, r);
     // Constant offset, no drift model: slope = 0.
-    co_return std::make_shared<vclock::GlobalClockLM>(std::move(clk),
-                                                      vclock::LinearModel{0.0, o.offset});
+    co_return clocksync::SyncResult{
+        std::make_shared<vclock::GlobalClockLM>(std::move(clk),
+                                                vclock::LinearModel{0.0, o.offset}),
+        {}};
   }
 
   std::string name() const override { return "offset_only"; }

@@ -6,10 +6,12 @@
 
 namespace hcs::clocksync {
 
-sim::Task<vclock::ClockPtr> ClockPropSync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
+sim::Task<SyncResult> ClockPropSync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const bool i_am_ref = comm.rank() == p_ref_;
 
   // Two broadcasts as in Alg. 3: buffer size first, then the flat buffer.
+  // Broadcasts ride the reliable transport (bounded retransmit, never lost),
+  // so the report stays clean even under fault injection.
   std::vector<double> buffer;
   if (i_am_ref) buffer = vclock::flatten_clock(clk);
   const std::vector<double> size_msg = co_await simmpi::bcast(
@@ -17,10 +19,10 @@ sim::Task<vclock::ClockPtr> ClockPropSync::sync_clocks(simmpi::Comm& comm, vcloc
   (void)size_msg;  // the simulated transport derives buffer sizes itself
   buffer = co_await simmpi::bcast(comm, std::move(buffer), p_ref_, simmpi::BcastAlgo::kBinomial);
 
-  if (i_am_ref) co_return clk;
+  if (i_am_ref) co_return SyncResult{std::move(clk), {}};
   // Rebuild the reference's model chain on top of my own base clock; valid
   // because both clocks tick off the same hardware time source.
-  co_return vclock::unflatten_clock(std::move(clk), buffer);
+  co_return SyncResult{vclock::unflatten_clock(std::move(clk), buffer), {}};
 }
 
 }  // namespace hcs::clocksync

@@ -21,7 +21,7 @@ class ClockPropSync final : public ClockSync {
   /// global root (rank 0 after a node-leader split).
   explicit ClockPropSync(int p_ref = 0) : p_ref_(p_ref) {}
 
-  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  sim::Task<SyncResult> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
   std::string name() const override { return "ClockPropagation"; }
 
  private:

@@ -13,8 +13,18 @@
 #include "clocksync/jk.hpp"
 #include "clocksync/meanrtt_offset.hpp"
 #include "clocksync/skampi_offset.hpp"
+#include "clocksync/skampi_sync.hpp"
 
 namespace hcs::clocksync {
+
+const char* to_string(SyncHealth health) {
+  switch (health) {
+    case SyncHealth::kOk: return "ok";
+    case SyncHealth::kDegraded: return "degraded";
+    case SyncHealth::kFailed: return "failed";
+  }
+  return "?";
+}
 
 std::string sync_label(const std::string& algo, const SyncConfig& cfg,
                        const OffsetAlgorithm& oalg) {
@@ -69,6 +79,16 @@ std::unique_ptr<ClockSync> parse_flat(const std::vector<std::string>& toks, std:
   if (pos >= toks.size()) throw std::invalid_argument("make_sync: missing algorithm name");
   const std::string algo = toks[pos++];
   if (is_prop(algo)) return std::make_unique<ClockPropSync>();
+  if (algo == "skampi" || algo == "offset_only") {
+    // Offset-only baseline: no fit, so no nfitpoints token — just the
+    // offset algorithm and its exchange count ("skampi/skampi_offset/100").
+    if (pos + 2 > toks.size()) {
+      throw std::invalid_argument("make_sync: expected offset/nexchanges after '" + algo + "'");
+    }
+    const std::string offset_name = toks[pos++];
+    const int nexchanges = parse_int(toks[pos++], "nexchanges");
+    return std::make_unique<SKaMPISync>(make_offset_algorithm(offset_name, nexchanges));
+  }
 
   SyncConfig cfg;
   if (pos < toks.size() && toks[pos] == "recompute_intercept") {

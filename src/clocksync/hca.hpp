@@ -15,7 +15,7 @@ class HCASync final : public HCA2Sync {
  public:
   HCASync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg);
 
-  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  sim::Task<SyncResult> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
   std::string name() const override;
 };
 

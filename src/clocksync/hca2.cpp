@@ -49,10 +49,10 @@ HCA2Sync::HCA2Sync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg)
 
 std::string HCA2Sync::name() const { return sync_label("hca2", cfg_, *oalg_); }
 
-sim::Task<vclock::LinearModel> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm,
-                                                              vclock::ClockPtr clk) {
+sim::Task<LearnResult> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const int nprocs = comm.size();
   const int r = comm.rank();
+  SyncReport report;
 
   int nrounds = 0;
   while ((2 << nrounds) <= nprocs) ++nrounds;
@@ -66,9 +66,10 @@ sim::Task<vclock::LinearModel> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm
   // before the tree phase sends it upward.
   if (r >= max_power) {
     const int partner = r - max_power;
-    const vclock::LinearModel lm = co_await learn_clock_model(comm, partner, r, *clk, *oalg_, cfg_);
+    const LearnResult learned = co_await learn_clock_model(comm, partner, r, *clk, *oalg_, cfg_);
+    report.merge(learned.report);
     std::map<int, vclock::LinearModel> mine;
-    mine[r] = lm;
+    mine[r] = learned.model;
     co_await comm.send(partner, kRemainderTableTag, serialize_table(mine));
   } else if (r + max_power < nprocs) {
     const int partner = r + max_power;
@@ -105,13 +106,14 @@ sim::Task<vclock::LinearModel> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm
         }
       } else if (r % step == half) {
         const int parent = r - half;
-        const vclock::LinearModel lm =
+        const LearnResult learned =
             co_await learn_clock_model(comm, parent, r, *clk, *oalg_, cfg_);
+        report.merge(learned.report);
         // Send my own model first, then my subtree (relative to me).
         std::vector<double> payload;
         payload.push_back(static_cast<double>(r));
-        payload.push_back(lm.slope);
-        payload.push_back(lm.intercept);
+        payload.push_back(learned.model.slope);
+        payload.push_back(learned.model.intercept);
         for (const auto& [rank, model] : models) {
           if (rank == r) continue;
           payload.push_back(static_cast<double>(rank));
@@ -139,12 +141,13 @@ sim::Task<vclock::LinearModel> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm
   }
   const std::vector<double> mine =
       co_await simmpi::scatter(comm, std::move(flat), 2, 0, simmpi::ScatterAlgo::kBinomial);
-  co_return vclock::LinearModel{mine.at(0), mine.at(1)};
+  co_return LearnResult{vclock::LinearModel{mine.at(0), mine.at(1)}, report};
 }
 
-sim::Task<vclock::ClockPtr> HCA2Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
-  const vclock::LinearModel lm = co_await run_tree_and_scatter(comm, clk);
-  co_return std::make_shared<vclock::GlobalClockLM>(std::move(clk), lm);
+sim::Task<SyncResult> HCA2Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
+  const LearnResult learned = co_await run_tree_and_scatter(comm, clk);
+  co_return SyncResult{std::make_shared<vclock::GlobalClockLM>(std::move(clk), learned.model),
+                       learned.report};
 }
 
 }  // namespace hcs::clocksync

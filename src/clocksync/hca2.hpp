@@ -8,6 +8,7 @@
 
 #include <map>
 
+#include "clocksync/model_learning.hpp"
 #include "clocksync/sync_algorithm.hpp"
 #include "vclock/linear_model.hpp"
 
@@ -17,13 +18,15 @@ class HCA2Sync : public ClockSync {
  public:
   HCA2Sync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg);
 
-  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  sim::Task<SyncResult> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
   std::string name() const override;
 
  protected:
   /// The shared tree + merge + scatter pipeline; returns this rank's fitted
-  /// model relative to rank 0 (identity on rank 0).  HCASync reuses this.
-  sim::Task<vclock::LinearModel> run_tree_and_scatter(simmpi::Comm& comm, vclock::ClockPtr clk);
+  /// model relative to rank 0 (identity on rank 0) plus the merged quality
+  /// report of every learn phase this rank was a client in.  HCASync reuses
+  /// this.
+  sim::Task<LearnResult> run_tree_and_scatter(simmpi::Comm& comm, vclock::ClockPtr clk);
 
   SyncConfig cfg_;
   std::unique_ptr<OffsetAlgorithm> oalg_;

@@ -15,7 +15,7 @@ HCA3Sync::HCA3Sync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg)
 
 std::string HCA3Sync::name() const { return sync_label("hca3", cfg_, *oalg_); }
 
-sim::Task<vclock::ClockPtr> HCA3Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
+sim::Task<SyncResult> HCA3Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const int nprocs = comm.size();
   const int r = comm.rank();
   HCS_TRACE_SCOPE(Sync, comm.my_world_rank(), "hca3.sync_clocks", nprocs);
@@ -25,6 +25,7 @@ sim::Task<vclock::ClockPtr> HCA3Sync::sync_clocks(simmpi::Comm& comm, vclock::Cl
   const int max_power = 1 << nrounds;
 
   vclock::ClockPtr my_clk = vclock::GlobalClockLM::identity(clk);  // dummy clock
+  SyncReport report;  // each rank is a client at most once, plus ref roles
 
   // Step 1: ranks below max_power, reference time flowing down the tree.
   for (int i = nrounds; i >= 1; --i) {
@@ -36,23 +37,25 @@ sim::Task<vclock::ClockPtr> HCA3Sync::sync_clocks(simmpi::Comm& comm, vclock::Cl
       (void)co_await learn_clock_model(comm, r, other_rank, *my_clk, *oalg_, cfg_);
     } else if (r % running_power == next_power) {
       const int other_rank = r - next_power;
-      const vclock::LinearModel lm =
+      const LearnResult learned =
           co_await learn_clock_model(comm, other_rank, r, *my_clk, *oalg_, cfg_);
-      my_clk = std::make_shared<vclock::GlobalClockLM>(clk, lm);
+      report.merge(learned.report);
+      my_clk = std::make_shared<vclock::GlobalClockLM>(clk, learned.model);
     }
   }
 
   // Step 2: the remaining ranks in [max_power, nprocs).
   if (r >= max_power) {
     const int other_rank = r - max_power;
-    const vclock::LinearModel lm =
+    const LearnResult learned =
         co_await learn_clock_model(comm, other_rank, r, *my_clk, *oalg_, cfg_);
-    my_clk = std::make_shared<vclock::GlobalClockLM>(clk, lm);
+    report.merge(learned.report);
+    my_clk = std::make_shared<vclock::GlobalClockLM>(clk, learned.model);
   } else if (r < nprocs - max_power) {
     const int other_rank = r + max_power;
     (void)co_await learn_clock_model(comm, r, other_rank, *my_clk, *oalg_, cfg_);
   }
-  co_return my_clk;
+  co_return SyncResult{std::move(my_clk), report};
 }
 
 }  // namespace hcs::clocksync

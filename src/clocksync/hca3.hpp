@@ -16,7 +16,7 @@ class HCA3Sync final : public ClockSync {
  public:
   HCA3Sync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg);
 
-  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  sim::Task<SyncResult> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
   std::string name() const override;
 
  private:

@@ -20,14 +20,13 @@ std::string HierarchicalSync::name() const {
   return "Top/" + top_->name() + "/Bottom/" + bottom_->name();
 }
 
-sim::Task<vclock::ClockPtr> HierarchicalSync::sync_clocks(simmpi::Comm& comm,
-                                                          vclock::ClockPtr clk) {
+sim::Task<SyncResult> HierarchicalSync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
   if (mid_) co_return co_await sync_h3(comm, std::move(clk));
   co_return co_await sync_h2(comm, std::move(clk));
 }
 
 // Algorithm 4 (H2HCA).
-sim::Task<vclock::ClockPtr> HierarchicalSync::sync_h2(simmpi::Comm& comm, vclock::ClockPtr clk) {
+sim::Task<SyncResult> HierarchicalSync::sync_h2(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const int wr = comm.my_world_rank();
   // Communicator creation (MPI_COMM_TYPE_SHARED analogue + a leaders split);
   // deliberately inside the timed region, as in the paper's evaluation.
@@ -40,23 +39,29 @@ sim::Task<vclock::ClockPtr> HierarchicalSync::sync_h2(simmpi::Comm& comm, vclock
     comm_internode = co_await comm.split(leader_color, comm.rank());
   }
 
-  // Step 1: synchronization between nodes.
+  // Step 1: synchronization between nodes.  Level reports merge: a rank is
+  // degraded if any level it participated in was degraded.
+  SyncReport report;
   vclock::ClockPtr global_clk1 = vclock::GlobalClockLM::identity(clk);
   if (comm_internode.valid() && comm_internode.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.top");
-    global_clk1 = co_await top_->sync_clocks(comm_internode, clk);
+    SyncResult res = co_await top_->sync_clocks(comm_internode, clk);
+    global_clk1 = std::move(res.clock);
+    report.merge(res.report);
   }
   // Step 2: synchronization within the compute node.
   vclock::ClockPtr global_clk2 = global_clk1;
   if (comm_intranode.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.bottom");
-    global_clk2 = co_await bottom_->sync_clocks(comm_intranode, global_clk1);
+    SyncResult res = co_await bottom_->sync_clocks(comm_intranode, global_clk1);
+    global_clk2 = std::move(res.clock);
+    report.merge(res.report);
   }
-  co_return global_clk2;
+  co_return SyncResult{std::move(global_clk2), report};
 }
 
 // §IV-D (H3HCA): node leaders / socket leaders per node / within-socket.
-sim::Task<vclock::ClockPtr> HierarchicalSync::sync_h3(simmpi::Comm& comm, vclock::ClockPtr clk) {
+sim::Task<SyncResult> HierarchicalSync::sync_h3(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const int wr = comm.my_world_rank();
   simmpi::Comm comm_socket;
   simmpi::Comm comm_socket_leaders;
@@ -73,22 +78,29 @@ sim::Task<vclock::ClockPtr> HierarchicalSync::sync_h3(simmpi::Comm& comm, vclock
     comm_internode = co_await comm.split(node_leader_color, comm.rank());
   }
 
+  SyncReport report;
   vclock::ClockPtr global_clk1 = vclock::GlobalClockLM::identity(clk);
   if (comm_internode.valid() && comm_internode.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.top");
-    global_clk1 = co_await top_->sync_clocks(comm_internode, clk);
+    SyncResult res = co_await top_->sync_clocks(comm_internode, clk);
+    global_clk1 = std::move(res.clock);
+    report.merge(res.report);
   }
   vclock::ClockPtr global_clk2 = global_clk1;
   if (comm_socket_leaders.valid() && comm_socket_leaders.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.mid");
-    global_clk2 = co_await mid_->sync_clocks(comm_socket_leaders, global_clk1);
+    SyncResult res = co_await mid_->sync_clocks(comm_socket_leaders, global_clk1);
+    global_clk2 = std::move(res.clock);
+    report.merge(res.report);
   }
   vclock::ClockPtr global_clk3 = global_clk2;
   if (comm_socket.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.bottom");
-    global_clk3 = co_await bottom_->sync_clocks(comm_socket, global_clk2);
+    SyncResult res = co_await bottom_->sync_clocks(comm_socket, global_clk2);
+    global_clk3 = std::move(res.clock);
+    report.merge(res.report);
   }
-  co_return global_clk3;
+  co_return SyncResult{std::move(global_clk3), report};
 }
 
 std::unique_ptr<ClockSync> make_h2hca(std::unique_ptr<ClockSync> top,

@@ -25,14 +25,14 @@ class HierarchicalSync final : public ClockSync {
   HierarchicalSync(std::unique_ptr<ClockSync> top, std::unique_ptr<ClockSync> mid,
                    std::unique_ptr<ClockSync> bottom);
 
-  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  sim::Task<SyncResult> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
   std::string name() const override;
 
   int levels() const { return mid_ ? 3 : 2; }
 
  private:
-  sim::Task<vclock::ClockPtr> sync_h2(simmpi::Comm& comm, vclock::ClockPtr clk);
-  sim::Task<vclock::ClockPtr> sync_h3(simmpi::Comm& comm, vclock::ClockPtr clk);
+  sim::Task<SyncResult> sync_h2(simmpi::Comm& comm, vclock::ClockPtr clk);
+  sim::Task<SyncResult> sync_h3(simmpi::Comm& comm, vclock::ClockPtr clk);
 
   std::unique_ptr<ClockSync> top_;
   std::unique_ptr<ClockSync> mid_;  // nullptr for H2HCA

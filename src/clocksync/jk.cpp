@@ -14,16 +14,17 @@ JKSync::JKSync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg)
 
 std::string JKSync::name() const { return sync_label("jk", cfg_, *oalg_); }
 
-sim::Task<vclock::ClockPtr> JKSync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
+sim::Task<SyncResult> JKSync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const int r = comm.rank();
   if (r == 0) {
     for (int client = 1; client < comm.size(); ++client) {
       (void)co_await learn_clock_model(comm, 0, client, *clk, *oalg_, cfg_);
     }
-    co_return vclock::GlobalClockLM::identity(std::move(clk));
+    co_return SyncResult{vclock::GlobalClockLM::identity(std::move(clk)), {}};
   }
-  const vclock::LinearModel lm = co_await learn_clock_model(comm, 0, r, *clk, *oalg_, cfg_);
-  co_return std::make_shared<vclock::GlobalClockLM>(std::move(clk), lm);
+  const LearnResult learned = co_await learn_clock_model(comm, 0, r, *clk, *oalg_, cfg_);
+  co_return SyncResult{std::make_shared<vclock::GlobalClockLM>(std::move(clk), learned.model),
+                       learned.report};
 }
 
 }  // namespace hcs::clocksync

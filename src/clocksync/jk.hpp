@@ -14,7 +14,7 @@ class JKSync final : public ClockSync {
  public:
   JKSync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg);
 
-  sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  sim::Task<SyncResult> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
   std::string name() const override;
 
  private:

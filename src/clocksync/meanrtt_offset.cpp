@@ -1,6 +1,7 @@
 #include "clocksync/meanrtt_offset.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -31,28 +32,39 @@ sim::Task<ClockOffset> MeanRttOffset::measure_offset(simmpi::Comm& comm, vclock:
   // Measure the RTT once per pair; both sides keep the cache consistent by
   // both participating in the extra burst.
   auto cached = rtt_cache_.find(key);
+  ClockOffset result;
   if (cached == rtt_cache_.end()) {
     // One extra warmup exchange: the very first ping-pong of a pair includes
     // the time the partner spent busy elsewhere (e.g. JK's reference serving
     // earlier clients), which would bias the mean RTT by milliseconds.
     // Dropping it matches real measure_rtt implementations.
-    const simmpi::BurstResult rtt_samples =
+    const simmpi::BurstResult warmup =
         co_await comm.pingpong_burst(partner, i_am_client, clk, nexchanges_ + 1, kPingBytes);
+    result.lost += warmup.lost;
+    result.retries += warmup.retries;
     double rtt = 0.0;
-    if (i_am_client) {
-      for (std::size_t i = 1; i < rtt_samples.size(); ++i) {
-        rtt += rtt_samples[i].client_recv - rtt_samples[i].client_send;
+    if (i_am_client && warmup.samples.size() >= 2) {
+      for (std::size_t i = 1; i < warmup.samples.size(); ++i) {
+        rtt += warmup.samples[i].client_recv - warmup.samples[i].client_send;
       }
-      rtt /= static_cast<double>(rtt_samples.size() - 1);
+      rtt /= static_cast<double>(warmup.samples.size() - 1);
     }
+    // A warmup burst that lost (almost) every exchange caches rtt == 0; the
+    // offset measurements below still work, just without the RTT/2 midpoint
+    // correction, and the loss shows up in the rank's sync report.
     cached = rtt_cache_.emplace(key, rtt).first;
   }
 
-  const simmpi::BurstResult samples =
+  const simmpi::BurstResult burst =
       co_await comm.pingpong_burst(partner, i_am_client, clk, nexchanges_, kPingBytes);
-
-  ClockOffset result;
+  result.lost += burst.lost;
+  result.retries += burst.retries;
   if (!i_am_client) co_return result;
+  if (burst.samples.empty()) {
+    result.valid = false;
+    result.timestamp = clk.now();
+    co_return result;
+  }
 
   const double rtt = cached->second;
   struct Obs {
@@ -60,9 +72,11 @@ sim::Task<ClockOffset> MeanRttOffset::measure_offset(simmpi::Comm& comm, vclock:
     double diff;  // local - ref - rtt/2, i.e. -(offset to reference)
   };
   std::vector<Obs> observations;
-  observations.reserve(samples.size());
-  for (const simmpi::PingSample& s : samples) {
+  observations.reserve(burst.samples.size());
+  double min_rtt = std::numeric_limits<double>::infinity();
+  for (const simmpi::PingSample& s : burst.samples) {
     observations.push_back(Obs{s.client_recv, s.client_recv - s.ref_reply - rtt / 2.0});
+    min_rtt = std::min(min_rtt, s.client_recv - s.client_send);
   }
   std::vector<Obs> by_diff = observations;
   std::nth_element(by_diff.begin(), by_diff.begin() + static_cast<std::ptrdiff_t>(by_diff.size() / 2),
@@ -72,6 +86,7 @@ sim::Task<ClockOffset> MeanRttOffset::measure_offset(simmpi::Comm& comm, vclock:
   // the convention ClockOffset and the fitted models use.
   result.timestamp = median.timestamp;
   result.offset = -median.diff;
+  result.min_rtt = min_rtt;
   co_return result;
 }
 

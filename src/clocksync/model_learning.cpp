@@ -1,5 +1,6 @@
 #include "clocksync/model_learning.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -9,13 +10,29 @@
 
 namespace hcs::clocksync {
 
-sim::Task<vclock::LinearModel> learn_clock_model(simmpi::Comm& comm, int p_ref, int other_rank,
-                                                 vclock::Clock& clk, OffsetAlgorithm& oalg,
-                                                 SyncConfig cfg) {
+namespace {
+
+/// Classifies the learn outcome.  Outlier rejection alone (a few points at
+/// most fault-free) does not degrade health; lost exchanges or unusable
+/// measurements do, and fewer than two usable points means the fit failed.
+SyncHealth classify_health(const SyncReport& r) {
+  if (r.points_used < 2) return SyncHealth::kFailed;
+  if (r.points_invalid > 0 || r.exchanges_lost > 0 ||
+      r.outliers_rejected > r.points_requested / 4) {
+    return SyncHealth::kDegraded;
+  }
+  return SyncHealth::kOk;
+}
+
+}  // namespace
+
+sim::Task<LearnResult> learn_clock_model(simmpi::Comm& comm, int p_ref, int other_rank,
+                                         vclock::Clock& clk, OffsetAlgorithm& oalg,
+                                         SyncConfig cfg) {
   const int me = comm.rank();
   HCS_TRACE_SCOPE(Sync, comm.my_world_rank(), "learn_clock_model",
                   comm.world_rank(me == p_ref ? other_rank : p_ref));
-  vclock::LinearModel lm;  // identity; returned as-is on the reference side
+  LearnResult out;  // identity model; returned as-is on the reference side
 
   if (me == p_ref) {
     for (int idx = 0; idx < cfg.nfitpoints; ++idx) {
@@ -24,35 +41,83 @@ sim::Task<vclock::LinearModel> learn_clock_model(simmpi::Comm& comm, int p_ref, 
     if (cfg.recompute_intercept) {
       (void)co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
     }
-    co_return lm;
+    co_return out;
   }
   if (me != other_rank) {
     throw std::logic_error("learn_clock_model: called by a non-participating rank");
   }
 
-  std::vector<double> xfit, yfit;
+  SyncReport& report = out.report;
+  report.points_requested = cfg.nfitpoints;
+  std::vector<double> xfit, yfit, rtts;
   xfit.reserve(static_cast<std::size_t>(cfg.nfitpoints));
   yfit.reserve(static_cast<std::size_t>(cfg.nfitpoints));
+  rtts.reserve(static_cast<std::size_t>(cfg.nfitpoints));
   for (int idx = 0; idx < cfg.nfitpoints; ++idx) {
     const ClockOffset o = co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
+    report.exchanges_lost += o.lost;
+    report.retries += o.retries;
+    if (!o.valid) {
+      ++report.points_invalid;
+      continue;
+    }
     xfit.push_back(o.timestamp);
     yfit.push_back(o.offset);
+    rtts.push_back(o.min_rtt);
   }
-  HCS_METRIC_ADD("sync.fit_points", cfg.nfitpoints);
-  if (cfg.nfitpoints >= 2) {
+
+  // Min-RTT outlier rejection: points measured through congestion windows or
+  // rescued by retries have inflated, asymmetric RTTs.  The threshold is
+  // twice the median of the per-point minimum RTTs, which fault-free sits
+  // just above the base latency and rejects nothing.
+  if (rtts.size() >= 4) {
+    std::vector<double> sorted = rtts;
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                     sorted.end());
+    const double threshold = 2.0 * sorted[sorted.size() / 2] + 1e-9;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < rtts.size(); ++i) {
+      if (rtts[i] <= threshold) {
+        xfit[kept] = xfit[i];
+        yfit[kept] = yfit[i];
+        rtts[kept] = rtts[i];
+        ++kept;
+      } else {
+        ++report.outliers_rejected;
+      }
+    }
+    xfit.resize(kept);
+    yfit.resize(kept);
+    rtts.resize(kept);
+  }
+  report.points_used = static_cast<int>(xfit.size());
+
+  HCS_METRIC_ADD("sync.fit_points", report.points_used);
+  if (report.outliers_rejected > 0) {
+    HCS_METRIC_ADD("sync.fit_outliers_rejected", report.outliers_rejected);
+  }
+  if (report.points_used >= 2) {
     const FitResult fit = fit_linear_model(xfit, yfit);
-    lm = fit.model;
+    out.model = fit.model;
     HCS_METRIC_OBSERVE_RAW("sync.fit_r2", fit.r2);
   } else {
-    // Degenerate configuration: a single fit point fixes only the offset.
-    lm.slope = 0.0;
-    lm.intercept = yfit.empty() ? 0.0 : yfit.front();
+    // Degenerate: a single usable point fixes only the offset; none at all
+    // leaves the identity model (health kFailed either way).
+    out.model.slope = 0.0;
+    out.model.intercept = yfit.empty() ? 0.0 : yfit.front();
   }
   if (cfg.recompute_intercept) {
     const ClockOffset o = co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
-    lm.intercept = lm.slope * (-o.timestamp) + o.offset;
+    report.exchanges_lost += o.lost;
+    report.retries += o.retries;
+    if (o.valid) {
+      out.model.intercept = out.model.slope * (-o.timestamp) + o.offset;
+    } else {
+      ++report.points_invalid;  // keep the fitted intercept
+    }
   }
-  co_return lm;
+  report.health = classify_health(report);
+  co_return out;
 }
 
 }  // namespace hcs::clocksync

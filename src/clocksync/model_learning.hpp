@@ -5,6 +5,13 @@
 // and fits a linear drift model; the reference merely answers the ping-pongs.
 // With cfg.recompute_intercept set, one extra offset measurement re-anchors
 // the intercept at the end of the fit (Alg. 2, COMPUTE_AND_SET_INTERCEPT).
+//
+// Robustness (fault injection): measurements whose burst lost every exchange
+// are discarded, and surviving points whose tightest RTT exceeds twice the
+// median min-RTT are rejected as outliers before fitting — congested or
+// retried bursts produce asymmetric delays that would bias the regression.
+// The LearnResult's report says how many points survived; fault-free it is
+// clean (the min over >= nexchanges RTTs is essentially never an outlier).
 #pragma once
 
 #include "clocksync/offset.hpp"
@@ -13,13 +20,20 @@
 
 namespace hcs::clocksync {
 
+/// Fitted model plus the client's measurement-quality report.
+struct LearnResult {
+  vclock::LinearModel model;
+  SyncReport report;
+};
+
 /// Returns the fitted model on the client; an identity model on the
-/// reference.  `clk` is the caller's clock used for timestamping — HCA3
-/// passes an already-synchronized global clock on the reference side.
+/// reference (whose report is clean — quality is a client-side notion).
+/// `clk` is the caller's clock used for timestamping — HCA3 passes an
+/// already-synchronized global clock on the reference side.
 /// `cfg` by value (lazily-started coroutine; temporaries bound to reference
 /// parameters would dangle).
-sim::Task<vclock::LinearModel> learn_clock_model(simmpi::Comm& comm, int p_ref, int other_rank,
-                                                 vclock::Clock& clk, OffsetAlgorithm& oalg,
-                                                 SyncConfig cfg);
+sim::Task<LearnResult> learn_clock_model(simmpi::Comm& comm, int p_ref, int other_rank,
+                                         vclock::Clock& clk, OffsetAlgorithm& oalg,
+                                         SyncConfig cfg);
 
 }  // namespace hcs::clocksync

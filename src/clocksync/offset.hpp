@@ -18,9 +18,17 @@ namespace hcs::clocksync {
 
 /// One fit point: the client-clock timestamp at which the offset to the
 /// reference clock was estimated, and that estimated offset (ref - client).
+/// The quality fields feed the fitting path's outlier rejection and the
+/// degraded-rank reporting under fault injection; fault-free they are
+/// `valid == true`, `lost == retries == 0` and `min_rtt` is the burst's
+/// tightest round-trip.
 struct ClockOffset {
   double timestamp = 0.0;
   double offset = 0.0;
+  double min_rtt = 0.0;  // tightest client-observed RTT in the burst (quality signal)
+  bool valid = true;     // false when every exchange of the burst was lost
+  int lost = 0;          // exchanges abandoned by the transport's retry budget
+  int retries = 0;       // timed-out exchange attempts that were retried
 };
 
 class OffsetAlgorithm {

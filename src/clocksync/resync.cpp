@@ -32,7 +32,9 @@ sim::Task<vclock::ClockPtr> ResyncManager::tick(simmpi::Comm& comm, vclock::Cloc
   if (resync_now) {
     HCS_TRACE_INSTANT(Sync, comm.my_world_rank(), "resync", resyncs_);
     if (comm.rank() == 0) HCS_METRIC_INC("sync.resyncs");  // once per round, not per rank
-    current_ = co_await inner_->sync_clocks(comm, std::move(base));
+    SyncResult res = co_await inner_->sync_clocks(comm, std::move(base));
+    current_ = std::move(res.clock);
+    last_report_ = res.report;
     deadline_ = current_->now() + interval_;
     ++resyncs_;
   }

@@ -36,6 +36,10 @@ class ResyncManager {
   /// Number of synchronizations performed (including the initial one).
   int resyncs() const { return resyncs_; }
 
+  /// This rank's health report from the most recent (re-)synchronization;
+  /// default (clean) before the first tick.
+  const SyncReport& last_report() const { return last_report_; }
+
   double interval() const { return interval_; }
 
  private:
@@ -43,6 +47,7 @@ class ResyncManager {
   double interval_;
   double deadline_ = 0.0;  // on the current global clock
   vclock::ClockPtr current_;
+  SyncReport last_report_;
   int resyncs_ = 0;
 };
 

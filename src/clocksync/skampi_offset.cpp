@@ -25,20 +25,32 @@ sim::Task<ClockOffset> SKaMPIOffset::measure_offset(simmpi::Comm& comm, vclock::
   }
   const bool i_am_client = (me == client);
   const int partner = i_am_client ? p_ref : client;
-  const simmpi::BurstResult samples =
+  const simmpi::BurstResult burst =
       co_await comm.pingpong_burst(partner, i_am_client, clk, nexchanges_, kPingBytes);
 
   ClockOffset result;
+  result.lost = burst.lost;
+  result.retries = burst.retries;
   if (!i_am_client) co_return result;
+  if (burst.samples.empty()) {
+    // Every exchange was lost (only possible under fault injection); the
+    // caller discards the point and reports the rank degraded.
+    result.valid = false;
+    result.timestamp = clk.now();
+    co_return result;
+  }
 
   double td_min = -std::numeric_limits<double>::infinity();
   double td_max = std::numeric_limits<double>::infinity();
-  for (const simmpi::PingSample& s : samples) {
+  double min_rtt = std::numeric_limits<double>::infinity();
+  for (const simmpi::PingSample& s : burst.samples) {
     td_min = std::max(td_min, s.ref_reply - s.client_recv);
     td_max = std::min(td_max, s.ref_reply - s.client_send);
+    min_rtt = std::min(min_rtt, s.client_recv - s.client_send);
   }
   result.offset = 0.5 * (td_min + td_max);
   result.timestamp = clk.now();
+  result.min_rtt = min_rtt;
   co_return result;
 }
 

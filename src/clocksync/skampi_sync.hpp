@@ -1,0 +1,24 @@
+// SKaMPI-style offset-only synchronization (the paper's baseline).
+//
+// The reference process measures the offset to every client sequentially and
+// each client applies it as a constant correction — no drift model at all
+// (slope = 0).  Accurate right after synchronization, degrades linearly with
+// the clock skew afterwards; the HCA family exists to fix exactly that.
+#pragma once
+
+#include "clocksync/sync_algorithm.hpp"
+
+namespace hcs::clocksync {
+
+class SKaMPISync final : public ClockSync {
+ public:
+  explicit SKaMPISync(std::unique_ptr<OffsetAlgorithm> oalg);
+
+  sim::Task<SyncResult> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<OffsetAlgorithm> oalg_;
+};
+
+}  // namespace hcs::clocksync

@@ -7,6 +7,8 @@
 // Mean-RTT cache lives in the owned OffsetAlgorithm).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -23,12 +25,62 @@ struct SyncConfig {
   bool recompute_intercept = false;  // re-measure the intercept after fitting
 };
 
+/// Per-rank health of one synchronization, ordered by severity.  kOk: every
+/// measurement usable.  kDegraded: exchanges were lost or outliers rejected,
+/// but enough points survived to fit a model.  kFailed: too few points — the
+/// returned clock is a best-effort fallback, not a synchronized clock.
+enum class SyncHealth : std::uint8_t { kOk = 0, kDegraded = 1, kFailed = 2 };
+
+const char* to_string(SyncHealth health);
+
+/// Measurement-quality report accumulated by one rank across the learn /
+/// offset phases of a synchronization.  Under fault injection this is how a
+/// sync reports degraded or failed ranks instead of hanging; fault-free the
+/// report is all zeros with health == kOk.
+struct SyncReport {
+  SyncHealth health = SyncHealth::kOk;
+  int points_requested = 0;  // fit points this rank asked for (client role)
+  int points_used = 0;       // points that survived validity + outlier checks
+  int points_invalid = 0;    // measurements whose burst lost every exchange
+  int outliers_rejected = 0; // valid points rejected by the min-RTT filter
+  int exchanges_lost = 0;    // ping-pong exchanges abandoned by the transport
+  int retries = 0;           // timed-out exchange attempts that were retried
+
+  bool clean() const noexcept { return health == SyncHealth::kOk; }
+
+  /// Severity-max on health, sums elsewhere (used when a sync composes
+  /// several learn phases, e.g. hierarchical levels).
+  void merge(const SyncReport& other) {
+    health = std::max(health, other.health);
+    points_requested += other.points_requested;
+    points_used += other.points_used;
+    points_invalid += other.points_invalid;
+    outliers_rejected += other.outliers_rejected;
+    exchanges_lost += other.exchanges_lost;
+    retries += other.retries;
+  }
+};
+
+/// A synchronized clock plus this rank's measurement-quality report.  The
+/// implicit conversions keep pre-existing call sites — which only want the
+/// clock — compiling unchanged.
+struct SyncResult {
+  vclock::ClockPtr clock;
+  SyncReport report;
+
+  operator vclock::ClockPtr() const { return clock; }  // NOLINT(google-explicit-constructor)
+  vclock::Clock& operator*() const { return *clock; }
+  vclock::Clock* operator->() const { return clock.get(); }
+};
+
 class ClockSync {
  public:
   virtual ~ClockSync() = default;
 
-  /// Collective: returns this rank's synchronized logical clock.
-  virtual sim::Task<vclock::ClockPtr> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) = 0;
+  /// Collective: returns this rank's synchronized logical clock plus its
+  /// health report (SyncResult converts implicitly to vclock::ClockPtr for
+  /// callers that ignore the report).
+  virtual sim::Task<SyncResult> sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) = 0;
 
   /// Human-readable label, e.g. "hca3/recompute_intercept/1000/skampi_offset/100".
   virtual std::string name() const = 0;

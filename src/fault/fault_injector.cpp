@@ -1,0 +1,119 @@
+#include "fault/fault_injector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace hcs::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nranks)
+    : rng_(seed ^ (plan.seed() * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)) {
+  for (const FaultSpec& s : plan.specs()) {
+    if (s.rank >= nranks) {
+      throw std::invalid_argument("fault spec targets rank " + std::to_string(s.rank) +
+                                  " but the machine has only " + std::to_string(nranks) +
+                                  " ranks: " + s.describe());
+    }
+    switch (s.kind) {
+      case FaultKind::kDrop:
+        if (s.p > 0.0) drops_rules_.push_back({s.level, s.p});
+        break;
+      case FaultKind::kDuplicate:
+        if (s.p > 0.0) dup_rules_.push_back({s.level, s.p});
+        break;
+      case FaultKind::kReorder:
+        if (s.p > 0.0) reorder_rules_.push_back({s.level, s.p, s.delay});
+        break;
+      case FaultKind::kBurst: {
+        // Log-normal heavy tail with sigma = 1 and the mean pinned to the
+        // spec's delay: mean = exp(mu + sigma^2/2)  =>  mu = ln(delay) - 1/2.
+        BurstRule rule{s.level, s.period, s.duration, s.phase, std::log(s.delay) - 0.5, 1.0};
+        burst_rules_.push_back(rule);
+        break;
+      }
+      case FaultKind::kStraggler:
+        if (s.factor > 1.0) straggler_rules_.push_back({s.rank, s.factor});
+        break;
+      case FaultKind::kClockStep:
+        clock_faults_.push_back({FaultKind::kClockStep, s.rank, s.at, s.step});
+        break;
+      case FaultKind::kFreqJump:
+        clock_faults_.push_back({FaultKind::kFreqJump, s.rank, s.at, s.ppm * 1e-6});
+        break;
+      case FaultKind::kPause:
+        pauses_.push_back({s.rank, s.at, s.at + s.duration});
+        break;
+    }
+  }
+  net_active_ = !drops_rules_.empty() || !dup_rules_.empty() || !reorder_rules_.empty() ||
+                !burst_rules_.empty() || !straggler_rules_.empty();
+  if (trace::MetricsRegistry* m = trace::active_metrics()) {
+    drop_metric_ = &m->counter("fault.net.drops");
+    dup_metric_ = &m->counter("fault.net.duplicates");
+    delayed_metric_ = &m->counter("fault.net.delayed");
+    pause_metric_ = &m->counter("fault.pause.holds");
+    extra_delay_metric_ = &m->histogram("fault.net.extra_delay");
+  }
+}
+
+NetFaultDecision FaultInjector::on_message(int src, int dst, int level, sim::Time now) {
+  NetFaultDecision d;
+  for (const StragglerRule& r : straggler_rules_) {
+    if (src == r.rank || dst == r.rank) d.delay_factor *= r.factor;
+  }
+  for (const BurstRule& r : burst_rules_) {
+    if (!matches(r.level, level)) continue;
+    const double in_period = std::fmod(now - r.phase, r.period);
+    if (now >= r.phase && in_period >= 0.0 && in_period < r.duration) {
+      d.extra_delay += rng_.lognormal(r.mu, r.sigma);
+    }
+  }
+  for (const ReorderRule& r : reorder_rules_) {
+    if (matches(r.level, level) && rng_.bernoulli(r.p)) {
+      d.extra_delay += rng_.exponential(r.delay);
+    }
+  }
+  for (const ProbRule& r : drops_rules_) {
+    if (matches(r.level, level) && rng_.bernoulli(r.p)) d.drop = true;
+  }
+  for (const ProbRule& r : dup_rules_) {
+    if (matches(r.level, level) && rng_.bernoulli(r.p)) d.duplicate = true;
+  }
+  if (d.drop) {
+    ++drops_;
+    if (drop_metric_) drop_metric_->inc();
+  }
+  if (d.duplicate) {
+    ++duplicates_;
+    if (dup_metric_) dup_metric_->inc();
+  }
+  if (d.extra_delay > 0.0) {
+    ++delayed_;
+    if (delayed_metric_) delayed_metric_->inc();
+    if (extra_delay_metric_) extra_delay_metric_->observe(d.extra_delay);
+  }
+  return d;
+}
+
+sim::Time FaultInjector::release_time(int rank, sim::Time t) const {
+  // Windows may abut or overlap; iterate until no window covers `t`.  The
+  // list is tiny (one entry per --fault pause:...), so the scan is cheap.
+  bool moved = true;
+  sim::Time out = t;
+  while (moved) {
+    moved = false;
+    for (const PauseRule& r : pauses_) {
+      if (r.rank == rank && out >= r.begin && out < r.end) {
+        out = r.end;
+        moved = true;
+      }
+    }
+  }
+  if (out != t) {
+    ++pause_holds_;
+    if (pause_metric_) pause_metric_->inc();
+  }
+  return out;
+}
+
+}  // namespace hcs::fault

@@ -1,0 +1,132 @@
+// Per-World instantiation of a FaultPlan.
+//
+// The injector owns RNG streams derived from (world seed, plan seed) that
+// are completely separate from the network / clock RNGs: consulting the
+// injector never perturbs the fault-free random sequences, so a plan whose
+// probabilities are all zero produces bit-identical results to no plan at
+// all (tested in tests/fault/test_fault_injector.cpp).  One injector per
+// World; the simulation is single-threaded, so no locking.
+//
+// Network faults are evaluated per message via on_message(); pause windows
+// translate timestamps via release_time(); clock faults are applied once by
+// the World at construction.  Fault firings are counted into the active
+// MetricsRegistry (handles resolved at construction, like NetworkModel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "trace/metrics.hpp"
+
+namespace hcs::fault {
+
+/// Verdict for one message hand-off.  `drop` loses the attempt, `duplicate`
+/// delivers a second copy, `delay_factor` scales the sampled wire delay and
+/// `extra_delay` is added on top (congestion burst / reorder latency).
+struct NetFaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  double extra_delay = 0.0;
+  double delay_factor = 1.0;
+};
+
+/// One clock fault resolved against a concrete rank (applied by the World
+/// to the rank's time source at construction).
+struct ClockFault {
+  FaultKind kind = FaultKind::kClockStep;  // kClockStep or kFreqJump
+  int rank = -1;
+  sim::Time at = 0.0;
+  double delta = 0.0;  // step seconds, or skew delta (ppm * 1e-6)
+};
+
+class FaultInjector {
+ public:
+  /// `seed` individualizes this World's fault streams (derive it from the
+  /// World's own seed so parallel trials stay reproducible); `nranks` is
+  /// used to validate rank-targeted specs eagerly.
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nranks);
+
+  /// True when any network-level fault (drop/duplicate/reorder/burst/
+  /// straggler) is configured — the transport enables sequence tracking,
+  /// retransmission and burst retries only then.
+  bool net_active() const noexcept { return net_active_; }
+
+  /// True when any pause window is configured.
+  bool pause_active() const noexcept { return !pauses_.empty(); }
+
+  /// Evaluates all network faults for one message hand-off.  `level` is the
+  /// simmpi::LinkLevel cast to int (NetLevel uses the same encoding).
+  NetFaultDecision on_message(int src, int dst, int level, sim::Time now);
+
+  /// Earliest time at or after `t` at which `rank` is outside every pause
+  /// window (identity when no pause covers `t`).
+  sim::Time release_time(int rank, sim::Time t) const;
+
+  /// Clock faults resolved per rank, for the World to apply.
+  const std::vector<ClockFault>& clock_faults() const noexcept { return clock_faults_; }
+
+  // Firing counters (also exported as fault.* metrics when a registry is
+  // active); plain members so tests need no registry.
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t duplicates() const noexcept { return duplicates_; }
+  std::uint64_t delayed() const noexcept { return delayed_; }
+  std::uint64_t pause_holds() const noexcept { return pause_holds_; }
+
+ private:
+  struct ProbRule {
+    NetLevel level;
+    double p;
+  };
+  struct ReorderRule {
+    NetLevel level;
+    double p;
+    double delay;
+  };
+  struct BurstRule {
+    NetLevel level;
+    double period;
+    double duration;
+    double phase;
+    double mu;     // log-normal parameters chosen so the mean is spec.delay
+    double sigma;
+  };
+  struct StragglerRule {
+    int rank;
+    double factor;
+  };
+  struct PauseRule {
+    int rank;
+    sim::Time begin;
+    sim::Time end;
+  };
+
+  static bool matches(NetLevel rule_level, int level) {
+    return rule_level == NetLevel::kAll || static_cast<int>(rule_level) == level;
+  }
+
+  sim::Rng rng_;
+  std::vector<ProbRule> drops_rules_;
+  std::vector<ProbRule> dup_rules_;
+  std::vector<ReorderRule> reorder_rules_;
+  std::vector<BurstRule> burst_rules_;
+  std::vector<StragglerRule> straggler_rules_;
+  std::vector<PauseRule> pauses_;
+  std::vector<ClockFault> clock_faults_;
+  bool net_active_ = false;
+
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t delayed_ = 0;
+  mutable std::uint64_t pause_holds_ = 0;
+
+  trace::Counter* drop_metric_ = nullptr;
+  trace::Counter* dup_metric_ = nullptr;
+  trace::Counter* delayed_metric_ = nullptr;
+  trace::Counter* pause_metric_ = nullptr;
+  trace::HistogramMetric* extra_delay_metric_ = nullptr;
+};
+
+}  // namespace hcs::fault

@@ -1,0 +1,100 @@
+// Deterministic fault-injection plans (docs/fault-injection.md).
+//
+// A FaultPlan is the parsed, immutable description of which faults to
+// inject: it is built from repeatable `--fault <spec>` strings (plus an
+// optional `--fault-seed`), validated eagerly, and carried by value into
+// each World.  The plan itself holds no randomness — every World
+// instantiates its own fault::FaultInjector whose RNG streams derive from
+// (world seed, plan seed), so trials stay bit-identical for any --jobs
+// value and an empty plan leaves the simulation untouched.
+//
+// Spec grammar (one fault per --fault flag):
+//   kind:key=value[,key=value...]
+// with duration/time values accepting the suffixes s, ms, us, ns.  Kinds:
+//   drop       p=<0..1> [level=<net level>]        lose messages
+//   duplicate  p=<0..1> [level=<net level>]        deliver twice
+//   reorder    p=<0..1> delay=<dur> [level=...]    extra Exp(delay) latency
+//   burst      period=<dur> duration=<dur> delay=<dur> [phase=<dur>] [level=...]
+//              periodic congestion windows with heavy-tail (log-normal)
+//              extra delay while the window is open
+//   straggler  rank=<r> factor=<f>=1>              scale all delays to/from r
+//   clockstep  rank=<r> at=<time> step=<dur>       NTP-style clock step
+//   freqjump   rank=<r> at=<time> ppm=<f>          clock frequency change
+//   pause      rank=<r> at=<time> duration=<dur>   rank stops making progress
+// `level` is one of network (default: every link), intra_socket,
+// intra_node, inter_node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcs::fault {
+
+enum class FaultKind {
+  kDrop,
+  kDuplicate,
+  kReorder,
+  kBurst,
+  kStraggler,
+  kClockStep,
+  kFreqJump,
+  kPause,
+};
+
+/// Which network link level a network fault applies to.  kAll matches every
+/// message; the other values mirror simmpi::LinkLevel (and must stay in the
+/// same order so the injector can compare against a LinkLevel cast to int).
+enum class NetLevel { kAll = -1, kIntraSocket = 0, kIntraNode = 1, kInterNode = 2 };
+
+const char* to_string(FaultKind kind);
+const char* to_string(NetLevel level);
+
+/// One parsed fault.  Only the fields meaningful for `kind` are set; the
+/// parser validates presence and ranges, so consumers can trust the values.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDrop;
+  NetLevel level = NetLevel::kAll;  // network faults only
+  double p = 0.0;                   // drop / duplicate / reorder probability
+  double delay = 0.0;               // reorder / burst mean extra delay (s)
+  double period = 0.0;              // burst period (s)
+  double duration = 0.0;            // burst window / pause length (s)
+  double phase = 0.0;               // burst window start within each period (s)
+  int rank = -1;                    // straggler / clockstep / freqjump / pause
+  double factor = 1.0;              // straggler delay multiplier
+  double at = 0.0;                  // clockstep / freqjump / pause onset (s)
+  double step = 0.0;                // clockstep delta (s, may be negative)
+  double ppm = 0.0;                 // freqjump skew delta in parts-per-million
+
+  /// Canonical spec string (parses back to an equal FaultSpec).
+  std::string describe() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses one `kind:key=value,...` spec; throws std::invalid_argument
+  /// with a message naming the offending spec on any grammar/range error.
+  static FaultSpec parse_spec(const std::string& spec);
+
+  /// Parses and appends one spec string.
+  void add(const std::string& spec) { specs_.push_back(parse_spec(spec)); }
+  void add(FaultSpec spec) { specs_.push_back(spec); }
+
+  bool empty() const noexcept { return specs_.empty(); }
+  const std::vector<FaultSpec>& specs() const noexcept { return specs_; }
+
+  /// Extra seed mixed into every injector's RNG streams (--fault-seed).
+  std::uint64_t seed() const noexcept { return seed_; }
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+
+  /// Human-readable one-line summary, e.g. for bench headers.
+  std::string describe() const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace hcs::fault

@@ -19,6 +19,10 @@ struct Message {
   std::int64_t bytes = 0;    // wire size used by the cost model
   sim::Time sent_at = 0.0;
   sim::Time arrived_at = 0.0;
+  // Per-(src, dst) channel sequence number, assigned only while a fault
+  // injector with network faults is active: duplicates and reorderings are
+  // detected and repaired at the receiving mailbox (World::deliver_now).
+  std::uint64_t seq = 0;
 };
 
 /// One ping-pong exchange as observed by the client process: its own send
@@ -31,6 +35,14 @@ struct PingSample {
   double client_recv = 0.0;  // s_now
 };
 
-using BurstResult = std::vector<PingSample>;
+/// Result of one ping-pong burst.  Fault-free, samples.size() == requested;
+/// under an active fault plan individual exchanges can be abandoned after
+/// the retry budget (lost > 0), which the sync layer reports as degraded.
+struct BurstResult {
+  std::vector<PingSample> samples;
+  int requested = 0;  // exchanges asked for
+  int lost = 0;       // exchanges abandoned after the per-exchange retry budget
+  int retries = 0;    // timed-out attempts that were retried
+};
 
 }  // namespace hcs::simmpi

@@ -19,6 +19,7 @@ NetworkModel::NetworkModel(const topology::ClusterTopology& topo,
       metrics_[level].bytes = &m->counter("net.bytes." + suffix);
       metrics_[level].delay = &m->histogram("net.delay." + suffix);
     }
+    retransmit_metric_ = &m->counter("fault.net.retransmits");
   }
 }
 
@@ -63,21 +64,30 @@ double NetworkModel::expected_delay(LinkLevel level, std::int64_t bytes) const {
          lp.spike_prob * lp.spike_mean;
 }
 
-sim::Time NetworkModel::deliver_time(int src_rank, int dst_rank, std::int64_t bytes,
-                                     sim::Time depart_ready) {
-  const LinkLevel level = classify(src_rank, dst_rank);
+double NetworkModel::retransmit_timeout(LinkLevel level, std::int64_t bytes) const {
+  return 6.0 * expected_delay(level, bytes) + 2.0 * (params_.send_overhead + params_.recv_overhead);
+}
+
+sim::Time NetworkModel::deliver_attempt(LinkLevel level, int src_rank, int dst_rank,
+                                        std::int64_t bytes, sim::Time depart_ready,
+                                        const fault::NetFaultDecision* decision) {
+  const double factor = decision ? decision->delay_factor : 1.0;
+  const double extra = decision ? decision->extra_delay : 0.0;
+  const bool dropped = decision && decision->drop;
   if (level != LinkLevel::kInterNode) {
-    const sim::Time d = sample_delay(level, bytes);
-    count_delivery(level, bytes, d);
+    const sim::Time d = sample_delay(level, bytes) * factor + extra;
+    if (!dropped) count_delivery(level, bytes, d);
     return depart_ready + d;
   }
   const auto src_node = static_cast<std::size_t>(topo_->locate(src_rank).node);
   const auto dst_node = static_cast<std::size_t>(topo_->locate(dst_rank).node);
-  const double nic_busy =
-      params_.nic_gap + params_.nic_per_byte * static_cast<double>(bytes);
+  const double nic_busy = params_.nic_gap + params_.nic_per_byte * static_cast<double>(bytes);
   const sim::Time depart = std::max(depart_ready, egress_free_[src_node]);
   egress_free_[src_node] = depart + nic_busy;
-  sim::Time arrive = depart + sample_delay(level, bytes);
+  sim::Time arrive = depart + sample_delay(level, bytes) * factor + extra;
+  // A message lost in the fabric consumed egress bandwidth but never reaches
+  // the destination NIC.
+  if (dropped) return arrive;
   arrive = std::max(arrive, ingress_free_[dst_node]);
   ingress_free_[dst_node] = arrive + nic_busy;
   // The observed delay includes NIC queueing: hand-off to arrival.
@@ -85,9 +95,43 @@ sim::Time NetworkModel::deliver_time(int src_rank, int dst_rank, std::int64_t by
   return arrive;
 }
 
-sim::Time NetworkModel::deliver_time_uncontended(int src_rank, int dst_rank, std::int64_t bytes,
-                                                 sim::Time depart_ready) {
+sim::Time NetworkModel::deliver_time(int src_rank, int dst_rank, std::int64_t bytes,
+                                     sim::Time depart_ready, DeliveryFaults* faults) {
   const LinkLevel level = classify(src_rank, dst_rank);
+  if (!faults || !injector_ || !injector_->net_active()) {
+    return deliver_attempt(level, src_rank, dst_rank, bytes, depart_ready, nullptr);
+  }
+  const double rto = retransmit_timeout(level, bytes);
+  sim::Time ready = depart_ready;
+  for (int attempt = 0;; ++attempt) {
+    fault::NetFaultDecision fd =
+        injector_->on_message(src_rank, dst_rank, static_cast<int>(level), ready);
+    // The last permitted attempt always goes through: the reliable transport
+    // may degrade timing arbitrarily but never loses a message outright.
+    if (attempt >= kMaxRetransmits) fd.drop = false;
+    const sim::Time arrive = deliver_attempt(level, src_rank, dst_rank, bytes, ready, &fd);
+    if (!fd.drop) {
+      faults->retransmits = attempt;
+      faults->duplicate = fd.duplicate;
+      if (attempt > 0 && retransmit_metric_) {
+        retransmit_metric_->inc(static_cast<std::uint64_t>(attempt));
+      }
+      return arrive;
+    }
+    ready += rto;
+  }
+}
+
+sim::Time NetworkModel::deliver_time_uncontended(int src_rank, int dst_rank, std::int64_t bytes,
+                                                 sim::Time depart_ready,
+                                                 fault::NetFaultDecision* decision) {
+  const LinkLevel level = classify(src_rank, dst_rank);
+  if (decision && injector_ && injector_->net_active()) {
+    *decision = injector_->on_message(src_rank, dst_rank, static_cast<int>(level), depart_ready);
+    const sim::Time d = sample_delay(level, bytes) * decision->delay_factor + decision->extra_delay;
+    if (!decision->drop) count_delivery(level, bytes, d);
+    return depart_ready + d;
+  }
   const sim::Time d = sample_delay(level, bytes);
   count_delivery(level, bytes, d);
   return depart_ready + d;

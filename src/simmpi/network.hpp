@@ -5,11 +5,21 @@
 // serialize through per-node NIC egress/ingress resources; the queueing this
 // produces under bursty traffic is what differentiates the barrier algorithms
 // in the paper's Fig. 8 (DESIGN.md §4.5).
+//
+// With a fault::FaultInjector attached (see set_fault_injector), each
+// delivery first consults the injector.  Reliable-path deliveries
+// (deliver_time) absorb drops through bounded retransmission — every lost
+// attempt occupies the wire and NIC like a real send, the sender times out,
+// and the final attempt is always delivered, so transport losses can never
+// deadlock the MPI layer.  The ping-pong burst fast path
+// (deliver_time_uncontended) instead reports the raw decision to the caller,
+// which implements its own timeout + retry (World::synthesize_burst).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "topology/params.hpp"
@@ -20,8 +30,20 @@ namespace hcs::simmpi {
 
 enum class LinkLevel { kIntraSocket, kIntraNode, kInterNode };
 
+/// Per-delivery fault summary reported by deliver_time when an injector is
+/// active: how many retransmissions the reliable path needed, and whether
+/// the delivered message should additionally be duplicated by the caller.
+struct DeliveryFaults {
+  int retransmits = 0;
+  bool duplicate = false;
+};
+
 class NetworkModel {
  public:
+  /// Attempts per message on the reliable path: 1 original + kMaxRetransmits
+  /// retries, the last of which is always delivered.
+  static constexpr int kMaxRetransmits = 5;
+
   NetworkModel(const topology::ClusterTopology& topo, const topology::NetworkParams& params,
                std::uint64_t seed);
 
@@ -34,19 +56,35 @@ class NetworkModel {
 
   /// Full path: earliest arrival of a message handed to the network at
   /// `depart_ready`, including NIC egress/ingress serialization for
-  /// inter-node traffic.  Mutates NIC state.
-  sim::Time deliver_time(int src_rank, int dst_rank, std::int64_t bytes, sim::Time depart_ready);
+  /// inter-node traffic.  Mutates NIC state.  When `faults` is non-null and
+  /// a fault injector is active, drops are absorbed by retransmission and
+  /// the summary is written to *faults; a null `faults` delivers
+  /// fault-blind (used for the second copy of a duplicated message).
+  sim::Time deliver_time(int src_rank, int dst_rank, std::int64_t bytes, sim::Time depart_ready,
+                         DeliveryFaults* faults = nullptr);
 
   /// As deliver_time but without touching NIC state — used by the ping-pong
   /// burst fast path, whose pairwise traffic is modelled as uncontended.
+  /// When `decision` is non-null and an injector is active, the injector's
+  /// verdict is written there (drop means the returned arrival time is moot
+  /// and the caller must handle the loss itself).
   sim::Time deliver_time_uncontended(int src_rank, int dst_rank, std::int64_t bytes,
-                                     sim::Time depart_ready);
+                                     sim::Time depart_ready,
+                                     fault::NetFaultDecision* decision = nullptr);
 
   double send_overhead() const { return params_.send_overhead; }
   double recv_overhead() const { return params_.recv_overhead; }
 
   /// Expected (mean) one-way delay for `bytes`, used by latency estimators.
   double expected_delay(LinkLevel level, std::int64_t bytes) const;
+
+  /// Sender-side timeout before a retransmission on the reliable path: a
+  /// conservative multiple of the expected one-way delay.
+  double retransmit_timeout(LinkLevel level, std::int64_t bytes) const;
+
+  /// Attaches the World's fault injector (null detaches).  Without one, all
+  /// paths behave exactly as the fault-free model.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept { injector_ = injector; }
 
  private:
   // Metric handles resolved once at construction against the registry that
@@ -59,12 +97,19 @@ class NetworkModel {
   };
   void count_delivery(LinkLevel level, std::int64_t bytes, sim::Time delay);
 
+  /// One delivery attempt; `decision` (nullable) scales/extends the sampled
+  /// delay and, on drop, skips ingress occupancy and delivery accounting.
+  sim::Time deliver_attempt(LinkLevel level, int src_rank, int dst_rank, std::int64_t bytes,
+                            sim::Time depart_ready, const fault::NetFaultDecision* decision);
+
   const topology::ClusterTopology* topo_;
   topology::NetworkParams params_;
   sim::Rng rng_;
   std::vector<sim::Time> egress_free_;   // per node
   std::vector<sim::Time> ingress_free_;  // per node
   LevelMetrics metrics_[3];              // indexed by LinkLevel
+  fault::FaultInjector* injector_ = nullptr;
+  trace::Counter* retransmit_metric_ = nullptr;
 };
 
 }  // namespace hcs::simmpi

@@ -21,7 +21,7 @@ sim::Simulation& RankCtx::sim() const { return world_->sim(); }
 
 // ------------------------------------------------------------------ World --
 
-World::World(topology::MachineConfig machine, std::uint64_t seed)
+World::World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPlan fault_plan)
     : machine_(std::move(machine)),
       sim_(seed),
       network_(machine_.topo, machine_.net, seed ^ 0x9e3779b97f4a7c15ULL) {
@@ -40,6 +40,31 @@ World::World(topology::MachineConfig machine, std::uint64_t seed)
   if (trace::MetricsRegistry* m = trace::active_metrics()) {
     rtt_metric_ = &m->histogram("sync.rtt");
     pingpong_counter_ = &m->counter("sync.pingpongs");
+    burst_retry_metric_ = &m->histogram("sync.burst_retries", trace::MetricUnit::kNone);
+    lost_exchange_metric_ = &m->counter("sync.exchanges_lost");
+    dup_absorbed_metric_ = &m->counter("fault.net.dup_absorbed");
+  }
+  if (!fault_plan.empty()) {
+    // The injector's streams derive from the World seed (plus the plan's own
+    // seed, mixed in by the injector), never from the network/clock RNGs:
+    // fault decisions cannot perturb the fault-free random sequences.
+    fault_ = std::make_unique<fault::FaultInjector>(fault_plan, seed ^ 0xa0761d6478bd642fULL,
+                                                    size());
+    network_.set_fault_injector(fault_.get());
+    seq_tracking_ = fault_->net_active();
+    if (seq_tracking_) {
+      send_seq_.assign(static_cast<std::size_t>(size()) * static_cast<std::size_t>(size()), 0);
+    }
+    for (const fault::ClockFault& cf : fault_->clock_faults()) {
+      // A clock fault targets the rank's time source; co-located ranks that
+      // share the source are affected together, as on a real node.
+      auto& hw = hw_clocks_[static_cast<std::size_t>(machine_.topo.time_source_id(cf.rank))];
+      if (cf.kind == fault::FaultKind::kClockStep) {
+        hw->inject_step(cf.at, cf.delta);
+      } else {
+        hw->inject_frequency_jump(cf.at, cf.delta);
+      }
+    }
   }
 }
 
@@ -88,24 +113,84 @@ sim::Task<void> deliver_later(World& world, sim::Time arrive, int dst, Message m
 }
 }  // namespace
 
+// Hands one message to the network: fault evaluation (drops absorbed by the
+// network's bounded retransmission), pause-window translation at both
+// endpoints, channel sequencing, and the optional duplicate copy.  Shared by
+// p2p_send and p2p_isend; identical to the pre-fault path when no injector
+// is attached.
+void World::dispatch_message(int src, int dst, std::vector<double> data, std::int64_t bytes,
+                             std::int64_t tag, sim::Time ready) {
+  if (fault_) ready = fault_->release_time(src, ready);
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.data = std::move(data);
+  msg.bytes = bytes;
+  msg.sent_at = ready;
+  if (seq_tracking_) {
+    msg.seq = send_seq_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size()) +
+                        static_cast<std::size_t>(dst)]++;
+  }
+  DeliveryFaults df;
+  sim::Time arrive = network_.deliver_time(src, dst, bytes, ready, seq_tracking_ ? &df : nullptr);
+  if (fault_) arrive = fault_->release_time(dst, arrive);
+  msg.arrived_at = arrive;
+  if (df.duplicate) {
+    // The second copy rides the network fault-blind (no recursive faults)
+    // and keeps the original sequence number, so the receiving mailbox
+    // absorbs whichever copy arrives second.
+    Message copy = msg;
+    sim::Time dup_arrive = network_.deliver_time(src, dst, bytes, ready);
+    if (fault_) dup_arrive = fault_->release_time(dst, dup_arrive);
+    copy.arrived_at = dup_arrive;
+    sim_.spawn(deliver_later(*this, dup_arrive, dst, std::move(copy)));
+  }
+  sim_.spawn(deliver_later(*this, arrive, dst, std::move(msg)));
+}
+
 sim::Task<void> World::p2p_send(int src, int dst, std::int64_t tag, std::vector<double> data,
                                 std::int64_t bytes) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("p2p_send: bad destination rank");
   if (bytes <= 0) bytes = static_cast<std::int64_t>(data.size() * sizeof(double));
   if (bytes <= 0) bytes = 8;
   co_await sim_.delay(network_.send_overhead());
-  Message msg;
-  msg.src = src;
-  msg.tag = tag;
-  msg.data = std::move(data);
-  msg.bytes = bytes;
-  msg.sent_at = sim_.now();
-  const sim::Time arrive = network_.deliver_time(src, dst, bytes, sim_.now());
-  msg.arrived_at = arrive;
-  sim_.spawn(deliver_later(*this, arrive, dst, std::move(msg)));
+  dispatch_message(src, dst, std::move(data), bytes, tag, sim_.now());
 }
 
 void World::deliver_now(int dst, Message msg) {
+  if (!seq_tracking_) {
+    match_or_enqueue(dst, std::move(msg));
+    return;
+  }
+  // Channel repair: absorb duplicates and hold back out-of-order messages so
+  // the MPI layer keeps its per-channel FIFO guarantee under fault plans
+  // that can reorder deliveries (tested in tests/fault/).
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(dst)];
+  if (mb.expected_seq.empty()) mb.expected_seq.assign(static_cast<std::size_t>(size()), 0);
+  std::uint64_t& expected = mb.expected_seq[static_cast<std::size_t>(msg.src)];
+  if (msg.seq < expected) {
+    if (dup_absorbed_metric_) dup_absorbed_metric_->inc();
+    return;
+  }
+  if (msg.seq > expected) {
+    if (!mb.held.emplace(std::make_pair(msg.src, msg.seq), std::move(msg)).second) {
+      if (dup_absorbed_metric_) dup_absorbed_metric_->inc();
+    }
+    return;
+  }
+  const int src = msg.src;
+  match_or_enqueue(dst, std::move(msg));
+  ++expected;
+  for (auto it = mb.held.find({src, expected}); it != mb.held.end();
+       it = mb.held.find({src, expected})) {
+    Message next = std::move(it->second);
+    mb.held.erase(it);
+    match_or_enqueue(dst, std::move(next));
+    ++expected;
+  }
+}
+
+void World::match_or_enqueue(int dst, Message msg) {
   Mailbox& mb = mailboxes_[static_cast<std::size_t>(dst)];
   const auto it = std::find_if(mb.posted.begin(), mb.posted.end(), [&](const RecvRequest& r) {
     return r->src == msg.src && r->tag == msg.tag;
@@ -171,15 +256,7 @@ SendRequest World::p2p_isend(int src, int dst, std::int64_t tag, std::vector<dou
   // The NIC takes over immediately; the rank's own overhead marks when the
   // send buffer is reusable (MPI_Wait on the isend).
   request->complete_at = sim_.now() + network_.send_overhead();
-  Message msg;
-  msg.src = src;
-  msg.tag = tag;
-  msg.data = std::move(data);
-  msg.bytes = bytes;
-  msg.sent_at = sim_.now();
-  const sim::Time arrive = network_.deliver_time(src, dst, bytes, request->complete_at);
-  msg.arrived_at = arrive;
-  sim_.spawn(deliver_later(*this, arrive, dst, std::move(msg)));
+  dispatch_message(src, dst, std::move(data), bytes, tag, request->complete_at);
   return request;
 }
 
@@ -201,7 +278,7 @@ struct World::BurstState {
   std::coroutine_handle<> first_handle = nullptr;
   int nexchanges = 0;
   std::int64_t bytes = 0;
-  BurstResult samples;
+  BurstResult result;
   sim::Time client_done = 0.0;
   sim::Time ref_done = 0.0;
 };
@@ -213,31 +290,79 @@ std::uint64_t World::pair_key(int a, int b, int world_size) {
 }
 
 void World::synthesize_burst(BurstState& st) {
+  // Attempts per exchange under an active fault plan: 1 original +
+  // (kMaxPingAttempts - 1) retries; an exchange still unanswered after that
+  // is abandoned and reported via BurstResult::lost (the sync layer marks
+  // the rank degraded rather than hanging).
+  constexpr int kMaxPingAttempts = 3;
+  constexpr double kPingTimeoutFactor = 10.0;  // of the expected round-trip time
+
   const double o_s = network_.send_overhead();
   const double o_r = network_.recv_overhead();
   sim::Time tc = st.client_ready;  // client's process-time cursor
   sim::Time tr = st.ref_ready;     // reference's process-time cursor
-  st.samples.reserve(static_cast<std::size_t>(st.nexchanges));
+  const bool faulty = fault_ && fault_->net_active();
+  const bool pausing = fault_ && fault_->pause_active();
+  const LinkLevel level = network_.classify(st.client_rank, st.ref_rank);
+  const double timeout =
+      kPingTimeoutFactor * (2.0 * network_.expected_delay(level, st.bytes) + 2.0 * (o_s + o_r));
+  st.result.requested = st.nexchanges;
+  st.result.samples.reserve(static_cast<std::size_t>(st.nexchanges));
   for (int i = 0; i < st.nexchanges; ++i) {
-    PingSample s;
-    s.client_send = st.client_clock->at(tc);
-    const sim::Time arrive_ref =
-        network_.deliver_time_uncontended(st.client_rank, st.ref_rank, st.bytes, tc + o_s);
-    const sim::Time stamp_time = std::max(arrive_ref, tr) + o_r;
-    s.ref_reply = st.ref_clock->at(stamp_time);
-    const sim::Time reply_depart = stamp_time + o_s;
-    const sim::Time arrive_client =
-        network_.deliver_time_uncontended(st.ref_rank, st.client_rank, st.bytes, reply_depart);
-    const sim::Time recv_time = arrive_client + o_r;
-    s.client_recv = st.client_clock->at(recv_time);
-    st.samples.push_back(s);
-    if (rtt_metric_) rtt_metric_->observe(recv_time - tc);  // true round-trip time
-    tc = recv_time;
-    tr = reply_depart;
+    for (int attempt = 0;; ++attempt) {
+      if (pausing) tc = fault_->release_time(st.client_rank, tc);
+      const sim::Time attempt_start = tc;
+      // The timeout guards against message loss, not partner lateness: the
+      // reference may legitimately enter the burst long after the client
+      // (Alg. 6 sleeps wait_time between rounds; serial schedules like JK
+      // make client j wait for j-1 predecessors), so the deadline only
+      // starts once both peers could be exchanging messages.
+      const sim::Time deadline = std::max(attempt_start, st.ref_ready) + timeout;
+      PingSample s;
+      s.client_send = st.client_clock->at(tc);
+      fault::NetFaultDecision ping_fd;
+      const sim::Time arrive_ref = network_.deliver_time_uncontended(
+          st.client_rank, st.ref_rank, st.bytes, tc + o_s, faulty ? &ping_fd : nullptr);
+      bool timed_out = ping_fd.drop;
+      if (!timed_out) {
+        sim::Time stamp_time = std::max(arrive_ref, tr) + o_r;
+        if (pausing) stamp_time = fault_->release_time(st.ref_rank, stamp_time);
+        s.ref_reply = st.ref_clock->at(stamp_time);
+        const sim::Time reply_depart = stamp_time + o_s;
+        tr = reply_depart;  // the reference served this ping whether or not the pong survives
+        fault::NetFaultDecision pong_fd;
+        const sim::Time arrive_client = network_.deliver_time_uncontended(
+            st.ref_rank, st.client_rank, st.bytes, reply_depart, faulty ? &pong_fd : nullptr);
+        // `faulty` gate: fault-free this branch must be taken unconditionally
+        // so the synthesized schedule stays bit-identical to the seed model.
+        if (pong_fd.drop || (faulty && arrive_client + o_r > deadline)) {
+          timed_out = true;  // pong lost, or it arrived after the client gave up
+        } else {
+          const sim::Time recv_time = arrive_client + o_r;
+          s.client_recv = st.client_clock->at(recv_time);
+          st.result.samples.push_back(s);
+          if (rtt_metric_) rtt_metric_->observe(recv_time - attempt_start);
+          tc = recv_time;
+          break;
+        }
+      }
+      tc = deadline;  // client resumes at its timeout deadline
+      if (attempt + 1 >= kMaxPingAttempts) {
+        ++st.result.lost;
+        break;
+      }
+      ++st.result.retries;
+    }
   }
   st.client_done = tc;
   st.ref_done = tr;
   if (pingpong_counter_) pingpong_counter_->inc(static_cast<std::uint64_t>(st.nexchanges));
+  if (faulty) {
+    if (burst_retry_metric_) burst_retry_metric_->observe(st.result.retries);
+    if (lost_exchange_metric_ && st.result.lost > 0) {
+      lost_exchange_metric_->inc(static_cast<std::uint64_t>(st.result.lost));
+    }
+  }
   if (trace::Tracer* tracer = trace::active_tracer()) {
     // Explicit timestamps: the burst is synthesized, so "now" would misplace
     // it.  This span is where HCA3 spends its RTT budget.
@@ -291,7 +416,7 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
     bursts_[key] = st;
     SuspendForPartner wait_for_partner{st};
     co_await wait_for_partner;
-    co_return st->samples;
+    co_return st->result;
   }
 
   auto st = it->second;
@@ -312,7 +437,7 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
   sim_.schedule_at(st->first_is_client ? st->client_done : st->ref_done, st->first_handle);
   ResumeAt resume_at{&sim_, i_am_client ? st->client_done : st->ref_done};
   co_await resume_at;
-  co_return st->samples;
+  co_return st->result;
 }
 
 }  // namespace hcs::simmpi

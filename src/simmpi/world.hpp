@@ -17,6 +17,8 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 #include "simmpi/message.hpp"
@@ -54,7 +56,12 @@ class RankCtx {
 
 class World {
  public:
-  World(topology::MachineConfig machine, std::uint64_t seed);
+  /// `fault_plan` (optional) activates deterministic fault injection for
+  /// this World: a private fault::FaultInjector is seeded from (seed, plan
+  /// seed), so identical (machine, seed, plan) triples reproduce bit-exactly
+  /// regardless of how many trials run in parallel.  An empty plan leaves
+  /// every code path identical to the fault-free model.
+  World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPlan fault_plan = {});
   ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -64,6 +71,9 @@ class World {
   const topology::MachineConfig& machine() const noexcept { return machine_; }
   NetworkModel& network() noexcept { return network_; }
   int size() const noexcept { return machine_.topo.total_ranks(); }
+
+  /// Fault injector for this World; null when no fault plan was given.
+  fault::FaultInjector* fault_injector() noexcept { return fault_.get(); }
 
   /// Shared hardware clock of the rank's time source.
   vclock::ClockPtr base_clock(int rank) const;
@@ -118,6 +128,11 @@ class World {
   struct Mailbox {
     std::deque<Message> unexpected;
     std::vector<RecvRequest> posted;  // irecvs (and blocking recvs) in post order
+    // Channel-repair state, used only while network faults are active: next
+    // expected sequence number per source rank (sized lazily) and messages
+    // held back for in-order (FIFO) release.
+    std::vector<std::uint64_t> expected_seq;
+    std::map<std::pair<int, std::uint64_t>, Message> held;
   };
   struct BurstState;
 
@@ -130,13 +145,22 @@ class World {
 
   static std::uint64_t pair_key(int a, int b, int world_size);
   void synthesize_burst(BurstState& st);
+  void match_or_enqueue(int dst, Message msg);
+  void dispatch_message(int src, int dst, std::vector<double> data, std::int64_t bytes,
+                        std::int64_t tag, sim::Time ready);
 
   topology::MachineConfig machine_;
   sim::Simulation sim_;
   NetworkModel network_;
+  std::unique_ptr<fault::FaultInjector> fault_;
+  bool seq_tracking_ = false;          // assign/enforce channel sequence numbers
+  std::vector<std::uint64_t> send_seq_;  // per (src, dst), when seq_tracking_
   SimTimeSource time_source_;
   trace::HistogramMetric* rtt_metric_ = nullptr;
   trace::Counter* pingpong_counter_ = nullptr;
+  trace::HistogramMetric* burst_retry_metric_ = nullptr;
+  trace::Counter* lost_exchange_metric_ = nullptr;
+  trace::Counter* dup_absorbed_metric_ = nullptr;
   std::vector<std::shared_ptr<vclock::HardwareClock>> hw_clocks_;  // per time source
   std::vector<Mailbox> mailboxes_;
   std::map<std::uint64_t, std::shared_ptr<BurstState>> bursts_;

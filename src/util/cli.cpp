@@ -15,17 +15,18 @@ Cli::Cli(int argc, const char* const* argv, std::vector<std::string> known_flags
       continue;
     }
     std::string key = arg.substr(2);
+    std::string value;
     const auto eq = key.find('=');
     if (eq != std::string::npos) {
-      options_[key.substr(0, eq)] = key.substr(eq + 1);
-      continue;
-    }
-    const bool is_flag = std::find(known_flags.begin(), known_flags.end(), key) != known_flags.end();
-    if (is_flag || i + 1 >= argc) {
-      options_[key] = "1";
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
     } else {
-      options_[key] = argv[++i];
+      const bool is_flag =
+          std::find(known_flags.begin(), known_flags.end(), key) != known_flags.end();
+      value = (is_flag || i + 1 >= argc) ? "1" : argv[++i];
     }
+    options_[key] = value;
+    repeated_[key].push_back(std::move(value));
   }
 }
 
@@ -58,6 +59,11 @@ std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
   return std::stoll(it->second);
+}
+
+std::vector<std::string> Cli::get_all(const std::string& key) const {
+  const auto it = repeated_.find(key);
+  return it == repeated_.end() ? std::vector<std::string>{} : it->second;
 }
 
 double Cli::scale(double fallback) const {

@@ -31,6 +31,11 @@ class Cli {
   double get_double(const std::string& key, double fallback) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
 
+  /// All values given for a repeatable option, in command-line order (e.g.
+  /// "--fault drop:... --fault clockstep:...").  Empty when absent.  The
+  /// single-value accessors above return the last occurrence.
+  std::vector<std::string> get_all(const std::string& key) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
@@ -52,7 +57,8 @@ class Cli {
 
  private:
   std::string program_;
-  std::map<std::string, std::string> options_;
+  std::map<std::string, std::string> options_;                 // last occurrence
+  std::map<std::string, std::vector<std::string>> repeated_;   // all, in order
   std::vector<std::string> positional_;
 };
 

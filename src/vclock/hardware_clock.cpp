@@ -28,7 +28,11 @@ double HardwareClock::skew_at(sim::Time true_time) const {
   if (true_time < 0) throw std::invalid_argument("HardwareClock: negative time");
   const auto seg = static_cast<std::size_t>(true_time / params_.skew_segment_s);
   extend_path(seg);
-  return segment_skews_[seg];
+  double skew = segment_skews_[seg];
+  for (const auto& [when, delta_skew] : freq_jumps_) {
+    if (true_time > when) skew += delta_skew;
+  }
+  return skew;
 }
 
 double HardwareClock::at_exact(sim::Time true_time) const {
@@ -40,12 +44,20 @@ double HardwareClock::at_exact(sim::Time true_time) const {
   for (const auto& [when, delta] : steps_) {
     if (true_time >= when) value += delta;
   }
+  for (const auto& [when, delta_skew] : freq_jumps_) {
+    if (true_time > when) value += delta_skew * (true_time - when);
+  }
   return value;
 }
 
 void HardwareClock::inject_step(sim::Time when, double delta) {
   if (when < 0) throw std::invalid_argument("HardwareClock: negative step time");
   steps_.emplace_back(when, delta);
+}
+
+void HardwareClock::inject_frequency_jump(sim::Time when, double delta_skew) {
+  if (when < 0) throw std::invalid_argument("HardwareClock: negative frequency-jump time");
+  freq_jumps_.emplace_back(when, delta_skew);
 }
 
 double HardwareClock::at(sim::Time true_time) {

@@ -43,6 +43,12 @@ class HardwareClock final : public Clock {
   /// scenario that forces periodic re-synchronization in practice.
   void inject_step(sim::Time when, double delta);
 
+  /// Failure injection: a permanent skew change of `delta_skew` (seconds per
+  /// second, e.g. 50e-6 for +50 ppm) from true time `when` on — an abrupt
+  /// frequency jump such as a thermal event or power-state change.  Any
+  /// linear model fitted before `when` degrades from then on.
+  void inject_frequency_jump(sim::Time when, double delta_skew);
+
  private:
   void extend_path(std::size_t segment) const;
 
@@ -56,6 +62,7 @@ class HardwareClock final : public Clock {
   mutable std::vector<double> segment_skews_;      // skew during segment k
   mutable std::vector<double> boundary_locals_;    // local time at k * segment
   std::vector<std::pair<sim::Time, double>> steps_;  // injected NTP steps
+  std::vector<std::pair<sim::Time, double>> freq_jumps_;  // injected skew changes
 };
 
 }  // namespace hcs::vclock

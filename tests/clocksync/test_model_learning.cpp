@@ -28,10 +28,14 @@ vclock::LinearModel learn(const topology::MachineConfig& machine, const SyncConf
   w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
     SKaMPIOffset oalg(20);
     auto clk = vclock::GlobalClockLM::identity(ctx.base_clock());
-    const vclock::LinearModel result =
-        co_await learn_clock_model(ctx.comm_world(), 0, 1, *clk, oalg, cfg);
+    const LearnResult result = co_await learn_clock_model(ctx.comm_world(), 0, 1, *clk, oalg, cfg);
     if (ctx.rank() == 1) {
-      lm = result;
+      lm = result.model;
+      // Fault-free, a fit with >= 2 points is clean; a single point is
+      // reported kFailed by design (offset-only fallback).
+      if (cfg.nfitpoints >= 2) {
+        EXPECT_TRUE(result.report.clean());
+      }
       if (learn_end) *learn_end = ctx.sim().now();
     }
   });
@@ -46,7 +50,7 @@ TEST(ModelLearning, ReferenceSideReturnsIdentity) {
     auto clk = vclock::GlobalClockLM::identity(ctx.base_clock());
     const SyncConfig cfg{20, false};
     const auto lm = co_await learn_clock_model(ctx.comm_world(), 0, 1, *clk, oalg, cfg);
-    if (ctx.rank() == 0) ref_lm = lm;
+    if (ctx.rank() == 0) ref_lm = lm.model;
   });
   EXPECT_TRUE(ref_lm.is_identity());
 }

@@ -24,8 +24,8 @@ TEST(Burst, ProducesRequestedExchanges) {
     if (ctx.rank() == 1) client_result = std::move(res);
     else ref_result = std::move(res);
   });
-  EXPECT_EQ(client_result.size(), 25u);
-  EXPECT_EQ(ref_result.size(), 25u);  // both sides observe the same schedule
+  EXPECT_EQ(client_result.samples.size(), 25u);
+  EXPECT_EQ(ref_result.samples.size(), 25u);  // both sides observe the same schedule
 }
 
 TEST(Burst, TimestampsAreOrderedPerExchange) {
@@ -36,7 +36,7 @@ TEST(Burst, TimestampsAreOrderedPerExchange) {
     auto res = co_await ctx.comm_world().pingpong_burst(1 - ctx.rank(), ctx.rank() == 1, *clk, 50);
     if (ctx.rank() == 1) result = std::move(res);
   });
-  for (const PingSample& s : result) {
+  for (const PingSample& s : result.samples) {
     // The client's receive strictly follows its send (same clock).
     EXPECT_GT(s.client_recv, s.client_send);
   }
@@ -52,7 +52,7 @@ TEST(Burst, RttConsistentWithNetworkModel) {
     if (ctx.rank() == 1) result = std::move(res);
   });
   std::vector<double> rtts;
-  for (const PingSample& s : result) rtts.push_back(s.client_recv - s.client_send);
+  for (const PingSample& s : result.samples) rtts.push_back(s.client_recv - s.client_send);
   // RTT >= 2 * (base one-way) + turnaround overheads.
   const double floor = 2 * machine.net.inter_node.base_latency;
   EXPECT_GT(util::min(rtts), floor);
@@ -80,7 +80,7 @@ TEST(Burst, BackToBackBurstsWork) {
     for (int i = 0; i < 10; ++i) {
       auto res =
           co_await ctx.comm_world().pingpong_burst(1 - ctx.rank(), ctx.rank() == 1, *clk, 5);
-      if (ctx.rank() == 1) client_total += static_cast<int>(res.size());
+      if (ctx.rank() == 1) client_total += static_cast<int>(res.samples.size());
     }
   });
   EXPECT_EQ(client_total, 50);
@@ -93,7 +93,7 @@ TEST(Burst, ConcurrentPairsDoNotInterfere) {
     auto clk = ctx.base_clock();
     const int partner = ctx.rank() ^ 2;  // pairs (0,2) and (1,3)
     auto res = co_await ctx.comm_world().pingpong_burst(partner, ctx.rank() >= 2, *clk, 20);
-    counts[static_cast<std::size_t>(ctx.rank())] = static_cast<int>(res.size());
+    counts[static_cast<std::size_t>(ctx.rank())] = static_cast<int>(res.samples.size());
   });
   for (int c : counts) EXPECT_EQ(c, 20);
 }
@@ -126,7 +126,7 @@ TEST(Burst, RefTimestampReflectsRefClockOffset) {
     if (ctx.rank() == 1) result = std::move(res);
   });
   std::vector<double> observed;
-  for (const PingSample& s : result) {
+  for (const PingSample& s : result.samples) {
     observed.push_back(s.ref_reply - 0.5 * (s.client_send + s.client_recv));
   }
   EXPECT_NEAR(util::median(observed), off0 - off1, 5e-6);
@@ -166,7 +166,7 @@ TEST(Burst, MatchesMessageLevelPingPongDistribution) {
       auto res =
           co_await ctx.comm_world().pingpong_burst(1 - ctx.rank(), ctx.rank() == 1, *clk, 400);
       if (ctx.rank() == 1) {
-        for (const PingSample& s : res) burst_rtts.push_back(s.client_recv - s.client_send);
+        for (const PingSample& s : res.samples) burst_rtts.push_back(s.client_recv - s.client_send);
       }
     });
   }

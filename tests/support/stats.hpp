@@ -1,0 +1,43 @@
+// Statistical helpers for acceptance tests: nearest-rank percentiles and a
+// parallel seed sweep.  Header-only and independent of the bench helpers so
+// sanitizer CI configurations that build with HCS_BUILD_BENCH=OFF can still
+// compile every test that uses it.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "runner/trial_runner.hpp"
+
+namespace hcs::teststats {
+
+/// Nearest-rank percentile of a non-empty sample, pct in [0, 100].  Exact
+/// sample values only (no interpolation), so bounds calibrated against it
+/// are stable under small sample-size changes.
+inline double percentile(std::vector<double> xs, double pct) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (pct < 0.0 || pct > 100.0) throw std::invalid_argument("percentile: pct not in [0, 100]");
+  std::sort(xs.begin(), xs.end());
+  const auto n = xs.size();
+  auto rank = static_cast<std::size_t>(std::ceil(pct / 100.0 * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return xs[rank - 1];
+}
+
+/// Nearest-rank median (the lower-middle element for even sample sizes).
+inline double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+/// Runs metric(seed) for seeds base_seed + [0, nseeds) across worker threads
+/// and returns the values in seed order.  Deterministic for any job count
+/// (runner::TrialRunner semantics); metric must touch only per-trial state.
+template <typename Fn>
+std::vector<double> seed_sweep(int nseeds, std::uint64_t base_seed, int jobs, Fn&& metric) {
+  runner::TrialRunner pool(jobs);
+  return pool.map(nseeds, base_seed,
+                  [&](const runner::Trial& trial) { return metric(trial.seed); });
+}
+
+}  // namespace hcs::teststats

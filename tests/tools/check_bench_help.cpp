@@ -1,0 +1,54 @@
+// Asserts a bench binary's --help output lists every flag it parses.
+//
+// All bench binaries parse the shared flag set (bench/common.hpp's
+// kBenchFlags, which also drives --help and unknown-flag rejection), so this
+// links the same table and greps the child's actual output for each entry:
+// adding a flag to parse_common without documenting it — or breaking --help
+// itself — fails ctest for every bench binary.
+//
+//   usage: check_bench_help <path to bench binary>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: check_bench_help <bench binary>\n";
+    return 2;
+  }
+  const std::string cmd = std::string(argv[1]) + " --help";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) {
+    std::cerr << "check_bench_help: cannot run: " << cmd << "\n";
+    return 2;
+  }
+  std::string output;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) output.append(buf, n);
+  const int status = pclose(pipe);
+  if (status != 0) {
+    std::cerr << "check_bench_help: `" << cmd << "` exited with status " << status
+              << " (expected 0)\n";
+    return 1;
+  }
+
+  int missing = 0;
+  for (std::size_t i = 0; i < hcs::bench::kBenchFlagCount; ++i) {
+    const std::string flag = std::string("--") + hcs::bench::kBenchFlags[i].name;
+    if (output.find(flag) == std::string::npos) {
+      std::cerr << "check_bench_help: --help output of " << argv[1] << " does not mention "
+                << flag << "\n";
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    std::cerr << "--- actual --help output ---\n" << output;
+    return 1;
+  }
+  std::cout << "ok: " << hcs::bench::kBenchFlagCount << " flags documented by " << argv[1]
+            << " --help\n";
+  return 0;
+}

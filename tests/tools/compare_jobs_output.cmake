@@ -1,32 +1,59 @@
-# Runs BINARY twice (--jobs 1 vs --jobs 4, otherwise identical arguments)
-# and fails unless stdout is byte-identical: the TrialRunner determinism
-# guarantee, asserted end-to-end on a real bench binary.
+# Determinism guard for bench binaries, end to end.
 #
-# Usage: cmake -DBINARY=<path> -DOUT_DIR=<dir> -P compare_jobs_output.cmake
+# Runs BINARY three times — --jobs 1, --jobs 4, and --jobs 4 again — and
+# fails unless stdout is byte-identical across all runs: the TrialRunner
+# guarantee (any worker count, any run, same bytes), asserted on a real
+# binary.  When GOLDEN is set, the output is additionally diffed against the
+# committed reference, catching silent changes to the simulated schedule.
+#
+# Usage: cmake -DBINARY=<path> -DOUT_DIR=<dir>
+#              [-DOUT_NAME=<stem>]               # default "jobs"; keeps
+#                                                # parallel ctest runs apart
+#              [-DEXTRA_ARGS="--fault drop:p=0.02 ..."]  # space-separated
+#              [-DGOLDEN=<committed reference file>]
+#              -P compare_jobs_output.cmake
 foreach(required BINARY OUT_DIR)
   if(NOT DEFINED ${required})
     message(FATAL_ERROR "compare_jobs_output.cmake: -D${required}=... is required")
   endif()
 endforeach()
+if(NOT DEFINED OUT_NAME)
+  set(OUT_NAME jobs)
+endif()
 
 set(args --scale 0.02 --seed 3 --csv)
-
-execute_process(COMMAND ${BINARY} ${args} --jobs 1
-                OUTPUT_FILE ${OUT_DIR}/jobs1.out RESULT_VARIABLE rc1)
-if(NOT rc1 EQUAL 0)
-  message(FATAL_ERROR "${BINARY} --jobs 1 failed with exit code ${rc1}")
+if(DEFINED EXTRA_ARGS)
+  separate_arguments(extra UNIX_COMMAND "${EXTRA_ARGS}")
+  list(APPEND args ${extra})
 endif()
 
-execute_process(COMMAND ${BINARY} ${args} --jobs 4
-                OUTPUT_FILE ${OUT_DIR}/jobs4.out RESULT_VARIABLE rc4)
-if(NOT rc4 EQUAL 0)
-  message(FATAL_ERROR "${BINARY} --jobs 4 failed with exit code ${rc4}")
-endif()
+function(run_once jobs outfile)
+  execute_process(COMMAND ${BINARY} ${args} --jobs ${jobs}
+                  OUTPUT_FILE ${outfile} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BINARY} ${args} --jobs ${jobs} failed with exit code ${rc}")
+  endif()
+endfunction()
 
-execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
-                ${OUT_DIR}/jobs1.out ${OUT_DIR}/jobs4.out
-                RESULT_VARIABLE same)
-if(NOT same EQUAL 0)
-  message(FATAL_ERROR "output differs between --jobs 1 and --jobs 4 "
-                      "(${OUT_DIR}/jobs1.out vs ${OUT_DIR}/jobs4.out)")
+function(expect_same a b why)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+                  RESULT_VARIABLE differs)
+  if(NOT differs EQUAL 0)
+    message(FATAL_ERROR "${why} (${a} vs ${b})")
+  endif()
+endfunction()
+
+run_once(1 ${OUT_DIR}/${OUT_NAME}1.out)
+run_once(4 ${OUT_DIR}/${OUT_NAME}4.out)
+run_once(4 ${OUT_DIR}/${OUT_NAME}4b.out)
+
+expect_same(${OUT_DIR}/${OUT_NAME}1.out ${OUT_DIR}/${OUT_NAME}4.out
+            "output differs between --jobs 1 and --jobs 4")
+expect_same(${OUT_DIR}/${OUT_NAME}4.out ${OUT_DIR}/${OUT_NAME}4b.out
+            "output differs between two identical --jobs 4 runs")
+if(DEFINED GOLDEN)
+  expect_same(${OUT_DIR}/${OUT_NAME}1.out ${GOLDEN}
+              "output differs from the committed golden reference; if the "
+              "change is intentional, regenerate the golden file (see "
+              "tests/golden/README.md)")
 endif()

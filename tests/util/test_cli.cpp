@@ -124,5 +124,22 @@ TEST(Cli, NegativeJobsThrows) {
   EXPECT_THROW(cli.jobs(), std::invalid_argument);
 }
 
+TEST(Cli, GetAllReturnsEveryOccurrenceInOrder) {
+  // Repeatable flags (--fault) need all values; get() keeps only the last.
+  const Cli cli = make({"prog", "--fault", "drop:p=0.01", "--seed", "2",
+                        "--fault=clockstep:rank=3,at=200s,step=50us"});
+  const std::vector<std::string> faults = cli.get_all("fault");
+  ASSERT_EQ(faults.size(), 2u);
+  EXPECT_EQ(faults[0], "drop:p=0.01");
+  EXPECT_EQ(faults[1], "clockstep:rank=3,at=200s,step=50us");
+  EXPECT_EQ(cli.get("fault", ""), "clockstep:rank=3,at=200s,step=50us");  // last wins
+}
+
+TEST(Cli, GetAllOfAbsentKeyIsEmpty) {
+  const Cli cli = make({"prog", "--seed", "2"});
+  EXPECT_TRUE(cli.get_all("fault").empty());
+  EXPECT_EQ(cli.get_all("seed"), std::vector<std::string>{"2"});
+}
+
 }  // namespace
 }  // namespace hcs::util
