@@ -1,0 +1,182 @@
+// Ablation — crash-stop robustness: crash time x victim role x algorithm,
+// reporting how the surviving quorum classifies itself and how accurate the
+// survivors' clocks still are.  Not a paper figure; it soaks the crash-stop
+// failure model (docs/fault-injection.md) end to end: the oracle failure
+// detector bounds every blocking receive, the quorum collectives complete
+// without the victim, and the healing algorithms re-parent orphans when a
+// reference rank dies.
+//
+// Victim roles on testbox(4, 2) (8 ranks, 2 per node): a leaf (rank 7,
+// never a reference), a node reference (rank 2, a hierarchical node leader)
+// and the global reference (rank 0, every algorithm's root).  Crash times:
+// pre-sync (dead from the first event), mid-sync (inside every label's
+// measurement phase) and post-sync (the plan is armed but never fires — the
+// run must match the fault-free schedule bit for bit).
+//
+// Expected shape: post-sync crashes leave all 8 ranks ok; a pre-sync leaf
+// death costs at most the victim and its burst partner; a dead reference
+// turns into degraded (healed) survivors for hca3/hierarchical rather than
+// failed ones.  Health is collected host-side, so the table stays correct
+// even when the victim is rank 0.  Any extra --fault specs compose on top
+// of the swept crash.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <optional>
+
+#include "clocksync/factory.hpp"
+#include "common.hpp"
+#include "simmpi/world.hpp"
+#include "vclock/global_clock.hpp"
+
+namespace {
+
+using namespace hcs;
+using namespace hcs::bench;
+
+struct CrashPoint {
+  double duration = 0.0;  // sim seconds until the last survivor finished
+  int ok = 0, degraded = 0, failed = 0;
+  int crashed = 0;        // ranks that never returned a result
+  double err_t10 = 0.0;   // max |clk - ref| over kOk ranks, 10 s after sync
+};
+
+CrashPoint run_crash(const topology::MachineConfig& machine, const std::string& label,
+                     int victim, double crash_at, std::uint64_t seed,
+                     const fault::FaultPlan& extra) {
+  fault::FaultPlan plan = extra;
+  fault::FaultSpec crash;
+  crash.kind = fault::FaultKind::kCrash;
+  crash.rank = victim;
+  crash.at = crash_at;
+  plan.add(crash);
+
+  simmpi::World w(machine, seed, plan);
+  const int p = w.size();
+  std::vector<std::optional<clocksync::SyncResult>> results(static_cast<std::size_t>(p));
+  sim::Time sync_end = 0.0;
+  w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+    auto sync = clocksync::make_sync(label);
+    clocksync::SyncResult res = co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    sync_end = std::max(sync_end, ctx.sim().now());
+    results[static_cast<std::size_t>(ctx.rank())] = std::move(res);
+  });
+
+  CrashPoint pt;
+  pt.duration = sync_end;
+  int ref = -1;
+  for (int r = 0; r < p; ++r) {
+    const auto& res = results[static_cast<std::size_t>(r)];
+    if (!res) {
+      ++pt.crashed;
+      continue;
+    }
+    switch (res->report.health) {
+      case clocksync::SyncHealth::kOk:
+        ++pt.ok;
+        if (ref < 0) ref = r;
+        break;
+      case clocksync::SyncHealth::kDegraded: ++pt.degraded; break;
+      case clocksync::SyncHealth::kFailed: ++pt.failed; break;
+    }
+  }
+  if (ref >= 0) {
+    const double t10 = sync_end + 10.0;
+    const double ref_val = results[static_cast<std::size_t>(ref)]->clock->at_exact(t10);
+    for (int r = 0; r < p; ++r) {
+      const auto& res = results[static_cast<std::size_t>(r)];
+      if (!res || res->report.health != clocksync::SyncHealth::kOk) continue;
+      pt.err_t10 = std::max(pt.err_t10, std::abs(res->clock->at_exact(t10) - ref_val));
+    }
+  }
+  HCS_METRIC_ADD("hcs.sync.failed_ranks", static_cast<std::uint64_t>(pt.failed));
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_common(argc, argv, 1.0);
+  const Observability obs(opt);
+  auto machine = topology::testbox(4, 2);  // 8 ranks, 2 per node
+  machine.clocks.initial_offset_abs = 5e-3;
+  machine.clocks.base_skew_abs = 2e-6;
+  machine.clocks.skew_walk_sd = 0.005e-6;
+
+  const int nfit = scaled(100, opt.scale, 20);
+  const int npp = scaled(10, opt.scale, 5);
+  const int nmpiruns = 3;
+  print_header("Ablation (crash)",
+               "crash-stop robustness: crash time x victim role x algorithm, " +
+                   std::to_string(nmpiruns) + " mpiruns",
+               machine, opt);
+
+  const std::string inner = std::to_string(nfit) + "/skampi_offset/" + std::to_string(npp);
+  const std::vector<std::string> labels = {
+      "hca3/" + inner,
+      "jk/" + inner,
+      "top/hca3/" + inner + "/bottom/hca3/" + inner,
+  };
+  struct Victim {
+    const char* role;
+    int rank;
+  };
+  const std::vector<Victim> victims = {{"leaf", 7}, {"node_ref", 2}, {"global_ref", 0}};
+  struct When {
+    const char* phase;
+    double at;
+  };
+  const std::vector<When> times = {{"pre", 0.0}, {"mid", 0.002}, {"post", 1.0}};
+
+  // One trial per (label, victim, time, mpirun); seeds depend only on the
+  // mpirun index so every cell sees the same worlds.
+  const int nlabels = static_cast<int>(labels.size());
+  const int nvictims = static_cast<int>(victims.size());
+  const int ntimes = static_cast<int>(times.size());
+  runner::TrialRunner pool(opt.jobs);
+  const std::vector<CrashPoint> points =
+      pool.map(nlabels * nvictims * ntimes * nmpiruns, opt.seed, [&](const runner::Trial& t) {
+        const int label_idx = t.index / (nvictims * ntimes * nmpiruns);
+        const int victim_idx = (t.index / (ntimes * nmpiruns)) % nvictims;
+        const int time_idx = (t.index / nmpiruns) % ntimes;
+        const int run = t.index % nmpiruns;
+        return run_crash(machine, labels[static_cast<std::size_t>(label_idx)],
+                         victims[static_cast<std::size_t>(victim_idx)].rank,
+                         times[static_cast<std::size_t>(time_idx)].at,
+                         opt.seed + static_cast<std::uint64_t>(run), opt.fault_plan);
+      });
+
+  util::Table table({"algorithm", "victim", "crash", "sync_duration_s", "ok_ranks",
+                     "degraded_ranks", "failed_ranks", "crashed_ranks", "max_err_10s_us"});
+  for (int label_idx = 0; label_idx < nlabels; ++label_idx) {
+    for (int victim_idx = 0; victim_idx < nvictims; ++victim_idx) {
+      for (int time_idx = 0; time_idx < ntimes; ++time_idx) {
+        std::vector<double> durations, errs;
+        int ok = 0, degraded = 0, failed = 0, crashed = 0;
+        for (int run = 0; run < nmpiruns; ++run) {
+          const CrashPoint& p = points[static_cast<std::size_t>(
+              ((label_idx * nvictims + victim_idx) * ntimes + time_idx) * nmpiruns + run)];
+          durations.push_back(p.duration);
+          errs.push_back(p.err_t10);
+          ok += p.ok;
+          degraded += p.degraded;
+          failed += p.failed;
+          crashed += p.crashed;
+        }
+        table.add_row({labels[static_cast<std::size_t>(label_idx)],
+                       victims[static_cast<std::size_t>(victim_idx)].role,
+                       times[static_cast<std::size_t>(time_idx)].phase,
+                       util::fmt(util::mean(durations), 4), std::to_string(ok),
+                       std::to_string(degraded), std::to_string(failed),
+                       std::to_string(crashed),
+                       util::fmt_us(*std::max_element(errs.begin(), errs.end()), 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nShape check: post crashes are invisible (8 ok, 0 crashed); pre/mid reference "
+               "deaths heal into degraded survivors for hca3/hierarchical; max_err stays in "
+               "the microsecond range wherever ok_ranks > 0.\n";
+  return 0;
+}

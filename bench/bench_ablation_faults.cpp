@@ -61,25 +61,26 @@ int main(int argc, char** argv) {
       });
 
   util::Table table({"drop_rate", "algorithm", "sync_duration_s", "max_offset_0s_us",
-                     "max_offset_2s_us", "degraded_ranks", "failed_ranks"});
+                     "max_offset_2s_us", "ok_ranks", "degraded_ranks", "failed_ranks"});
   for (int rate_idx = 0; rate_idx < nrates; ++rate_idx) {
     for (int label_idx = 0; label_idx < nlabels; ++label_idx) {
       std::vector<double> durations, t0s, t1s;
-      int degraded = 0, failed = 0;
+      int ok = 0, degraded = 0, failed = 0;
       for (int run = 0; run < nmpiruns; ++run) {
         const SyncAccuracyPoint& p = points[static_cast<std::size_t>(
             (rate_idx * nlabels + label_idx) * nmpiruns + run)];
         durations.push_back(p.duration);
         t0s.push_back(p.max_offset_t0);
         t1s.push_back(p.max_offset_t1);
+        ok += p.ok_ranks;
         degraded += p.degraded_ranks;
         failed += p.failed_ranks;
       }
       table.add_row({util::fmt(drop_rates[static_cast<std::size_t>(rate_idx)], 2),
                      labels[static_cast<std::size_t>(label_idx)],
                      util::fmt(util::mean(durations), 4), util::fmt_us(util::mean(t0s), 3),
-                     util::fmt_us(util::mean(t1s), 3), std::to_string(degraded),
-                     std::to_string(failed)});
+                     util::fmt_us(util::mean(t1s), 3), std::to_string(ok),
+                     std::to_string(degraded), std::to_string(failed)});
     }
   }
   table.print(std::cout);

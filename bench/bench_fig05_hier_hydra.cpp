@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                                            hier(nfit_lo)};
 
   util::Table table({"algorithm", "mpirun", "sync_duration_s", "max_offset_0s_us",
-                     "max_offset_10s_us", "degraded_ranks", "failed_ranks"});
+                     "max_offset_10s_us", "ok_ranks", "degraded_ranks", "failed_ranks"});
   run_and_print_sync_experiment(table, machine, labels, nmpiruns, 10.0, 1.0, opt);
   table.print(std::cout);
   if (opt.csv) table.print_csv(std::cout);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "clocksync/factory.hpp"
 #include "simmpi/collectives.hpp"
@@ -26,6 +27,9 @@ const BenchFlag kBenchFlags[] = {
     {"fault", "SPEC",
      "inject a fault, repeatable; SPEC = kind:key=value,... e.g. drop:p=0.01,level=network "
      "(see docs/fault-injection.md)"},
+    {"fault-file", "FILE",
+     "read fault SPECs from FILE, one per line ('#' starts a comment); repeatable, composes "
+     "with --fault"},
     {"fault-seed", "N", "seed of the fault-injection RNG stream (default 0)"},
     {"help", nullptr, "print this help and exit"},
 };
@@ -66,6 +70,18 @@ BenchOptions parse_common(int argc, const char* const* argv, double default_scal
     opt.trace_out = cli.trace_out();
     opt.metrics_out = cli.metrics_out();
     for (const std::string& spec : cli.get_all("fault")) opt.fault_plan.add(spec);
+    for (const std::string& path : cli.get_all("fault-file")) {
+      std::ifstream in(path);
+      if (!in) throw std::runtime_error("--fault-file: cannot open " + path);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos) continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        opt.fault_plan.add(line.substr(first, last - first + 1));
+      }
+    }
     opt.fault_plan.set_seed(
         static_cast<std::uint64_t>(cli.get_int("fault-seed", 0)));
   } catch (const std::exception& e) {
@@ -158,11 +174,13 @@ SyncAccuracyPoint run_sync_accuracy(const topology::MachineConfig& machine,
       point.max_offset_t0 = acc.max_abs_t0;
       point.max_offset_t1 = acc.max_abs_t1;
       for (const double h : health) {
+        if (h == static_cast<double>(clocksync::SyncHealth::kOk)) ++point.ok_ranks;
         if (h == static_cast<double>(clocksync::SyncHealth::kDegraded)) ++point.degraded_ranks;
         if (h == static_cast<double>(clocksync::SyncHealth::kFailed)) ++point.failed_ranks;
       }
     }
   });
+  HCS_METRIC_ADD("hcs.sync.failed_ranks", static_cast<std::uint64_t>(point.failed_ranks));
   return point;
 }
 
@@ -185,21 +203,23 @@ void run_and_print_sync_experiment(util::Table& table, const topology::MachineCo
   for (int label_idx = 0; label_idx < nlabels; ++label_idx) {
     const std::string& label = labels[static_cast<std::size_t>(label_idx)];
     std::vector<double> durations, t0s, t1s;
-    int degraded = 0, failed = 0;
+    int ok = 0, degraded = 0, failed = 0;
     for (int run = 0; run < nmpiruns; ++run) {
       const SyncAccuracyPoint& p = points[static_cast<std::size_t>(label_idx * nmpiruns + run)];
       durations.push_back(p.duration);
       t0s.push_back(p.max_offset_t0);
       t1s.push_back(p.max_offset_t1);
+      ok += p.ok_ranks;
       degraded += p.degraded_ranks;
       failed += p.failed_ranks;
       table.add_row({label, std::to_string(run), util::fmt(p.duration, 4),
                      util::fmt_us(p.max_offset_t0, 3), util::fmt_us(p.max_offset_t1, 3),
-                     std::to_string(p.degraded_ranks), std::to_string(p.failed_ranks)});
+                     std::to_string(p.ok_ranks), std::to_string(p.degraded_ranks),
+                     std::to_string(p.failed_ranks)});
     }
     table.add_row({label + " [mean]", "-", util::fmt(util::mean(durations), 4),
                    util::fmt_us(util::mean(t0s), 3), util::fmt_us(util::mean(t1s), 3),
-                   std::to_string(degraded), std::to_string(failed)});
+                   std::to_string(ok), std::to_string(degraded), std::to_string(failed)});
   }
 }
 

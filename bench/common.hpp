@@ -91,6 +91,7 @@ struct SyncAccuracyPoint {
   double duration = 0.0;       // seconds to synchronize (incl. comm creation)
   double max_offset_t0 = 0.0;  // max |offset| right after sync
   double max_offset_t1 = 0.0;  // max |offset| wait_time later
+  int ok_ranks = 0;            // ranks whose sync report says kOk
   int degraded_ranks = 0;      // ranks whose sync report says kDegraded
   int failed_ranks = 0;        // ranks whose sync report says kFailed
 };

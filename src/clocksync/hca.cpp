@@ -18,6 +18,7 @@ sim::Task<SyncResult> HCASync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr 
   const int r = comm.rank();
   if (r == 0) {
     for (int client = 1; client < comm.size(); ++client) {
+      if (comm.peer_status(client) == simmpi::PeerStatus::kDead) continue;
       (void)co_await oalg_->measure_offset(comm, *global, 0, client);
     }
   } else {

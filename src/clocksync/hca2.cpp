@@ -1,8 +1,12 @@
 #include "clocksync/hca2.hpp"
 
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "clocksync/healing.hpp"
 #include "clocksync/model_learning.hpp"
 #include "simmpi/collectives.hpp"
 #include "vclock/global_clock.hpp"
@@ -74,9 +78,10 @@ sim::Task<LearnResult> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm, vclock
   } else if (r + max_power < nprocs) {
     const int partner = r + max_power;
     (void)co_await learn_clock_model(comm, r, partner, *clk, *oalg_, cfg_);
-    const simmpi::Message msg = co_await comm.recv(partner, kRemainderTableTag);
-    // The child's table is already expressed relative to my clock.
-    merge_table(models, vclock::LinearModel{}, msg.data);
+    std::optional<simmpi::Message> msg = co_await comm.recv_ft(partner, kRemainderTableTag);
+    // The child's table is already expressed relative to my clock.  A dead
+    // remainder rank never joins the table; the root NaN-fills its slot.
+    if (msg) merge_table(models, vclock::LinearModel{}, msg->data);
   }
 
   // Inverted binomial tree: leaves first (paper Fig. 1a).
@@ -88,13 +93,16 @@ sim::Task<LearnResult> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm, vclock
         const int child = r + half;
         if (child < max_power) {
           (void)co_await learn_clock_model(comm, r, child, *clk, *oalg_, cfg_);
-          const simmpi::Message msg = co_await comm.recv(child, kTableTagBase + k);
-          if (msg.data.size() < 3) throw std::logic_error("HCA2: missing child model");
+          std::optional<simmpi::Message> msg = co_await comm.recv_ft(child, kTableTagBase + k);
+          // A dead child takes its whole subtree's models with it; the root
+          // NaN-fills the missing ranks and they report kFailed below.
+          if (!msg) continue;
+          if (msg->data.size() < 3) throw std::logic_error("HCA2: missing child model");
           // First triple is the child's own model cm(r, child); the rest of
           // the table is relative to the child and composes through it.
-          const vclock::LinearModel to_child{msg.data[1], msg.data[2]};
-          (void)msg.data[0];
-          std::vector<double> rest(msg.data.begin() + 3, msg.data.end());
+          const vclock::LinearModel to_child{msg->data[1], msg->data[2]};
+          (void)msg->data[0];
+          std::vector<double> rest(msg->data.begin() + 3, msg->data.end());
           models[child] = to_child;
           if (!rest.empty()) {
             const auto count = static_cast<std::size_t>(rest.size() / 3);
@@ -129,11 +137,14 @@ sim::Task<LearnResult> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm, vclock
   // Root distributes one (slope, intercept) pair per rank.
   std::vector<double> flat;
   if (r == 0) {
-    if (static_cast<int>(models.size()) != nprocs) {
+    if (static_cast<int>(models.size()) != nprocs && !crash_model_active(comm)) {
       throw std::logic_error("HCA2: root collected " + std::to_string(models.size()) +
                              " models for " + std::to_string(nprocs) + " ranks");
     }
-    flat.resize(2 * static_cast<std::size_t>(nprocs));
+    // Under the crash model dead or orphaned ranks are simply absent; their
+    // slots scatter as NaN and the receiving rank falls back below.
+    flat.assign(2 * static_cast<std::size_t>(nprocs),
+                std::numeric_limits<double>::quiet_NaN());
     for (const auto& [rank, lm] : models) {
       flat[2 * static_cast<std::size_t>(rank)] = lm.slope;
       flat[2 * static_cast<std::size_t>(rank) + 1] = lm.intercept;
@@ -141,7 +152,14 @@ sim::Task<LearnResult> HCA2Sync::run_tree_and_scatter(simmpi::Comm& comm, vclock
   }
   const std::vector<double> mine =
       co_await simmpi::scatter(comm, std::move(flat), 2, 0, simmpi::ScatterAlgo::kBinomial);
-  co_return LearnResult{vclock::LinearModel{mine.at(0), mine.at(1)}, report};
+  vclock::LinearModel model{mine.at(0), mine.at(1)};
+  if (std::isnan(model.slope) || std::isnan(model.intercept)) {
+    // My model never reached the root (I or an ancestor was orphaned by a
+    // crash, or the scatter path died): identity fallback, reported failed.
+    model = vclock::LinearModel{};
+    report.health = SyncHealth::kFailed;
+  }
+  co_return LearnResult{model, report};
 }
 
 sim::Task<SyncResult> HCA2Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {

@@ -1,7 +1,9 @@
 #include "clocksync/hca3.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "clocksync/healing.hpp"
 #include "clocksync/model_learning.hpp"
 #include "trace/span.hpp"
 #include "vclock/global_clock.hpp"
@@ -16,6 +18,29 @@ HCA3Sync::HCA3Sync(SyncConfig cfg, std::unique_ptr<OffsetAlgorithm> oalg)
 std::string HCA3Sync::name() const { return sync_label("hca3", cfg_, *oalg_); }
 
 sim::Task<SyncResult> HCA3Sync::sync_clocks(simmpi::Comm& comm, vclock::ClockPtr clk) {
+  SyncResult res = co_await sync_once(comm, clk);
+  if (!crash_era_begun(comm) || comm.size() <= 1) co_return res;
+  // Crash healing: a dead tree reference orphans its whole subtree (the
+  // orphan serves its own children with an unsynchronized clock).  The
+  // survivors agree, re-split — contiguously renumbering the live ranks, so
+  // every orphan is re-parented and the lowest live rank becomes the new
+  // root — and re-run the tree once over the quorum.
+  const bool rerun = co_await agree_any(comm, res.report.health == SyncHealth::kFailed);
+  if (!rerun) co_return res;
+  simmpi::Comm healed = co_await surviving_quorum(comm);
+  if (healed.size() <= 1) {
+    res.report.health = std::max(res.report.health, SyncHealth::kDegraded);
+    co_return res;
+  }
+  SyncResult redo = co_await sync_once(healed, std::move(clk));
+  redo.report.points_invalid += res.report.points_invalid;
+  redo.report.exchanges_lost += res.report.exchanges_lost;
+  redo.report.retries += res.report.retries;
+  redo.report.health = std::max(redo.report.health, SyncHealth::kDegraded);
+  co_return redo;
+}
+
+sim::Task<SyncResult> HCA3Sync::sync_once(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const int nprocs = comm.size();
   const int r = comm.rank();
   HCS_TRACE_SCOPE(Sync, comm.my_world_rank(), "hca3.sync_clocks", nprocs);

@@ -20,6 +20,8 @@ class HCA3Sync final : public ClockSync {
   std::string name() const override;
 
  private:
+  sim::Task<SyncResult> sync_once(simmpi::Comm& comm, vclock::ClockPtr clk);
+
   SyncConfig cfg_;
   std::unique_ptr<OffsetAlgorithm> oalg_;
 };

@@ -1,0 +1,55 @@
+// Self-healing building blocks for synchronization under the crash model.
+//
+// When a reference rank dies mid-sync, the orphaned ranks cannot simply be
+// abandoned: the hierarchy promotes a replacement reference and re-runs the
+// affected sub-phase over the surviving quorum.  Both steps need agreement —
+// every live member of the group must make the same re-run decision, or the
+// healing split itself would stall on ranks that never join it.
+//
+// The helpers here provide exactly that:
+//   - agree_any: a fault-tolerant any-vote across the communicator.  All live
+//     members participate unconditionally, so live-live pairs complete at
+//     message latency and dead peers resolve at their modelled detection
+//     time.  For pure crash faults the failure detector is consistent across
+//     observers, so live members converge on the same decision.
+//   - surviving_quorum: re-splits the communicator over the live members;
+//     because Comm::split keeps members sorted, the lowest live rank of the
+//     group becomes rank 0 of the healed communicator — the deterministic
+//     replacement election.
+//
+// With no crash fault active both helpers are no-ops (agree_any returns the
+// local vote, no messages), keeping fault-free runs bit-identical.  The same
+// guarantee extends to armed-but-unfired plans: healing phases are entered
+// only once the oracle detector reports that some failure event has actually
+// fired (crash_era_begun), because the vote's own messages would otherwise
+// perturb the shared network schedule of a run where nothing ever fails.
+#pragma once
+
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+
+namespace hcs::clocksync {
+
+/// True iff `comm`'s world runs the crash-stop failure model (a crash or
+/// crashlink fault is planned), i.e. healing logic should engage.
+bool crash_model_active(const simmpi::Comm& comm);
+
+/// True iff some planned crash/link-cut has fired by now.  Healing phases
+/// gate on this, not on crash_model_active alone: before the first event no
+/// rank can have crash-failed, and the vote's messages must not disturb a
+/// schedule that is (so far) identical to the fault-free one.  A crash
+/// landing inside the tiny completion-skew window between two ranks' checks
+/// can split the decision; the vote's bounded receives still terminate, and
+/// the late ranks heal among themselves.
+bool crash_era_begun(const simmpi::Comm& comm);
+
+/// Fault-tolerant OR-vote: true iff any live member of `comm` voted true.
+/// Collective over all members; immediate (no messages) when the crash model
+/// is inactive or the communicator is trivial.
+sim::Task<bool> agree_any(simmpi::Comm& comm, bool my_vote);
+
+/// New communicator containing the surviving members of `comm`, contiguously
+/// renumbered with the lowest live rank as rank 0.  Collective.
+sim::Task<simmpi::Comm> surviving_quorum(simmpi::Comm& comm);
+
+}  // namespace hcs::clocksync

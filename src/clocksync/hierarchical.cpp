@@ -1,7 +1,9 @@
 #include "clocksync/hierarchical.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "clocksync/healing.hpp"
 #include "trace/span.hpp"
 #include "vclock/global_clock.hpp"
 
@@ -25,6 +27,36 @@ sim::Task<SyncResult> HierarchicalSync::sync_clocks(simmpi::Comm& comm, vclock::
   co_return co_await sync_h2(comm, std::move(clk));
 }
 
+// One hierarchy level, self-healing under the crash model: if any live
+// member's level sync failed (typically because the level's reference rank
+// died mid-phase), the survivors agree on a re-run, re-split — which elects
+// the lowest live rank of the group as the replacement reference and
+// re-parents the orphans under it — and repeat just this level.  Healed
+// ranks report at least kDegraded even when the re-run succeeds: their clock
+// chains through a replacement elected after the original reference died.
+// Fault-free — and under any plan whose first crash/link-cut has not fired
+// yet — this is exactly one sync_clocks call, bit-identical to the
+// pre-healing behaviour.
+sim::Task<SyncResult> HierarchicalSync::run_level(ClockSync& algo, simmpi::Comm& level,
+                                                  vclock::ClockPtr base) {
+  SyncResult res = co_await algo.sync_clocks(level, base);
+  if (!crash_era_begun(level)) co_return res;
+  const bool rerun = co_await agree_any(level, res.report.health == SyncHealth::kFailed);
+  if (!rerun) co_return res;
+  simmpi::Comm healed = co_await surviving_quorum(level);
+  if (healed.size() <= 1) {
+    // Sole survivor of its group: nothing left to synchronize against.
+    res.report.health = std::max(res.report.health, SyncHealth::kDegraded);
+    co_return res;
+  }
+  SyncResult redo = co_await algo.sync_clocks(healed, std::move(base));
+  redo.report.points_invalid += res.report.points_invalid;
+  redo.report.exchanges_lost += res.report.exchanges_lost;
+  redo.report.retries += res.report.retries;
+  redo.report.health = std::max(redo.report.health, SyncHealth::kDegraded);
+  co_return redo;
+}
+
 // Algorithm 4 (H2HCA).
 sim::Task<SyncResult> HierarchicalSync::sync_h2(simmpi::Comm& comm, vclock::ClockPtr clk) {
   const int wr = comm.my_world_rank();
@@ -45,7 +77,7 @@ sim::Task<SyncResult> HierarchicalSync::sync_h2(simmpi::Comm& comm, vclock::Cloc
   vclock::ClockPtr global_clk1 = vclock::GlobalClockLM::identity(clk);
   if (comm_internode.valid() && comm_internode.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.top");
-    SyncResult res = co_await top_->sync_clocks(comm_internode, clk);
+    SyncResult res = co_await run_level(*top_, comm_internode, clk);
     global_clk1 = std::move(res.clock);
     report.merge(res.report);
   }
@@ -53,7 +85,7 @@ sim::Task<SyncResult> HierarchicalSync::sync_h2(simmpi::Comm& comm, vclock::Cloc
   vclock::ClockPtr global_clk2 = global_clk1;
   if (comm_intranode.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.bottom");
-    SyncResult res = co_await bottom_->sync_clocks(comm_intranode, global_clk1);
+    SyncResult res = co_await run_level(*bottom_, comm_intranode, global_clk1);
     global_clk2 = std::move(res.clock);
     report.merge(res.report);
   }
@@ -82,21 +114,21 @@ sim::Task<SyncResult> HierarchicalSync::sync_h3(simmpi::Comm& comm, vclock::Cloc
   vclock::ClockPtr global_clk1 = vclock::GlobalClockLM::identity(clk);
   if (comm_internode.valid() && comm_internode.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.top");
-    SyncResult res = co_await top_->sync_clocks(comm_internode, clk);
+    SyncResult res = co_await run_level(*top_, comm_internode, clk);
     global_clk1 = std::move(res.clock);
     report.merge(res.report);
   }
   vclock::ClockPtr global_clk2 = global_clk1;
   if (comm_socket_leaders.valid() && comm_socket_leaders.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.mid");
-    SyncResult res = co_await mid_->sync_clocks(comm_socket_leaders, global_clk1);
+    SyncResult res = co_await run_level(*mid_, comm_socket_leaders, global_clk1);
     global_clk2 = std::move(res.clock);
     report.merge(res.report);
   }
   vclock::ClockPtr global_clk3 = global_clk2;
   if (comm_socket.size() > 1) {
     HCS_TRACE_SCOPE(Sync, wr, "hier.bottom");
-    SyncResult res = co_await bottom_->sync_clocks(comm_socket, global_clk2);
+    SyncResult res = co_await run_level(*bottom_, comm_socket, global_clk2);
     global_clk3 = std::move(res.clock);
     report.merge(res.report);
   }

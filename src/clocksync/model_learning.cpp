@@ -36,9 +36,13 @@ sim::Task<LearnResult> learn_clock_model(simmpi::Comm& comm, int p_ref, int othe
 
   if (me == p_ref) {
     for (int idx = 0; idx < cfg.nfitpoints; ++idx) {
+      // A client declared dead will never complete another burst; stop
+      // serving it instead of burning a timeout per remaining fit point.
+      if (comm.peer_status(other_rank) == simmpi::PeerStatus::kDead) co_return out;
       (void)co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
     }
-    if (cfg.recompute_intercept) {
+    if (cfg.recompute_intercept &&
+        comm.peer_status(other_rank) != simmpi::PeerStatus::kDead) {
       (void)co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
     }
     co_return out;
@@ -54,6 +58,12 @@ sim::Task<LearnResult> learn_clock_model(simmpi::Comm& comm, int p_ref, int othe
   yfit.reserve(static_cast<std::size_t>(cfg.nfitpoints));
   rtts.reserve(static_cast<std::size_t>(cfg.nfitpoints));
   for (int idx = 0; idx < cfg.nfitpoints; ++idx) {
+    // Dead reference: the remaining points can only come back invalid, so
+    // charge them in one step and let the caller's healing logic take over.
+    if (comm.peer_status(p_ref) == simmpi::PeerStatus::kDead) {
+      report.points_invalid += cfg.nfitpoints - idx;
+      break;
+    }
     const ClockOffset o = co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
     report.exchanges_lost += o.lost;
     report.retries += o.retries;
@@ -106,7 +116,7 @@ sim::Task<LearnResult> learn_clock_model(simmpi::Comm& comm, int p_ref, int othe
     out.model.slope = 0.0;
     out.model.intercept = yfit.empty() ? 0.0 : yfit.front();
   }
-  if (cfg.recompute_intercept) {
+  if (cfg.recompute_intercept && comm.peer_status(p_ref) != simmpi::PeerStatus::kDead) {
     const ClockOffset o = co_await oalg.measure_offset(comm, clk, p_ref, other_rank);
     report.exchanges_lost += o.lost;
     report.retries += o.retries;

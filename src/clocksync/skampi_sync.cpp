@@ -18,6 +18,9 @@ sim::Task<SyncResult> SKaMPISync::sync_clocks(simmpi::Comm& comm, vclock::ClockP
   const int r = comm.rank();
   if (r == 0) {
     for (int client = 1; client < comm.size(); ++client) {
+      // Unreachable clients are marked failed on their own side; the
+      // reference just skips them and keeps serving the quorum.
+      if (comm.peer_status(client) == simmpi::PeerStatus::kDead) continue;
       (void)co_await oalg_->measure_offset(comm, *clk, 0, client);
     }
     co_return SyncResult{vclock::GlobalClockLM::identity(std::move(clk)), {}};

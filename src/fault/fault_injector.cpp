@@ -9,8 +9,9 @@ namespace hcs::fault {
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nranks)
     : rng_(seed ^ (plan.seed() * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)) {
   for (const FaultSpec& s : plan.specs()) {
-    if (s.rank >= nranks) {
-      throw std::invalid_argument("fault spec targets rank " + std::to_string(s.rank) +
+    if (s.rank >= nranks || s.peer >= nranks) {
+      throw std::invalid_argument("fault spec targets rank " +
+                                  std::to_string(s.rank >= nranks ? s.rank : s.peer) +
                                   " but the machine has only " + std::to_string(nranks) +
                                   " ranks: " + s.describe());
     }
@@ -43,8 +44,22 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nran
       case FaultKind::kPause:
         pauses_.push_back({s.rank, s.at, s.at + s.duration});
         break;
+      case FaultKind::kCrash: {
+        if (crash_times_.empty()) crash_times_.assign(static_cast<std::size_t>(nranks),
+                                                      sim::kTimeInfinity);
+        sim::Time& t = crash_times_[static_cast<std::size_t>(s.rank)];
+        if (s.at < t) t = s.at;  // earliest crash wins if a rank is listed twice
+        break;
+      }
+      case FaultKind::kCrashLink: {
+        const int a = s.rank < s.peer ? s.rank : s.peer;
+        const int b = s.rank < s.peer ? s.peer : s.rank;
+        link_cuts_.push_back({a, b, s.at});
+        break;
+      }
     }
   }
+  crash_active_ = !crash_times_.empty() || !link_cuts_.empty();
   net_active_ = !drops_rules_.empty() || !dup_rules_.empty() || !reorder_rules_.empty() ||
                 !burst_rules_.empty() || !straggler_rules_.empty();
   if (trace::MetricsRegistry* m = trace::active_metrics()) {
@@ -52,8 +67,27 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nran
     dup_metric_ = &m->counter("fault.net.duplicates");
     delayed_metric_ = &m->counter("fault.net.delayed");
     pause_metric_ = &m->counter("fault.pause.holds");
+    crash_drop_metric_ = &m->counter("fault.crash.drops");
     extra_delay_metric_ = &m->histogram("fault.net.extra_delay");
   }
+}
+
+sim::Time FaultInjector::link_down_time(int a, int b) const noexcept {
+  if (a > b) {
+    const int tmp = a;
+    a = b;
+    b = tmp;
+  }
+  sim::Time out = sim::kTimeInfinity;
+  for (const LinkCut& cut : link_cuts_) {
+    if (cut.a == a && cut.b == b && cut.at < out) out = cut.at;
+  }
+  return out;
+}
+
+void FaultInjector::count_crash_drop() {
+  ++crash_drops_;
+  if (crash_drop_metric_) crash_drop_metric_->inc();
 }
 
 NetFaultDecision FaultInjector::on_message(int src, int dst, int level, sim::Time now) {

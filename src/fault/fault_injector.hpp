@@ -57,6 +57,32 @@ class FaultInjector {
   /// True when any pause window is configured.
   bool pause_active() const noexcept { return !pauses_.empty(); }
 
+  /// True when any crash or crashlink fault is configured — the transport
+  /// and collectives enable the failure-detection paths only then, so a
+  /// crash-free plan stays bit-identical to no plan at all.
+  bool crash_active() const noexcept { return crash_active_; }
+
+  /// Crash-stop time for `rank`, or sim::kTimeInfinity if it never crashes.
+  sim::Time crash_time(int rank) const noexcept {
+    return rank >= 0 && rank < static_cast<int>(crash_times_.size())
+               ? crash_times_[static_cast<std::size_t>(rank)]
+               : sim::kTimeInfinity;
+  }
+
+  /// Time from which the a<->b link is severed (crashlink), or
+  /// sim::kTimeInfinity if that link never goes down.  Symmetric.
+  sim::Time link_down_time(int a, int b) const noexcept;
+
+  /// True when a message sent from `src` to `dst` at `send_time` must be
+  /// dropped by the crash model: the sender is already dead, or the link is
+  /// already severed.  (Arrival-side checks use crash_time(dst) directly.)
+  bool crash_drops(int src, int dst, sim::Time send_time) const noexcept {
+    return send_time >= crash_time(src) || send_time >= link_down_time(src, dst);
+  }
+
+  /// Counts one message lost to a crash/crashlink (metrics + counter).
+  void count_crash_drop();
+
   /// Evaluates all network faults for one message hand-off.  `level` is the
   /// simmpi::LinkLevel cast to int (NetLevel uses the same encoding).
   NetFaultDecision on_message(int src, int dst, int level, sim::Time now);
@@ -74,6 +100,7 @@ class FaultInjector {
   std::uint64_t duplicates() const noexcept { return duplicates_; }
   std::uint64_t delayed() const noexcept { return delayed_; }
   std::uint64_t pause_holds() const noexcept { return pause_holds_; }
+  std::uint64_t crash_drops_count() const noexcept { return crash_drops_; }
 
  private:
   struct ProbRule {
@@ -102,6 +129,11 @@ class FaultInjector {
     sim::Time begin;
     sim::Time end;
   };
+  struct LinkCut {
+    int a;  // a < b (endpoints normalised at construction)
+    int b;
+    sim::Time at;
+  };
 
   static bool matches(NetLevel rule_level, int level) {
     return rule_level == NetLevel::kAll || static_cast<int>(rule_level) == level;
@@ -115,17 +147,22 @@ class FaultInjector {
   std::vector<StragglerRule> straggler_rules_;
   std::vector<PauseRule> pauses_;
   std::vector<ClockFault> clock_faults_;
+  std::vector<sim::Time> crash_times_;  // indexed by rank; kTimeInfinity = alive
+  std::vector<LinkCut> link_cuts_;
   bool net_active_ = false;
+  bool crash_active_ = false;
 
   std::uint64_t drops_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t delayed_ = 0;
   mutable std::uint64_t pause_holds_ = 0;
+  std::uint64_t crash_drops_ = 0;
 
   trace::Counter* drop_metric_ = nullptr;
   trace::Counter* dup_metric_ = nullptr;
   trace::Counter* delayed_metric_ = nullptr;
   trace::Counter* pause_metric_ = nullptr;
+  trace::Counter* crash_drop_metric_ = nullptr;
   trace::HistogramMetric* extra_delay_metric_ = nullptr;
 };
 

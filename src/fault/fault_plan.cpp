@@ -65,8 +65,11 @@ FaultKind parse_kind(const std::string& spec, const std::string& text) {
   if (text == "clockstep") return FaultKind::kClockStep;
   if (text == "freqjump") return FaultKind::kFreqJump;
   if (text == "pause") return FaultKind::kPause;
+  if (text == "crash") return FaultKind::kCrash;
+  if (text == "crashlink") return FaultKind::kCrashLink;
   bad_spec(spec, "unknown fault kind '" + text +
-                     "' (drop, duplicate, reorder, burst, straggler, clockstep, freqjump, pause)");
+                     "' (drop, duplicate, reorder, burst, straggler, clockstep, freqjump, pause, "
+                     "crash, crashlink)");
 }
 
 /// Formats a double compactly and losslessly enough for describe().
@@ -88,6 +91,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kClockStep: return "clockstep";
     case FaultKind::kFreqJump: return "freqjump";
     case FaultKind::kPause: return "pause";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kCrashLink: return "crashlink";
   }
   return "?";
 }
@@ -145,6 +150,15 @@ std::string FaultSpec::describe() const {
       add("rank", std::to_string(rank));
       add("at", fmt(at) + "s");
       add("duration", fmt(duration) + "s");
+      break;
+    case FaultKind::kCrash:
+      add("rank", std::to_string(rank));
+      add("at", fmt(at) + "s");
+      break;
+    case FaultKind::kCrashLink:
+      add("rank", std::to_string(rank));
+      add("peer", std::to_string(peer));
+      add("at", fmt(at) + "s");
       break;
   }
   return out;
@@ -239,6 +253,18 @@ FaultSpec FaultPlan::parse_spec(const std::string& spec) {
       out.duration = parse_value(spec, "duration", require("duration"), true);
       if (out.at < 0.0) bad_spec(spec, "at must be >= 0");
       if (out.duration <= 0.0) bad_spec(spec, "duration must be > 0");
+      break;
+    case FaultKind::kCrash:
+      out.rank = parse_rank(spec, require("rank"));
+      out.at = parse_value(spec, "at", require("at"), true);
+      if (out.at < 0.0) bad_spec(spec, "at must be >= 0");
+      break;
+    case FaultKind::kCrashLink:
+      out.rank = parse_rank(spec, require("rank"));
+      out.peer = parse_rank(spec, require("peer"));
+      out.at = parse_value(spec, "at", require("at"), true);
+      if (out.peer == out.rank) bad_spec(spec, "peer must differ from rank");
+      if (out.at < 0.0) bad_spec(spec, "at must be >= 0");
       break;
   }
   for (const auto& [key, value] : kv) {

@@ -21,6 +21,8 @@
 //   clockstep  rank=<r> at=<time> step=<dur>       NTP-style clock step
 //   freqjump   rank=<r> at=<time> ppm=<f>          clock frequency change
 //   pause      rank=<r> at=<time> duration=<dur>   rank stops making progress
+//   crash      rank=<r> at=<time>                  crash-stop: rank dies at `at`
+//   crashlink  rank=<a> peer=<b> at=<time>         link a<->b severed from `at`
 // `level` is one of network (default: every link), intra_socket,
 // intra_node, inter_node.
 #pragma once
@@ -40,6 +42,8 @@ enum class FaultKind {
   kClockStep,
   kFreqJump,
   kPause,
+  kCrash,
+  kCrashLink,
 };
 
 /// Which network link level a network fault applies to.  kAll matches every
@@ -60,9 +64,10 @@ struct FaultSpec {
   double period = 0.0;              // burst period (s)
   double duration = 0.0;            // burst window / pause length (s)
   double phase = 0.0;               // burst window start within each period (s)
-  int rank = -1;                    // straggler / clockstep / freqjump / pause
+  int rank = -1;                    // straggler / clockstep / freqjump / pause / crash
+  int peer = -1;                    // crashlink: the other endpoint
   double factor = 1.0;              // straggler delay multiplier
-  double at = 0.0;                  // clockstep / freqjump / pause onset (s)
+  double at = 0.0;                  // clockstep / freqjump / pause / crash onset (s)
   double step = 0.0;                // clockstep delta (s, may be negative)
   double ppm = 0.0;                 // freqjump skew delta in parts-per-million
 

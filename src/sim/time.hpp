@@ -6,6 +6,8 @@
 // microsecond effects under study (DESIGN.md §4.2).
 #pragma once
 
+#include <limits>
+
 namespace hcs::sim {
 
 using Time = double;
@@ -14,6 +16,9 @@ inline constexpr Time kNanosecond = 1e-9;
 inline constexpr Time kMicrosecond = 1e-6;
 inline constexpr Time kMillisecond = 1e-3;
 inline constexpr Time kSecond = 1.0;
+
+/// "Never": comparisons like `now >= crash_time` are false for live ranks.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
 
 /// Converts seconds to microseconds (for reporting).
 constexpr double to_us(Time t) { return t * 1e6; }

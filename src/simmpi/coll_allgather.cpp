@@ -27,9 +27,14 @@ sim::Task<std::vector<double>> allgather_bruck(Comm& comm, std::vector<double> m
     const std::int64_t tag = comm.collective_tag(round);
     co_await comm.send(to, tag, std::move(out),
                        detail::wire_size(wire_bytes, unit, static_cast<std::size_t>(send_count)));
-    Message msg = co_await comm.recv(from, tag);
-    blocks.insert(blocks.end(), msg.data.begin(), msg.data.end());
-    have += unit == 0 ? send_count : static_cast<int>(msg.data.size() / unit);
+    // `have` evolves identically on every rank (1, 2, 4, ... clamped at p),
+    // so the expected incoming block count equals our own send_count even
+    // when the sender died and the payload is NaN-substituted.
+    std::optional<Message> msg = co_await comm.recv_ft(from, tag);
+    std::vector<double> got =
+        detail::data_or_nan(std::move(msg), unit * static_cast<std::size_t>(send_count));
+    blocks.insert(blocks.end(), got.begin(), got.end());
+    have += send_count;
   }
   // Un-rotate: result block j belongs to rank j == (r + i) % p.
   std::vector<double> out(unit * static_cast<std::size_t>(p));
@@ -60,8 +65,8 @@ sim::Task<std::vector<double>> allgather_ring(Comm& comm, std::vector<double> mi
         out.begin() + static_cast<std::ptrdiff_t>(unit) * (send_owner + 1));
     const std::int64_t tag = comm.collective_tag(step);
     co_await comm.send(right, tag, std::move(block), detail::wire_size(wire_bytes, unit));
-    Message msg = co_await comm.recv(left, tag);
-    std::copy(msg.data.begin(), msg.data.end(),
+    std::vector<double> got = detail::data_or_nan(co_await comm.recv_ft(left, tag), unit);
+    std::copy(got.begin(), got.end(),
               out.begin() + static_cast<std::ptrdiff_t>(unit) * recv_owner);
   }
   co_return out;

@@ -22,8 +22,8 @@ sim::Task<std::vector<double>> allreduce_recursive_doubling(Comm& comm, std::vec
       co_await comm.send(r + 1, comm.collective_tag(100), data, wire);
       newrank = -1;
     } else {
-      Message msg = co_await comm.recv(r - 1, comm.collective_tag(100));
-      accumulate(op, data, msg.data);
+      std::optional<Message> msg = co_await comm.recv_ft(r - 1, comm.collective_tag(100));
+      if (msg) accumulate(op, data, msg->data);
       newrank = r / 2;
     }
   } else {
@@ -37,15 +37,15 @@ sim::Task<std::vector<double>> allreduce_recursive_doubling(Comm& comm, std::vec
       const int partner = real(newrank ^ mask);
       const std::int64_t tag = comm.collective_tag(101 + round);
       co_await comm.send(partner, tag, data, wire);
-      Message msg = co_await comm.recv(partner, tag);
-      accumulate(op, data, msg.data);
+      std::optional<Message> msg = co_await comm.recv_ft(partner, tag);
+      if (msg) accumulate(op, data, msg->data);
     }
   }
 
   if (r < 2 * rem) {
     if (r % 2 == 0) {
-      Message msg = co_await comm.recv(r + 1, comm.collective_tag(200));
-      data = std::move(msg.data);
+      std::optional<Message> msg = co_await comm.recv_ft(r + 1, comm.collective_tag(200));
+      if (msg) data = std::move(msg->data);
     } else {
       co_await comm.send(r - 1, comm.collective_tag(200), data, wire);
     }
@@ -81,10 +81,12 @@ sim::Task<std::vector<double>> allreduce_ring(Comm& comm, std::vector<double> da
                               data.begin() + static_cast<std::ptrdiff_t>(shi));
     const std::int64_t tag = comm.collective_tag(step);
     co_await comm.send(right, tag, std::move(block), chunk_wire);
-    Message msg = co_await comm.recv(left, tag);
+    std::optional<Message> msg = co_await comm.recv_ft(left, tag);
     const auto [rlo, rhi] = chunk_range(recv_idx);
-    for (std::size_t i = rlo; i < rhi; ++i) {
-      data[i] = apply_op(op, data[i], msg.data[i - rlo]);
+    if (msg && msg->data.size() == rhi - rlo) {
+      for (std::size_t i = rlo; i < rhi; ++i) {
+        data[i] = apply_op(op, data[i], msg->data[i - rlo]);
+      }
     }
   }
   // Allgather: circulate the fully-reduced chunks.
@@ -98,9 +100,11 @@ sim::Task<std::vector<double>> allreduce_ring(Comm& comm, std::vector<double> da
     // (whose phase equals the step index, < 16384) for any supported size.
     const std::int64_t tag = comm.collective_tag(20000 + step);
     co_await comm.send(right, tag, std::move(block), chunk_wire);
-    Message msg = co_await comm.recv(left, tag);
+    std::vector<double> got =
+        detail::data_or_nan(co_await comm.recv_ft(left, tag),
+                            chunk_range(recv_idx).second - chunk_range(recv_idx).first);
     const auto [rlo, rhi] = chunk_range(recv_idx);
-    for (std::size_t i = rlo; i < rhi; ++i) data[i] = msg.data[i - rlo];
+    for (std::size_t i = rlo; i < rhi; ++i) data[i] = got[i - rlo];
   }
   co_return data;
 }
@@ -123,8 +127,8 @@ sim::Task<std::vector<double>> allreduce_rabenseifner(Comm& comm, std::vector<do
       co_await comm.send(r + 1, comm.collective_tag(300), data, full_wire);
       newrank = -1;
     } else {
-      Message msg = co_await comm.recv(r - 1, comm.collective_tag(300));
-      accumulate(op, data, msg.data);
+      std::optional<Message> msg = co_await comm.recv_ft(r - 1, comm.collective_tag(300));
+      if (msg) accumulate(op, data, msg->data);
       newrank = r / 2;
     }
   } else {
@@ -159,11 +163,13 @@ sim::Task<std::vector<double>> allreduce_rabenseifner(Comm& comm, std::vector<do
                              wire_bytes,
                              bounds[static_cast<std::size_t>(send_hi)] -
                                  bounds[static_cast<std::size_t>(send_lo)]));
-      Message msg = co_await comm.recv(partner_real, tag);
+      std::optional<Message> msg = co_await comm.recv_ft(partner_real, tag);
       const int recv_lo = keep_low ? lo : mid;
-      for (std::size_t i = 0; i < msg.data.size(); ++i) {
-        const std::size_t at = bounds[static_cast<std::size_t>(recv_lo)] + i;
-        data[at] = apply_op(op, data[at], msg.data[i]);
+      if (msg) {
+        for (std::size_t i = 0; i < msg->data.size(); ++i) {
+          const std::size_t at = bounds[static_cast<std::size_t>(recv_lo)] + i;
+          data[at] = apply_op(op, data[at], msg->data[i]);
+        }
       }
       if (keep_low) hi = mid;
       else lo = mid;
@@ -195,17 +201,21 @@ sim::Task<std::vector<double>> allreduce_rabenseifner(Comm& comm, std::vector<do
                          detail::wire_size(wire_bytes,
                                            bounds[static_cast<std::size_t>(own_hi)] -
                                                bounds[static_cast<std::size_t>(own_lo)]));
-      Message msg = co_await comm.recv(partner_real, tag);
+      std::optional<Message> msg = co_await comm.recv_ft(partner_real, tag);
       const int other_lo = keep_low ? mid : l2;
-      std::copy(msg.data.begin(), msg.data.end(),
+      const int other_hi = keep_low ? h2 : mid;
+      std::vector<double> got = detail::data_or_nan(
+          std::move(msg), bounds[static_cast<std::size_t>(other_hi)] -
+                              bounds[static_cast<std::size_t>(other_lo)]);
+      std::copy(got.begin(), got.end(),
                 data.begin() + static_cast<std::ptrdiff_t>(bounds[static_cast<std::size_t>(other_lo)]));
     }
   }
 
   if (r < 2 * rem) {
     if (r % 2 == 0) {
-      Message msg = co_await comm.recv(r + 1, comm.collective_tag(390));
-      data = std::move(msg.data);
+      std::optional<Message> msg = co_await comm.recv_ft(r + 1, comm.collective_tag(390));
+      if (msg) data = std::move(msg->data);
     } else {
       co_await comm.send(r - 1, comm.collective_tag(390), data, full_wire);
     }

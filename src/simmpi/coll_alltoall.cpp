@@ -21,8 +21,8 @@ sim::Task<std::vector<double>> alltoall_pairwise(Comm& comm, std::vector<double>
         sendbuf.begin() + static_cast<std::ptrdiff_t>(chunk) * (to + 1));
     const std::int64_t tag = comm.collective_tag(step);
     co_await comm.send(to, tag, std::move(block), detail::wire_size(wire_bytes, chunk));
-    Message msg = co_await comm.recv(from, tag);
-    std::copy(msg.data.begin(), msg.data.end(),
+    std::vector<double> got = detail::data_or_nan(co_await comm.recv_ft(from, tag), chunk);
+    std::copy(got.begin(), got.end(),
               out.begin() + static_cast<std::ptrdiff_t>(chunk) * from);
   }
   co_return out;

@@ -9,19 +9,21 @@ namespace hcs::simmpi {
 
 namespace {
 
+// Tokens use the fault-tolerant receive throughout: a token from a dead peer
+// simply never arrives and the barrier completes over the surviving quorum.
 constexpr std::int64_t kTokenBytes = 8;
 
 sim::Task<void> barrier_linear(Comm& comm) {
   const int p = comm.size();
   const int r = comm.rank();
   if (r == 0) {
-    for (int src = 1; src < p; ++src) co_await comm.recv(src, comm.collective_tag(0));
+    for (int src = 1; src < p; ++src) co_await comm.recv_ft(src, comm.collective_tag(0));
     for (int dst = 1; dst < p; ++dst) {
       co_await comm.send(dst, comm.collective_tag(1), {}, kTokenBytes);
     }
   } else {
     co_await comm.send(0, comm.collective_tag(0), {}, kTokenBytes);
-    co_await comm.recv(0, comm.collective_tag(1));
+    co_await comm.recv_ft(0, comm.collective_tag(1));
   }
 }
 
@@ -35,13 +37,13 @@ sim::Task<void> barrier_tree(Comm& comm) {
       co_await comm.send(r - mask, comm.collective_tag(64), {}, kTokenBytes);
       break;
     }
-    if (r + mask < p) co_await comm.recv(r + mask, comm.collective_tag(64));
+    if (r + mask < p) co_await comm.recv_ft(r + mask, comm.collective_tag(64));
   }
   // Fan-out.
   int mask = 1;
   while (mask < p) {
     if ((r & mask) != 0) {
-      co_await comm.recv(r - mask, comm.collective_tag(65));
+      co_await comm.recv_ft(r - mask, comm.collective_tag(65));
       break;
     }
     mask <<= 1;
@@ -63,9 +65,9 @@ sim::Task<void> barrier_double_ring(Comm& comm) {
     const std::int64_t tag = comm.collective_tag(round);
     if (r == 0) {
       co_await comm.send(right, tag, {}, kTokenBytes);
-      co_await comm.recv(left, tag);
+      co_await comm.recv_ft(left, tag);
     } else {
-      co_await comm.recv(left, tag);
+      co_await comm.recv_ft(left, tag);
       co_await comm.send(right, tag, {}, kTokenBytes);
     }
   }
@@ -81,7 +83,7 @@ sim::Task<void> barrier_bruck(Comm& comm) {
     const int from = (r - dist + p) % p;
     const std::int64_t tag = comm.collective_tag(round);
     co_await comm.send(to, tag, {}, kTokenBytes);
-    co_await comm.recv(from, tag);
+    co_await comm.recv_ft(from, tag);
   }
 }
 
@@ -98,7 +100,7 @@ sim::Task<void> barrier_recursive_doubling(Comm& comm) {
       co_await comm.send(r + 1, comm.collective_tag(100), {}, kTokenBytes);
       newrank = -1;
     } else {
-      co_await comm.recv(r - 1, comm.collective_tag(100));
+      co_await comm.recv_ft(r - 1, comm.collective_tag(100));
       newrank = r / 2;
     }
   } else {
@@ -111,12 +113,12 @@ sim::Task<void> barrier_recursive_doubling(Comm& comm) {
       const int partner = real(newrank ^ mask);
       const std::int64_t tag = comm.collective_tag(101 + round);
       co_await comm.send(partner, tag, {}, kTokenBytes);
-      co_await comm.recv(partner, tag);
+      co_await comm.recv_ft(partner, tag);
     }
   }
   if (r < 2 * rem) {
     if (r % 2 == 0) {
-      co_await comm.recv(r + 1, comm.collective_tag(200));
+      co_await comm.recv_ft(r + 1, comm.collective_tag(200));
     } else {
       co_await comm.send(r - 1, comm.collective_tag(200), {}, kTokenBytes);
     }

@@ -16,8 +16,10 @@ sim::Task<std::vector<double>> bcast_binomial(Comm& comm, std::vector<double> da
   while (mask < p) {
     if ((relative & mask) != 0) {
       const int src = detail::abs_rank(relative - mask, root, p);
-      Message msg = co_await comm.recv(src, comm.collective_tag(0));
-      data = std::move(msg.data);
+      std::optional<Message> msg = co_await comm.recv_ft(src, comm.collective_tag(0));
+      // A dead parent orphans this subtree: forward the (unchanged) input so
+      // descendants still unblock; the sync layer flags the stale payload.
+      if (msg) data = std::move(msg->data);
       break;
     }
     mask <<= 1;
@@ -46,8 +48,9 @@ sim::Task<std::vector<double>> bcast_linear(Comm& comm, std::vector<double> data
     }
     co_return data;
   }
-  Message msg = co_await comm.recv(root, comm.collective_tag(0));
-  co_return std::move(msg.data);
+  std::optional<Message> msg = co_await comm.recv_ft(root, comm.collective_tag(0));
+  if (msg) data = std::move(msg->data);
+  co_return data;
 }
 
 sim::Task<std::vector<double>> bcast_chain(Comm& comm, std::vector<double> data, int root,
@@ -55,9 +58,9 @@ sim::Task<std::vector<double>> bcast_chain(Comm& comm, std::vector<double> data,
   const int p = comm.size();
   const int relative = detail::rel(comm.rank(), root, p);
   if (relative > 0) {
-    Message msg = co_await comm.recv(detail::abs_rank(relative - 1, root, p),
-                                     comm.collective_tag(0));
-    data = std::move(msg.data);
+    std::optional<Message> msg = co_await comm.recv_ft(detail::abs_rank(relative - 1, root, p),
+                                                       comm.collective_tag(0));
+    if (msg) data = std::move(msg->data);
   }
   if (relative + 1 < p) {
     co_await comm.send(detail::abs_rank(relative + 1, root, p), comm.collective_tag(0), data,
@@ -77,7 +80,11 @@ sim::Task<std::vector<double>> bcast_scatter_allgather(Comm& comm, std::vector<d
   std::vector<double> size_msg;
   if (comm.rank() == root) size_msg.push_back(static_cast<double>(data.size()));
   size_msg = co_await bcast_binomial(comm, std::move(size_msg), root, 8);
-  const auto n = static_cast<std::size_t>(size_msg.at(0));
+  // Orphaned subtrees never learn the size; fall back to zero so the
+  // scatter/allgather passes below still run (with empty blocks) and finish.
+  const auto n = size_msg.empty() || !(size_msg.front() >= 0.0)
+                     ? std::size_t{0}
+                     : static_cast<std::size_t>(size_msg.front());
 
   const std::size_t chunk = (n + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
   if (comm.rank() == root) data.resize(chunk * static_cast<std::size_t>(p), 0.0);

@@ -2,10 +2,13 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "simmpi/collectives.hpp"
+#include "simmpi/message.hpp"
 #include "trace/span.hpp"
 
 namespace hcs::simmpi::detail {
@@ -36,5 +39,14 @@ inline void check_root(const Comm& comm, int root) {
 /// Rank arithmetic relative to a root (MPI's "relative rank" trick).
 inline int rel(int rank, int root, int p) { return (rank - root + p) % p; }
 inline int abs_rank(int relative, int root, int p) { return (relative + root) % p; }
+
+/// Crash-model data substitution for quorum collectives: the payload when the
+/// peer's block arrived intact, otherwise `expect` quiet-NaNs.  Survivors keep
+/// deterministic buffer shapes regardless of who died; a dead rank's slots
+/// read as NaN downstream, which the sync layer turns into per-rank health.
+inline std::vector<double> data_or_nan(std::optional<Message>&& msg, std::size_t expect) {
+  if (msg && msg->data.size() == expect) return std::move(msg->data);
+  return std::vector<double>(expect, std::numeric_limits<double>::quiet_NaN());
+}
 
 }  // namespace hcs::simmpi::detail

@@ -20,9 +20,9 @@ sim::Task<std::vector<double>> gather_linear(Comm& comm, std::vector<double> min
   std::copy(mine.begin(), mine.end(), out.begin() + static_cast<std::ptrdiff_t>(unit) * root);
   for (int src = 0; src < p; ++src) {
     if (src == root) continue;
-    Message msg = co_await comm.recv(src, comm.collective_tag(0));
-    std::copy(msg.data.begin(), msg.data.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(unit) * src);
+    std::vector<double> got =
+        detail::data_or_nan(co_await comm.recv_ft(src, comm.collective_tag(0)), unit);
+    std::copy(got.begin(), got.end(), out.begin() + static_cast<std::ptrdiff_t>(unit) * src);
   }
   co_return out;
 }
@@ -44,11 +44,17 @@ sim::Task<std::vector<double>> gather_binomial(Comm& comm, std::vector<double> m
     if ((relative & mask) == 0) {
       const int child_rel = relative | mask;
       if (child_rel < p) {
-        Message msg =
-            co_await comm.recv(detail::abs_rank(child_rel, root, p), comm.collective_tag(0));
-        std::copy(msg.data.begin(), msg.data.end(),
+        // The child's subtree size is fixed by the tree shape, so the block
+        // count is known without looking at the payload — a dead child just
+        // leaves its subtree's slots NaN.
+        const int child_blocks = std::min(mask, p - child_rel);
+        std::optional<Message> msg =
+            co_await comm.recv_ft(detail::abs_rank(child_rel, root, p), comm.collective_tag(0));
+        std::vector<double> got = detail::data_or_nan(
+            std::move(msg), unit * static_cast<std::size_t>(child_blocks));
+        std::copy(got.begin(), got.end(),
                   buf.begin() + static_cast<std::ptrdiff_t>(unit) * child_rel);
-        held += static_cast<int>(msg.data.size() / std::max<std::size_t>(1, unit));
+        held += unit == 0 ? 0 : child_blocks;
       }
     } else {
       const int parent_rel = relative & ~mask;

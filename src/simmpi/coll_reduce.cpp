@@ -14,9 +14,11 @@ sim::Task<std::vector<double>> reduce_binomial(Comm& comm, std::vector<double> d
     if ((relative & mask) == 0) {
       const int partner_rel = relative | mask;
       if (partner_rel < p) {
-        Message msg =
-            co_await comm.recv(detail::abs_rank(partner_rel, root, p), comm.collective_tag(0));
-        accumulate(op, data, msg.data);
+        std::optional<Message> msg =
+            co_await comm.recv_ft(detail::abs_rank(partner_rel, root, p), comm.collective_tag(0));
+        // A dead subtree contributes the identity; the reduction still
+        // completes over the surviving quorum.
+        if (msg) accumulate(op, data, msg->data);
       }
     } else {
       const int parent_rel = relative & ~mask;
@@ -39,8 +41,8 @@ sim::Task<std::vector<double>> reduce_linear(Comm& comm, std::vector<double> dat
   }
   for (int src = 0; src < p; ++src) {
     if (src == root) continue;
-    Message msg = co_await comm.recv(src, comm.collective_tag(0));
-    accumulate(op, data, msg.data);
+    std::optional<Message> msg = co_await comm.recv_ft(src, comm.collective_tag(0));
+    if (msg) accumulate(op, data, msg->data);
   }
   co_return data;
 }

@@ -26,10 +26,12 @@ sim::Task<std::vector<double>> reduce_scatter_ring(Comm& comm, std::vector<doubl
     const int recv_idx = (r - step - 1 + p) % p;
     const std::int64_t tag = comm.collective_tag(step);
     co_await comm.send(right, tag, block(data, send_idx), chunk_wire);
-    Message msg = co_await comm.recv(left, tag);
-    for (std::size_t i = 0; i < chunk; ++i) {
-      const std::size_t at = static_cast<std::size_t>(recv_idx) * chunk + i;
-      data[at] = apply_op(op, data[at], msg.data[i]);
+    std::optional<Message> msg = co_await comm.recv_ft(left, tag);
+    if (msg && msg->data.size() == chunk) {
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const std::size_t at = static_cast<std::size_t>(recv_idx) * chunk + i;
+        data[at] = apply_op(op, data[at], msg->data[i]);
+      }
     }
   }
   // After p-1 steps this rank's fully reduced chunk is (r + 1) % p... the
@@ -41,8 +43,7 @@ sim::Task<std::vector<double>> reduce_scatter_ring(Comm& comm, std::vector<doubl
   // ... each rank q holds chunk (q+1)%p, so chunk r lives on rank (r-1+p)%p.
   const std::int64_t tag = comm.collective_tag(30000);
   co_await comm.send(right, tag, block(data, have), chunk_wire);
-  Message msg = co_await comm.recv(left, tag);
-  co_return std::move(msg.data);
+  co_return detail::data_or_nan(co_await comm.recv_ft(left, tag), chunk);
 }
 
 // Reduce to rank 0, then scatter — the small-message fallback.

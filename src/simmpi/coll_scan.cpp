@@ -11,9 +11,10 @@ sim::Task<std::vector<double>> scan_linear(Comm& comm, std::vector<double> data,
   const int r = comm.rank();
   const std::int64_t wire = detail::wire_size(wire_bytes, data.size());
   if (r > 0) {
-    Message msg = co_await comm.recv(r - 1, comm.collective_tag(0));
-    // prefix(r) = prefix(r-1) op x_r; ops are commutative here.
-    accumulate(op, data, msg.data);
+    std::optional<Message> msg = co_await comm.recv_ft(r - 1, comm.collective_tag(0));
+    // prefix(r) = prefix(r-1) op x_r; ops are commutative here.  A dead
+    // predecessor contributes the identity and the chain keeps moving.
+    if (msg) accumulate(op, data, msg->data);
   }
   if (r + 1 < p) {
     co_await comm.send(r + 1, comm.collective_tag(0), data, wire);
@@ -35,9 +36,11 @@ sim::Task<std::vector<double>> scan_recursive_doubling(Comm& comm, std::vector<d
     const std::int64_t tag = comm.collective_tag(round);
     if (r + mask < p) co_await comm.send(r + mask, tag, val, wire);
     if (r - mask >= 0) {
-      Message msg = co_await comm.recv(r - mask, tag);
-      accumulate(op, val, msg.data);
-      accumulate(op, result, msg.data);
+      std::optional<Message> msg = co_await comm.recv_ft(r - mask, tag);
+      if (msg) {
+        accumulate(op, val, msg->data);
+        accumulate(op, result, msg->data);
+      }
     }
   }
   co_return result;

@@ -13,8 +13,7 @@ sim::Task<std::vector<double>> scatter_linear(Comm& comm, std::vector<double> al
   const int p = comm.size();
   const int r = comm.rank();
   if (r != root) {
-    Message msg = co_await comm.recv(root, comm.collective_tag(0));
-    co_return std::move(msg.data);
+    co_return detail::data_or_nan(co_await comm.recv_ft(root, comm.collective_tag(0)), chunk);
   }
   for (int dst = 0; dst < p; ++dst) {
     if (dst == root) continue;
@@ -56,10 +55,16 @@ sim::Task<std::vector<double>> scatter_binomial(Comm& comm, std::vector<double> 
     int mask = 1;
     while (mask < p) {
       if ((relative & mask) != 0) {
-        Message msg =
-            co_await comm.recv(detail::abs_rank(relative - mask, root, p), comm.collective_tag(0));
-        seg = std::move(msg.data);
-        held = chunk == 0 ? 0 : static_cast<int>(seg.size() / chunk);
+        // This rank's subtree size is fixed by the tree shape; a dead parent
+        // yields a NaN segment of the same shape, so forwarding below still
+        // happens and no descendant is left waiting.
+        const int my_blocks = std::min(mask, p - relative);
+        std::optional<Message> msg =
+            co_await comm.recv_ft(detail::abs_rank(relative - mask, root, p),
+                                  comm.collective_tag(0));
+        seg = detail::data_or_nan(std::move(msg),
+                                  chunk * static_cast<std::size_t>(my_blocks));
+        held = my_blocks;
         recv_mask = mask;
         break;
       }

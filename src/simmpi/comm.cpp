@@ -1,6 +1,8 @@
 #include "simmpi/comm.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "simmpi/collectives.hpp"
@@ -57,6 +59,26 @@ sim::Task<Message> Comm::recv(int src, int tag) {
   co_return co_await world_->p2p_recv(my_world_rank(), world_rank(src), user_tag(tag));
 }
 
+sim::Task<std::optional<Message>> Comm::recv_ft(int src, int tag) {
+  const int me = my_world_rank();
+  const int wsrc = world_rank(src);
+  const FailureDetector* fd = world_->failure_detector();
+  if (!fd) co_return co_await world_->p2p_recv(me, wsrc, user_tag(tag));
+  // Bounded by the modelled detection time for a peer that actually dies,
+  // plus the liveness net so even a pathological live-live cross-wait
+  // terminates (degraded) instead of deadlocking the world.
+  const sim::Time deadline =
+      std::min(fd->detect_time(me, wsrc), world_->sim().now() + kLivenessTimeout);
+  co_return co_await world_->await_recv_until(world_->p2p_irecv(me, wsrc, user_tag(tag)),
+                                              deadline);
+}
+
+PeerStatus Comm::peer_status(int comm_rank) const {
+  const FailureDetector* fd = world_->failure_detector();
+  if (!fd) return PeerStatus::kAlive;
+  return fd->status(my_world_rank(), world_rank(comm_rank), world_->sim().now());
+}
+
 RecvRequest Comm::irecv(int src, int tag) {
   return world_->p2p_irecv(my_world_rank(), world_rank(src), user_tag(tag));
 }
@@ -80,11 +102,45 @@ sim::Task<BurstResult> Comm::pingpong_burst(int partner, bool i_am_client, vcloc
                                             clock, nexchanges, bytes);
 }
 
+// Direct (no-relay) member exchange used by split under the crash model:
+// every pair of live ranks always learns about each other, a dead rank's
+// slot stays NaN.  O(p^2) messages instead of Bruck's p log p, but immune
+// to a relay dying with other ranks' blocks in its hands.
+sim::Task<std::vector<double>> Comm::split_exchange_ft(std::vector<double> mine) {
+  advance_collective();
+  const int p = size();
+  const int r = rank();
+  const std::int64_t tag = collective_tag(0);
+  std::vector<double> all(static_cast<std::size_t>(2 * p),
+                          std::numeric_limits<double>::quiet_NaN());
+  std::copy(mine.begin(), mine.end(), all.begin() + static_cast<std::ptrdiff_t>(2 * r));
+  for (int peer = 0; peer < p; ++peer) {
+    if (peer != r) co_await send(peer, tag, mine, 16);
+  }
+  for (int peer = 0; peer < p; ++peer) {
+    if (peer == r) continue;
+    std::optional<Message> msg = co_await recv_ft(peer, tag);
+    if (msg && msg->data.size() == 2) {
+      std::copy(msg->data.begin(), msg->data.end(),
+                all.begin() + static_cast<std::ptrdiff_t>(2 * peer));
+    }
+  }
+  co_return all;
+}
+
 sim::Task<Comm> Comm::split(int color, int key) {
   // Exchange (color, key) with every member, then build the group locally —
-  // the standard MPI_Comm_split recipe.
+  // the standard MPI_Comm_split recipe.  Under the crash model the exchange
+  // is fault-tolerant and dead ranks simply drop out of the new
+  // communicator: because members stay sorted, the lowest live rank of each
+  // split becomes its rank 0 — deterministic leader election for free.
   const std::vector<double> mine = {static_cast<double>(color), static_cast<double>(key)};
-  const std::vector<double> all = co_await allgather(*this, mine);
+  std::vector<double> all;
+  if (world_->failure_detector() && size() > 1) {
+    all = co_await split_exchange_ft(mine);
+  } else {
+    all = co_await allgather(*this, mine);
+  }
   ++split_seq_;
   if (color == kUndefined) co_return Comm{};
 
@@ -94,7 +150,9 @@ sim::Task<Comm> Comm::split(int color, int key) {
   };
   std::vector<Entry> group;
   for (int r = 0; r < size(); ++r) {
-    const int r_color = static_cast<int>(all[static_cast<std::size_t>(2 * r)]);
+    const double rc = all[static_cast<std::size_t>(2 * r)];
+    if (std::isnan(rc)) continue;  // dead or unreachable: excluded from the split
+    const int r_color = static_cast<int>(rc);
     const int r_key = static_cast<int>(all[static_cast<std::size_t>(2 * r + 1)]);
     if (r_color == color) group.push_back(Entry{r_key, r});
   }

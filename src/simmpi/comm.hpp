@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/task.hpp"
+#include "simmpi/failure.hpp"
 #include "simmpi/message.hpp"
 #include "simmpi/world.hpp"
 
@@ -42,6 +44,16 @@ class Comm {
   /// size (minimum 8 B on the wire).
   sim::Task<void> send(int dst, int tag, std::vector<double> data = {}, std::int64_t bytes = 0);
   sim::Task<Message> recv(int src, int tag);
+
+  /// Fault-tolerant receive: the message, or nullopt once this rank's
+  /// failure detector declares `src` dead (never nullopt for a live,
+  /// reachable peer).  Identical to recv() when no crash fault is active.
+  /// Quorum collectives and the self-healing sync layer build on this.
+  sim::Task<std::optional<Message>> recv_ft(int src, int tag);
+
+  /// This rank's current view of a communicator peer; kAlive when no crash
+  /// fault is active (see simmpi::FailureDetector).
+  PeerStatus peer_status(int comm_rank) const;
 
   /// Nonblocking variants (MPI_Isend / MPI_Irecv / MPI_Wait analogues).
   /// irecv posts immediately; wait() on the returned request completes the
@@ -76,6 +88,7 @@ class Comm {
 
  private:
   std::int64_t user_tag(int tag) const;
+  sim::Task<std::vector<double>> split_exchange_ft(std::vector<double> mine);
 
   World* world_ = nullptr;
   std::shared_ptr<const std::vector<int>> members_;

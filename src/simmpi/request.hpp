@@ -18,7 +18,14 @@ namespace hcs::simmpi {
 struct RecvState {
   int src = -1;
   std::int64_t tag = 0;
+  int owner = -1;  // receiving rank (watchdogs under the crash model)
   bool complete = false;
+  // Crash-model resolution flags (request.hpp stays trivially usable without
+  // the failure detector: both remain false then).  `timed_out` means the
+  // deadline watchdog fired before a match; `owner_crashed` means the
+  // receiving rank's own crash time passed while it was blocked.
+  bool timed_out = false;
+  bool owner_crashed = false;
   Message msg;
   std::coroutine_handle<> waiter = nullptr;
 };

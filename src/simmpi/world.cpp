@@ -52,6 +52,9 @@ World::World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPl
                                                     size());
     network_.set_fault_injector(fault_.get());
     seq_tracking_ = fault_->net_active();
+    if (fault_->crash_active()) {
+      detector_ = std::make_unique<FailureDetector>(*fault_, network_, size());
+    }
     if (seq_tracking_) {
       send_seq_.assign(static_cast<std::size_t>(size()) * static_cast<std::size_t>(size()), 0);
     }
@@ -85,8 +88,27 @@ RankCtx& World::ctx(int rank) {
   return *ctxs_[static_cast<std::size_t>(rank)];
 }
 
+namespace {
+// Under the crash model a victim rank unwinds via RankCrashed at its next
+// transport operation; the guard absorbs it so the process finishes cleanly
+// (no deadlock report, no result) while real errors still propagate.
+sim::Task<void> run_rank_guarded(World::RankFn fn, RankCtx& ctx) {
+  try {
+    co_await fn(ctx);
+  } catch (const RankCrashed&) {
+  }
+}
+}  // namespace
+
 void World::launch(const RankFn& fn) {
-  for (int r = 0; r < size(); ++r) sim_.spawn(fn(ctx(r)));
+  const bool guard = detector_ != nullptr;
+  for (int r = 0; r < size(); ++r) {
+    if (guard) {
+      sim_.spawn(run_rank_guarded(fn, ctx(r)));
+    } else {
+      sim_.spawn(fn(ctx(r)));
+    }
+  }
 }
 
 void World::run(std::uint64_t max_events) {
@@ -143,17 +165,35 @@ void World::dispatch_message(int src, int dst, std::vector<double> data, std::in
     sim::Time dup_arrive = network_.deliver_time(src, dst, bytes, ready);
     if (fault_) dup_arrive = fault_->release_time(dst, dup_arrive);
     copy.arrived_at = dup_arrive;
-    sim_.spawn(deliver_later(*this, dup_arrive, dst, std::move(copy)));
+    if (!detector_ || crash_delivered(src, dst, dup_arrive)) {
+      sim_.spawn(deliver_later(*this, dup_arrive, dst, std::move(copy)));
+    } else {
+      fault_->count_crash_drop();
+    }
   }
-  sim_.spawn(deliver_later(*this, arrive, dst, std::move(msg)));
+  if (!detector_ || crash_delivered(src, dst, arrive)) {
+    sim_.spawn(deliver_later(*this, arrive, dst, std::move(msg)));
+  } else {
+    // The crash rule trumps the reliable transport's "final retransmission
+    // always lands": a dead endpoint or severed link loses the message for
+    // good, in-flight copies included.
+    fault_->count_crash_drop();
+  }
+}
+
+bool World::crash_delivered(int src, int dst, sim::Time arrive) const noexcept {
+  return arrive < fault_->crash_time(src) && arrive < fault_->crash_time(dst) &&
+         arrive < fault_->link_down_time(src, dst);
 }
 
 sim::Task<void> World::p2p_send(int src, int dst, std::int64_t tag, std::vector<double> data,
                                 std::int64_t bytes) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("p2p_send: bad destination rank");
+  check_crash(src);
   if (bytes <= 0) bytes = static_cast<std::int64_t>(data.size() * sizeof(double));
   if (bytes <= 0) bytes = 8;
   co_await sim_.delay(network_.send_overhead());
+  check_crash(src);  // a crash inside the send overhead kills the message too
   dispatch_message(src, dst, std::move(data), bytes, tag, sim_.now());
 }
 
@@ -214,6 +254,7 @@ RecvRequest World::p2p_irecv(int me, int src, std::int64_t tag) {
   auto request = std::make_shared<RecvState>();
   request->src = src;
   request->tag = tag;
+  request->owner = me;
   const auto it = std::find_if(mb.unexpected.begin(), mb.unexpected.end(), [&](const Message& m) {
     return m.src == src && m.tag == tag;
   });
@@ -227,11 +268,62 @@ RecvRequest World::p2p_irecv(int me, int src, std::int64_t tag) {
   return request;
 }
 
-sim::Task<Message> World::await_recv(RecvRequest request) {
-  if (!request->complete) {
+void World::cancel_recv(const RecvRequest& request) {
+  if (request->owner < 0) return;
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(request->owner)];
+  const auto it = std::find(mb.posted.begin(), mb.posted.end(), request);
+  if (it != mb.posted.end()) mb.posted.erase(it);
+}
+
+// Resumes a blocked receive when the crash model resolves it without a
+// message: the owner's own crash (crash_kind), or the give-up deadline.
+// A request that completed (or was resolved by the sibling watchdog) first
+// makes this a no-op.
+sim::Task<void> World::recv_watchdog(RecvRequest request, sim::Time when, bool crash_kind) {
+  co_await sim_.delay(when - sim_.now());
+  if (request->complete || request->timed_out || request->owner_crashed) co_return;
+  if (crash_kind) {
+    request->owner_crashed = true;
+  } else {
+    request->timed_out = true;
+  }
+  cancel_recv(request);
+  if (request->waiter) {
+    sim_.schedule_at(sim_.now(), request->waiter);
+    request->waiter = nullptr;
+  }
+}
+
+// Suspends until the request completes or a watchdog resolves it.  `deadline`
+// is absolute; kTimeInfinity means "wait for the message" (plus, under the
+// crash model, the owner's own crash).
+sim::Task<void> World::block_on_recv(RecvRequest request, sim::Time deadline) {
+  if (!request->complete && detector_) {
+    const sim::Time now = sim_.now();
+    const sim::Time own_crash = detector_->crash_time(request->owner);
+    if (now >= own_crash) {
+      request->owner_crashed = true;
+      cancel_recv(request);
+      co_return;
+    }
+    if (now >= deadline) {
+      request->timed_out = true;
+      cancel_recv(request);
+      co_return;
+    }
+    if (own_crash < sim::kTimeInfinity) {
+      sim_.spawn(recv_watchdog(request, own_crash, /*crash_kind=*/true));
+    }
+    if (deadline < sim::kTimeInfinity) {
+      sim_.spawn(recv_watchdog(request, deadline, /*crash_kind=*/false));
+    }
+  }
+  if (!request->complete && !request->timed_out && !request->owner_crashed) {
     struct Suspend {
       RecvState* state;
-      bool await_ready() const noexcept { return state->complete; }
+      bool await_ready() const noexcept {
+        return state->complete || state->timed_out || state->owner_crashed;
+      }
       void await_suspend(std::coroutine_handle<> h) { state->waiter = h; }
       void await_resume() const noexcept {}
     };
@@ -239,6 +331,35 @@ sim::Task<Message> World::await_recv(RecvRequest request) {
     Suspend suspend{request.get()};
     co_await suspend;
   }
+}
+
+sim::Task<Message> World::await_recv(RecvRequest request) {
+  // Even a plain receive gets a bound under the crash model: blocking on a
+  // peer the detector has declared dead is turned into a loud error (and
+  // the liveness net turns any remaining cross-wait into one too) instead
+  // of a silent world deadlock.
+  sim::Time deadline = sim::kTimeInfinity;
+  if (detector_ && !request->complete && request->src >= 0 && request->owner >= 0) {
+    deadline = std::min(detector_->detect_time(request->owner, request->src),
+                        sim_.now() + kLivenessTimeout);
+  }
+  co_await block_on_recv(request, deadline);
+  if (request->owner_crashed) throw RankCrashed{request->owner, sim_.now()};
+  if (request->timed_out) {
+    throw std::runtime_error("recv on rank " + std::to_string(request->owner) + " from rank " +
+                             std::to_string(request->src) +
+                             " abandoned: peer declared dead (use the fault-tolerant receive "
+                             "path for quorum collectives)");
+  }
+  co_await sim_.delay(network_.recv_overhead());
+  co_return std::move(request->msg);
+}
+
+sim::Task<std::optional<Message>> World::await_recv_until(RecvRequest request,
+                                                          sim::Time deadline) {
+  co_await block_on_recv(request, deadline);
+  if (request->owner_crashed) throw RankCrashed{request->owner, sim_.now()};
+  if (request->timed_out) co_return std::nullopt;
   co_await sim_.delay(network_.recv_overhead());
   co_return std::move(request->msg);
 }
@@ -250,6 +371,7 @@ sim::Task<Message> World::p2p_recv(int me, int src, std::int64_t tag) {
 SendRequest World::p2p_isend(int src, int dst, std::int64_t tag, std::vector<double> data,
                              std::int64_t bytes) {
   if (dst < 0 || dst >= size()) throw std::out_of_range("p2p_isend: bad destination rank");
+  check_crash(src);
   if (bytes <= 0) bytes = static_cast<std::int64_t>(data.size() * sizeof(double));
   if (bytes <= 0) bytes = 8;
   auto request = std::make_shared<SendState>();
@@ -303,13 +425,32 @@ void World::synthesize_burst(BurstState& st) {
   sim::Time tr = st.ref_ready;     // reference's process-time cursor
   const bool faulty = fault_ && fault_->net_active();
   const bool pausing = fault_ && fault_->pause_active();
+  const bool crashy = detector_ != nullptr;
+  // Crash-era bounds for this pair: the client stops once it would run past
+  // its own crash time, and gives up on the whole burst once its detector
+  // declares the reference dead (individual pings obey the uniform
+  // crash-delivery rule below).
+  sim::Time client_crash = sim::kTimeInfinity;
+  sim::Time abandon_at = sim::kTimeInfinity;
+  if (crashy) {
+    client_crash = fault_->crash_time(st.client_rank);
+    abandon_at = detector_->detect_time(st.client_rank, st.ref_rank);
+  }
   const LinkLevel level = network_.classify(st.client_rank, st.ref_rank);
   const double timeout =
       kPingTimeoutFactor * (2.0 * network_.expected_delay(level, st.bytes) + 2.0 * (o_s + o_r));
   st.result.requested = st.nexchanges;
   st.result.samples.reserve(static_cast<std::size_t>(st.nexchanges));
-  for (int i = 0; i < st.nexchanges; ++i) {
+  bool aborted = false;
+  for (int i = 0; i < st.nexchanges && !aborted; ++i) {
     for (int attempt = 0;; ++attempt) {
+      if (crashy && (tc >= client_crash || tc >= abandon_at)) {
+        // Dead client, or reference declared dead: this exchange and every
+        // remaining one are lost; the waiter resolves the crash on resume.
+        st.result.lost += st.nexchanges - i;
+        aborted = true;
+        break;
+      }
       if (pausing) tc = fault_->release_time(st.client_rank, tc);
       const sim::Time attempt_start = tc;
       // The timeout guards against message loss, not partner lateness: the
@@ -324,6 +465,7 @@ void World::synthesize_burst(BurstState& st) {
       const sim::Time arrive_ref = network_.deliver_time_uncontended(
           st.client_rank, st.ref_rank, st.bytes, tc + o_s, faulty ? &ping_fd : nullptr);
       bool timed_out = ping_fd.drop;
+      if (crashy && !crash_delivered(st.client_rank, st.ref_rank, arrive_ref)) timed_out = true;
       if (!timed_out) {
         sim::Time stamp_time = std::max(arrive_ref, tr) + o_r;
         if (pausing) stamp_time = fault_->release_time(st.ref_rank, stamp_time);
@@ -335,7 +477,10 @@ void World::synthesize_burst(BurstState& st) {
             st.ref_rank, st.client_rank, st.bytes, reply_depart, faulty ? &pong_fd : nullptr);
         // `faulty` gate: fault-free this branch must be taken unconditionally
         // so the synthesized schedule stays bit-identical to the seed model.
-        if (pong_fd.drop || (faulty && arrive_client + o_r > deadline)) {
+        // The crash rule also covers the reference dying mid-service: a
+        // reply departing after its crash necessarily arrives after it.
+        if (pong_fd.drop || (faulty && arrive_client + o_r > deadline) ||
+            (crashy && !crash_delivered(st.ref_rank, st.client_rank, arrive_client))) {
           timed_out = true;  // pong lost, or it arrived after the client gave up
         } else {
           const sim::Time recv_time = arrive_client + o_r;
@@ -371,11 +516,30 @@ void World::synthesize_burst(BurstState& st) {
   }
 }
 
+// Resolves a first-arriver wait the partner will never complete: at `when`
+// (the waiter's own crash time, or the moment its detector declares the
+// partner dead) the burst is reported fully lost and the waiter resumed —
+// it re-checks its own crash on resume.  A burst that paired in the
+// meantime cleared first_handle, making this a no-op.
+sim::Task<void> World::burst_watchdog(std::shared_ptr<BurstState> st, std::uint64_t key,
+                                      sim::Time when) {
+  if (when > sim_.now()) co_await sim_.delay(when - sim_.now());
+  if (!st->first_handle) co_return;
+  st->result.requested = st->nexchanges;
+  st->result.lost = st->nexchanges;
+  if (fault_) fault_->count_crash_drop();
+  const auto it = bursts_.find(key);
+  if (it != bursts_.end() && it->second == st) bursts_.erase(it);
+  sim_.schedule_at(sim_.now(), st->first_handle);
+  st->first_handle = nullptr;
+}
+
 sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_client,
                                              vclock::Clock& my_clock, int nexchanges,
                                              std::int64_t bytes) {
   if (nexchanges < 1) throw std::invalid_argument("pingpong_burst: nexchanges must be >= 1");
   if (me == partner) throw std::invalid_argument("pingpong_burst: self ping-pong");
+  check_crash(me);
   const std::uint64_t key = pair_key(me, partner, size());
   const auto it = bursts_.find(key);
 
@@ -414,8 +578,27 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
       st->ref_ready = sim_.now();
     }
     bursts_[key] = st;
+    if (detector_) {
+      const sim::Time partner_dead = detector_->detect_time(me, partner);
+      if (partner_dead <= sim_.now()) {
+        // Partner already declared dead: resolve as fully lost without
+        // suspending (a watchdog due "now" would fire before the suspend
+        // below publishes the waiter handle).
+        bursts_.erase(key);
+        st->result.requested = nexchanges;
+        st->result.lost = nexchanges;
+        fault_->count_crash_drop();
+        co_return st->result;
+      }
+      // check_crash above guarantees now < own crash time, so both watchdogs
+      // fire strictly in the future, after the waiter handle is published.
+      const sim::Time own_crash = fault_->crash_time(me);
+      if (own_crash < sim::kTimeInfinity) sim_.spawn(burst_watchdog(st, key, own_crash));
+      if (partner_dead < sim::kTimeInfinity) sim_.spawn(burst_watchdog(st, key, partner_dead));
+    }
     SuspendForPartner wait_for_partner{st};
     co_await wait_for_partner;
+    check_crash(me);
     co_return st->result;
   }
 
@@ -435,8 +618,10 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
   }
   synthesize_burst(*st);
   sim_.schedule_at(st->first_is_client ? st->client_done : st->ref_done, st->first_handle);
+  st->first_handle = nullptr;  // burst watchdogs must not resume it again
   ResumeAt resume_at{&sim_, i_am_client ? st->client_done : st->ref_done};
   co_await resume_at;
+  check_crash(me);
   co_return st->result;
 }
 

@@ -15,12 +15,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
+#include "simmpi/failure.hpp"
 #include "simmpi/message.hpp"
 #include "simmpi/request.hpp"
 #include "simmpi/network.hpp"
@@ -75,6 +77,18 @@ class World {
   /// Fault injector for this World; null when no fault plan was given.
   fault::FaultInjector* fault_injector() noexcept { return fault_.get(); }
 
+  /// Failure detector for this World; null unless the fault plan contains a
+  /// crash or crashlink fault (so crash-free runs take zero new branches).
+  const FailureDetector* failure_detector() const noexcept { return detector_.get(); }
+
+  /// Throws RankCrashed when the crash model has killed `rank` — every
+  /// transport operation calls this on entry and after resuming.
+  void check_crash(int rank) const {
+    if (detector_ && sim_.now() >= detector_->crash_time(rank)) {
+      throw RankCrashed{rank, sim_.now()};
+    }
+  }
+
   /// Shared hardware clock of the rank's time source.
   vclock::ClockPtr base_clock(int rank) const;
 
@@ -104,6 +118,12 @@ class World {
 
   /// MPI_Wait analogue for a receive request.
   sim::Task<Message> await_recv(RecvRequest request);
+
+  /// Bounded wait: completes the receive, or gives up at `deadline`
+  /// (absolute sim time) and returns nullopt.  Throws RankCrashed if the
+  /// receiving rank itself dies while blocked.  The fault-tolerant
+  /// collectives build on this (Comm::recv_ft).
+  sim::Task<std::optional<Message>> await_recv_until(RecvRequest request, sim::Time deadline);
 
   /// Nonblocking send: the message enters the network immediately; the
   /// request completes once the sender-side overhead has elapsed.
@@ -149,10 +169,20 @@ class World {
   void dispatch_message(int src, int dst, std::vector<double> data, std::int64_t bytes,
                         std::int64_t tag, sim::Time ready);
 
+  /// Uniform crash-era delivery rule: a message sent src->dst exists only if
+  /// it arrives while both endpoints are alive and the link is up.
+  bool crash_delivered(int src, int dst, sim::Time arrive) const noexcept;
+  void cancel_recv(const RecvRequest& request);
+  sim::Task<void> block_on_recv(RecvRequest request, sim::Time deadline);
+  sim::Task<void> recv_watchdog(RecvRequest request, sim::Time when, bool crash_kind);
+  sim::Task<void> burst_watchdog(std::shared_ptr<BurstState> st, std::uint64_t key,
+                                 sim::Time when);
+
   topology::MachineConfig machine_;
   sim::Simulation sim_;
   NetworkModel network_;
   std::unique_ptr<fault::FaultInjector> fault_;
+  std::unique_ptr<FailureDetector> detector_;  // only under crash/crashlink plans
   bool seq_tracking_ = false;          // assign/enforce channel sequence numbers
   std::vector<std::uint64_t> send_seq_;  // per (src, dst), when seq_tracking_
   SimTimeSource time_source_;

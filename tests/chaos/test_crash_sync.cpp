@@ -1,0 +1,273 @@
+// Chaos soak: crash-stop robustness of every synchronization algorithm.
+//
+// Sweeps crash time (pre-sync, mid-sync, post-sync) x victim role (leaf,
+// node reference, global reference) x algorithm over a seed sweep, and
+// asserts the crash-stop contract end to end:
+//   1. Termination — no run hangs (the world drains; ctest's timeout is the
+//      backstop, but every run here finishes in bounded simulated time
+//      because each blocking receive is bounded by the failure detector).
+//   2. Victim semantics — a rank crashed before sync never reports a
+//      result; a crash scheduled after the last transport op changes
+//      nothing (all ranks clean, accuracy intact).
+//   3. Classification — every survivor reports ok/degraded/failed, and a
+//      rank claiming kOk must actually own an accurate global clock: its
+//      noiseless deviation from the lowest-ranked kOk survivor stays inside
+//      a bound that cleanly separates "has a drift model" from "fell back
+//      to the identity model" (the initial offsets are ~5 ms; a working
+//      sync lands under ~10 us at the 10 s horizon).
+//
+// The sweep intentionally reuses the machine and seed configuration of
+// test_accuracy_bounds.cpp so the fault-free column of this suite is the
+// same world the calibrated PR 3 bounds were measured on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clocksync/factory.hpp"
+#include "fault/fault_plan.hpp"
+#include "simmpi/world.hpp"
+#include "support/stats.hpp"
+#include "topology/presets.hpp"
+#include "vclock/global_clock.hpp"
+
+namespace hcs::clocksync {
+namespace {
+
+constexpr int kSeeds = 20;
+constexpr std::uint64_t kBaseSeed = 1000;
+
+// testbox(4, 2): 8 ranks, 2 per node.  Node references (lowest rank per
+// node) are 0/2/4/6; rank 0 doubles as the global reference.
+topology::MachineConfig machine() {
+  auto m = topology::testbox(4, 2);
+  m.clocks.initial_offset_abs = 5e-3;
+  m.clocks.base_skew_abs = 2e-6;
+  m.clocks.skew_walk_sd = 0.005e-6;
+  return m;
+}
+
+struct VictimRole {
+  const char* name;
+  int rank;
+};
+constexpr VictimRole kRoles[] = {
+    {"leaf", 7},        // last rank of the last node: never a reference
+    {"node_ref", 2},    // lowest rank of node 1: a hierarchical node leader
+    {"global_ref", 0},  // rank 0: every algorithm's root / global reference
+};
+
+// Pre-sync (dead from the first event), mid-sync (inside every algorithm's
+// measurement phase; the slowest label, JK at 1000 fit points, runs ~0.2 s
+// and the fastest, SKaMPI, ~4 ms), and post-sync (after the last transport
+// op of every label, so the crash never actually fires).
+constexpr double kCrashTimes[] = {0.0, 0.003, 1.0};
+
+const char* kLabels[] = {
+    "hca/1000/skampi_offset/10",
+    "hca2/1000/skampi_offset/10",
+    "hca3/1000/skampi_offset/10",
+    "jk/1000/skampi_offset/20",
+    "skampi/skampi_offset/100",
+    "top/hca3/1000/skampi_offset/10/bottom/hca3/1000/skampi_offset/10",
+};
+
+// A kOk rank must carry a real drift model: identity fallbacks sit at the
+// ~5 ms initial offset, two orders of magnitude above this.
+constexpr double kOkAccuracyBound = 50e-6;
+
+struct ChaosPoint {
+  int synced = 0;  // ranks that returned a SyncResult (victim drops out)
+  int ok = 0, degraded = 0, failed = 0;
+  bool victim_synced = false;
+  double err_t10 = 0.0;  // max |clk - ref| over kOk ranks, 10 s after sync
+};
+
+ChaosPoint run_one(const std::string& label, int victim, double crash_at, std::uint64_t seed) {
+  fault::FaultPlan plan;
+  fault::FaultSpec crash;
+  crash.kind = fault::FaultKind::kCrash;
+  crash.rank = victim;
+  crash.at = crash_at;
+  plan.add(crash);
+
+  simmpi::World w(machine(), seed, plan);
+  const int p = w.size();
+  std::vector<std::optional<SyncResult>> results(static_cast<std::size_t>(p));
+  sim::Time sync_end = 0.0;
+  w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+    auto sync = make_sync(label);
+    SyncResult res = co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    sync_end = std::max(sync_end, ctx.sim().now());
+    results[static_cast<std::size_t>(ctx.rank())] = std::move(res);
+  });
+
+  ChaosPoint pt;
+  int ref = -1;
+  for (int r = 0; r < p; ++r) {
+    const auto& res = results[static_cast<std::size_t>(r)];
+    if (!res) continue;
+    ++pt.synced;
+    if (r == victim) pt.victim_synced = true;
+    switch (res->report.health) {
+      case SyncHealth::kOk:
+        ++pt.ok;
+        if (ref < 0) ref = r;
+        break;
+      case SyncHealth::kDegraded: ++pt.degraded; break;
+      case SyncHealth::kFailed: ++pt.failed; break;
+    }
+  }
+  if (ref >= 0) {
+    const double t10 = sync_end + 10.0;
+    const double ref_val = results[static_cast<std::size_t>(ref)]->clock->at_exact(t10);
+    for (int r = 0; r < p; ++r) {
+      const auto& res = results[static_cast<std::size_t>(r)];
+      if (!res || res->report.health != SyncHealth::kOk) continue;
+      pt.err_t10 = std::max(pt.err_t10, std::abs(res->clock->at_exact(t10) - ref_val));
+    }
+  }
+  return pt;
+}
+
+struct Cell {
+  const char* label;
+  VictimRole role;
+  double crash_at;
+};
+
+class CrashSoak : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrashSoak, TerminatesAndClassifiesUnderEveryCrash) {
+  const std::string label = GetParam();
+  const int p = 8;
+  for (const VictimRole& role : kRoles) {
+    for (const double at : kCrashTimes) {
+      // gtest assertions are not thread-safe; the parallel sweep only
+      // collects and every check happens here on the main thread.
+      runner::TrialRunner pool(0);
+      const std::vector<ChaosPoint> points =
+          pool.map(kSeeds, kBaseSeed,
+                   [&](const runner::Trial& t) { return run_one(label, role.rank, at, t.seed); });
+
+      int worst_ok = p, worst_synced = p;
+      double worst_err = 0.0;
+      for (const ChaosPoint& pt : points) {
+        const std::string where = label + " victim=" + role.name +
+                                  " at=" + std::to_string(at);
+        // Survivors always classify and account for every rank.
+        EXPECT_EQ(pt.ok + pt.degraded + pt.failed, pt.synced) << where;
+        EXPECT_GE(pt.synced, p - 1) << where << ": a survivor failed to terminate";
+        EXPECT_LT(pt.err_t10, kOkAccuracyBound)
+            << where << ": a rank classified kOk does not own an accurate clock";
+        if (at == 0.0) {
+          EXPECT_FALSE(pt.victim_synced) << where << ": pre-sync victim reported a result";
+          EXPECT_EQ(pt.synced, p - 1) << where;
+        }
+        if (at == 1.0) {
+          // The crash lands after the last transport op: nothing happens.
+          EXPECT_EQ(pt.synced, p) << where;
+          EXPECT_EQ(pt.ok, p) << where << ": unfired crash plan degraded a rank";
+        }
+        worst_ok = std::min(worst_ok, pt.ok);
+        worst_synced = std::min(worst_synced, pt.synced);
+        worst_err = std::max(worst_err, pt.err_t10);
+      }
+      // A leaf death touches at most the victim and its burst partner; the
+      // quorum must stay healthy.
+      if (at == 0.0 && std::string(role.name) == "leaf") {
+        EXPECT_GE(worst_ok, p - 2) << label << ": leaf crash degraded the healthy quorum";
+      }
+      std::cout << "[chaos] " << label << " victim=" << role.name << " at=" << at
+                << ": worst ok=" << worst_ok << " synced=" << worst_synced
+                << " err_t10=" << worst_err * 1e6 << "us over " << kSeeds << " seeds\n";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CrashSoak, ::testing::ValuesIn(kLabels),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           std::replace_if(
+                               name.begin(), name.end(),
+                               [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); },
+                               '_');
+                           return name;
+                         });
+
+// Self-healing promotes a replacement reference: when the global reference
+// dies before sync, the healing algorithms (hca3 and the hierarchical
+// composition) must still deliver a working clock to the surviving quorum —
+// re-synced ranks report kDegraded (they hold a consistent quorum clock,
+// acquired on the second attempt), never a silent identity fallback.
+TEST(CrashHealing, GlobalRefDeathPromotesReplacement) {
+  for (const char* label : {"hca3/1000/skampi_offset/10",
+                            "top/hca3/1000/skampi_offset/10/bottom/hca3/1000/skampi_offset/10"}) {
+    runner::TrialRunner pool(0);
+    const std::vector<ChaosPoint> points = pool.map(
+        kSeeds, kBaseSeed, [&](const runner::Trial& t) { return run_one(label, 0, 0.0, t.seed); });
+    for (const ChaosPoint& pt : points) {
+      EXPECT_EQ(pt.synced, 7) << label;
+      EXPECT_EQ(pt.failed, 0) << label << ": healing left a survivor without a model";
+      EXPECT_LT(pt.err_t10, kOkAccuracyBound) << label;
+    }
+  }
+}
+
+// A crash scheduled far beyond the run is the "zero-crash plan": the
+// failure detector is armed but never fires, and the synchronized models
+// must be bit-identical to the fault-free world (same seeds, same worlds).
+TEST(CrashHealing, UnfiredCrashPlanIsBitIdenticalToFaultFree) {
+  const std::string label = "hca3/1000/skampi_offset/10";
+  for (std::uint64_t seed : {kBaseSeed, kBaseSeed + 1}) {
+    const auto run = [&](bool with_plan) {
+      fault::FaultPlan plan;
+      if (with_plan) {
+        fault::FaultSpec crash;
+        crash.kind = fault::FaultKind::kCrash;
+        crash.rank = 3;
+        crash.at = 1e6;  // far beyond any transport op
+        plan.add(crash);
+      }
+      simmpi::World w(machine(), seed, plan);
+      std::vector<SyncResult> results(static_cast<std::size_t>(w.size()));
+      w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+        auto sync = make_sync(label);
+        results[static_cast<std::size_t>(ctx.rank())] =
+            co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+      });
+      return results;
+    };
+    const std::vector<SyncResult> base = run(false);
+    const std::vector<SyncResult> armed = run(true);
+    ASSERT_EQ(base.size(), armed.size());
+    for (std::size_t r = 0; r < base.size(); ++r) {
+      EXPECT_EQ(base[r].report.health, armed[r].report.health) << "rank " << r;
+      const double probe = 100.0;
+      EXPECT_EQ(base[r].clock->at_exact(probe), armed[r].clock->at_exact(probe))
+          << "rank " << r << ": armed-but-unfired crash plan changed the model";
+    }
+  }
+}
+
+// Crash runs must be byte-identical for any job count: the detector and
+// the drop rule are pure functions of the per-World plan, so fanning the
+// sweep across threads may not change a single classification or model.
+TEST(CrashHealing, CrashSweepIsJobsDeterministic) {
+  const auto metric = [](std::uint64_t seed) {
+    const ChaosPoint pt = run_one("hca3/1000/skampi_offset/10", 2, 0.003, seed);
+    return static_cast<double>(pt.ok) + 10.0 * pt.degraded + 100.0 * pt.failed + pt.err_t10;
+  };
+  const std::vector<double> serial = teststats::seed_sweep(12, kBaseSeed, 1, metric);
+  const std::vector<double> two = teststats::seed_sweep(12, kBaseSeed, 2, metric);
+  const std::vector<double> eight = teststats::seed_sweep(12, kBaseSeed, 8, metric);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+}  // namespace
+}  // namespace hcs::clocksync

@@ -1,0 +1,150 @@
+// Fault-interaction robustness: the sync layer must degrade, not hang or
+// crash, when independent fault mechanisms compose.
+//
+// Two interactions with history of breaking retry machinery:
+//   - Retransmit exhaustion: at drop rates high enough that whole exchanges
+//     lose all kMaxPingAttempts attempts, bursts report lost exchanges and
+//     fits run on fewer points; past ~80% the fit can starve entirely.  The
+//     contract is graceful: every rank still terminates with a classified
+//     report, never an exception or a hang.
+//   - Pause x straggler on the same rank: a paused rank stops making
+//     progress while the straggler factor stretches every delay to/from it,
+//     so its partners' timeouts and the pause-window translation interact.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clocksync/factory.hpp"
+#include "fault/fault_plan.hpp"
+#include "simmpi/world.hpp"
+#include "support/stats.hpp"
+#include "topology/presets.hpp"
+
+namespace hcs::clocksync {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 4000;
+
+struct RunSummary {
+  int synced = 0;
+  int clean = 0;           // ranks whose report is clean (kOk, nothing lost)
+  int failed = 0;
+  std::uint64_t lost = 0;  // total exchanges lost across ranks
+  std::uint64_t retries = 0;
+};
+
+RunSummary run_plan(const std::string& label, const fault::FaultPlan& plan, std::uint64_t seed) {
+  simmpi::World w(topology::testbox(4, 2), seed, plan);
+  std::vector<std::optional<SyncResult>> results(static_cast<std::size_t>(w.size()));
+  w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+    auto sync = make_sync(label);
+    results[static_cast<std::size_t>(ctx.rank())] =
+        co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+  });
+  RunSummary s;
+  for (const auto& res : results) {
+    if (!res) continue;
+    ++s.synced;
+    if (res->report.clean()) ++s.clean;
+    if (res->report.health == SyncHealth::kFailed) ++s.failed;
+    s.lost += res->report.exchanges_lost;
+    s.retries += res->report.retries;
+  }
+  return s;
+}
+
+// Every exchange gets 3 attempts; at p=0.5 an exchange dies with
+// probability 0.125, at p=0.9 with 0.729 — deep into exhaustion.  Each
+// step up must terminate, keep every rank classified, and lose more.
+TEST(RetransmitExhaustion, DegradesGracefullyAsDropsSaturate) {
+  const std::string label = "hca3/100/skampi_offset/10";
+  std::uint64_t previous_lost = 0;
+  for (const double p : {0.2, 0.5, 0.9}) {
+    fault::FaultSpec drop;
+    drop.kind = fault::FaultKind::kDrop;
+    drop.p = p;
+    fault::FaultPlan plan;
+    plan.add(drop);
+    const RunSummary s = run_plan(label, plan, kBaseSeed);
+    EXPECT_EQ(s.synced, 8) << "drop p=" << p << ": a rank failed to terminate";
+    EXPECT_GT(s.retries, 0u) << "drop p=" << p;
+    EXPECT_GE(s.lost, previous_lost) << "drop p=" << p;
+    previous_lost = s.lost;
+  }
+}
+
+// At 90% drop most fit points are invalid; ranks must classify themselves
+// as degraded/failed rather than pretending the sync was clean.
+TEST(RetransmitExhaustion, SaturatedDropsAreNeverReportedClean) {
+  fault::FaultSpec drop;
+  drop.kind = fault::FaultKind::kDrop;
+  drop.p = 0.9;
+  fault::FaultPlan plan;
+  plan.add(drop);
+  int nonclean_runs = 0;
+  for (std::uint64_t seed = kBaseSeed; seed < kBaseSeed + 5; ++seed) {
+    const RunSummary s = run_plan("hca3/100/skampi_offset/10", plan, seed);
+    EXPECT_EQ(s.synced, 8);
+    if (s.clean < 8) ++nonclean_runs;
+  }
+  EXPECT_EQ(nonclean_runs, 5) << "90% drop reported an all-clean sync";
+}
+
+// Pause and straggler on the same rank: the pause window is translated by
+// the straggler's delay scaling at both endpoints, so partner timeouts see
+// the worst of both.  Every combination must terminate with all 8 ranks
+// reporting, and the interaction run must not beat the fault-free run's
+// cleanliness.
+TEST(PauseStragglerInteraction, ComposedFaultsTerminateEverywhere) {
+  const std::string label = "hca3/100/skampi_offset/10";
+  for (const double factor : {4.0, 16.0}) {
+    for (const double pause_at : {0.0005, 0.002}) {
+      fault::FaultSpec pause;
+      pause.kind = fault::FaultKind::kPause;
+      pause.rank = 5;
+      pause.at = pause_at;
+      pause.duration = 0.005;
+      fault::FaultSpec straggle;
+      straggle.kind = fault::FaultKind::kStraggler;
+      straggle.rank = 5;
+      straggle.factor = factor;
+      fault::FaultPlan plan;
+      plan.add(pause);
+      plan.add(straggle);
+      const RunSummary s = run_plan(label, plan, kBaseSeed);
+      EXPECT_EQ(s.synced, 8) << "factor=" << factor << " pause_at=" << pause_at
+                             << ": a rank failed to terminate";
+      EXPECT_EQ(s.failed, 0) << "factor=" << factor << " pause_at=" << pause_at
+                             << ": a live, slow rank must degrade, not fail";
+    }
+  }
+}
+
+// The same composed plan must stay deterministic across job counts: the
+// chaos sweep's per-trial worlds may not leak state through the pool.
+TEST(PauseStragglerInteraction, ComposedPlanIsJobsDeterministic) {
+  fault::FaultSpec pause;
+  pause.kind = fault::FaultKind::kPause;
+  pause.rank = 5;
+  pause.at = 0.001;
+  pause.duration = 0.005;
+  fault::FaultSpec straggle;
+  straggle.kind = fault::FaultKind::kStraggler;
+  straggle.rank = 5;
+  straggle.factor = 8.0;
+  fault::FaultPlan plan;
+  plan.add(pause);
+  plan.add(straggle);
+  const auto metric = [&](std::uint64_t seed) {
+    const RunSummary s = run_plan("hca3/100/skampi_offset/10", plan, seed);
+    return static_cast<double>(s.lost) + 1e3 * static_cast<double>(s.clean);
+  };
+  const std::vector<double> serial = teststats::seed_sweep(8, kBaseSeed, 1, metric);
+  const std::vector<double> parallel = teststats::seed_sweep(8, kBaseSeed, 8, metric);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace hcs::clocksync
