@@ -1,0 +1,178 @@
+#include "lint/analyzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "lint/rules.hpp"
+
+namespace hcs::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;  // line -> rules allowed there
+  std::set<std::string> whole_file;
+  std::vector<Finding> bad_annotations;  // unknown rule names in suppressions
+};
+
+// Parses "allow(rule-a, rule-b)" bodies out of hcs-lint comments.
+std::vector<std::string> parse_rule_list(const std::string& text, std::size_t open) {
+  std::vector<std::string> rules;
+  const std::size_t close = text.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string cur;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = text[i];
+    if (c == ',' || c == ')') {
+      if (!cur.empty()) rules.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur.push_back(c);
+    }
+  }
+  return rules;
+}
+
+Suppressions collect_suppressions(const LexedFile& file, const std::string& rel_path) {
+  Suppressions sup;
+  for (const Comment& c : file.comments) {
+    const std::size_t marker = c.text.find("hcs-lint:");
+    if (marker == std::string::npos) continue;
+    const std::string body = c.text.substr(marker + 9);
+    struct Form {
+      const char* name;
+      int line_offset;  // -1 = whole file
+    };
+    static constexpr Form kForms[] = {
+        {"allow-next-line(", 1}, {"allow-file(", -1}, {"allow(", 0}};
+    bool matched = false;
+    for (const Form& form : kForms) {
+      const std::size_t at = body.find(form.name);
+      if (at == std::string::npos) continue;
+      matched = true;
+      const std::size_t open = at + std::string(form.name).size() - 1;
+      for (const std::string& rule : parse_rule_list(body, open)) {
+        if (!find_rule(rule)) {
+          sup.bad_annotations.push_back(
+              Finding{"bad-suppression", Severity::kError, rel_path, c.line, 1,
+                      "suppression names unknown rule '" + rule +
+                          "' — see tools/hcs_lint --list-rules"});
+          continue;
+        }
+        if (form.line_offset < 0) {
+          sup.whole_file.insert(rule);
+        } else {
+          sup.by_line[c.end_line + form.line_offset].insert(rule);
+        }
+      }
+      break;
+    }
+    if (!matched) {
+      sup.bad_annotations.push_back(
+          Finding{"bad-suppression", Severity::kError, rel_path, c.line, 1,
+                  "unrecognized hcs-lint comment — expected allow(...), "
+                  "allow-next-line(...) or allow-file(...)"});
+    }
+  }
+  return sup;
+}
+
+bool cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".cxx" ||
+         ext == ".hxx";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("hcs-lint: cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string relative_to(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  const fs::path chosen = (ec || rel.empty() || *rel.begin() == "..") ? p : rel;
+  return chosen.lexically_normal().generic_string();
+}
+
+bool is_fixture_path(const std::string& rel) {
+  return rel.find("tests/lint/fixtures") != std::string::npos;
+}
+
+std::vector<Finding> analyze_lexed(const LexedFile& file, const std::string& rel_path,
+                                   const AnalyzerOptions& options) {
+  std::vector<Finding> raw;
+  run_rules(file, rel_path, options.enabled_rules, raw);
+  const Suppressions sup = collect_suppressions(file, rel_path);
+  std::vector<Finding> kept;
+  for (Finding& f : raw) {
+    if (sup.whole_file.count(f.rule)) continue;
+    const auto it = sup.by_line.find(f.line);
+    if (it != sup.by_line.end() && it->second.count(f.rule)) continue;
+    kept.push_back(std::move(f));
+  }
+  for (const Finding& f : sup.bad_annotations) kept.push_back(f);
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace
+
+std::vector<Finding> analyze_source(const std::string& rel_path, const std::string& source,
+                                    const AnalyzerOptions& options) {
+  return analyze_lexed(lex(rel_path, source), rel_path, options);
+}
+
+AnalysisResult analyze_paths(const std::vector<std::string>& paths,
+                             const AnalyzerOptions& options) {
+  const fs::path root = options.root.empty() ? fs::current_path() : fs::path(options.root);
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    if (fs::is_directory(abs)) {
+      for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+        if (entry.is_regular_file() && cpp_source(entry.path())) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(abs)) {
+      files.push_back(abs);
+    } else {
+      throw std::runtime_error("hcs-lint: no such file or directory: " + abs.string());
+    }
+  }
+  std::sort(files.begin(), files.end());  // directory iteration order is not portable
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  AnalysisResult result;
+  for (const fs::path& f : files) {
+    const std::string rel = relative_to(f, root);
+    if (is_fixture_path(rel)) continue;
+    const LexedFile lexed = lex(rel, read_file(f));
+    std::vector<Finding> findings = analyze_lexed(lexed, rel, options);
+    result.lines.emplace(rel, lexed.lines);
+    result.findings.insert(result.findings.end(), std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+  }
+  std::sort(result.findings.begin(), result.findings.end());
+  return result;
+}
+
+std::vector<Finding> apply_baseline(const AnalysisResult& result, Baseline baseline) {
+  static const std::vector<std::string> kNone;
+  std::vector<Finding> fresh;
+  for (const Finding& f : result.findings) {
+    const auto it = result.lines.find(f.path);
+    if (!baseline.consume(f, it == result.lines.end() ? kNone : it->second)) {
+      fresh.push_back(f);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace hcs::lint

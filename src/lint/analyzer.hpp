@@ -1,0 +1,48 @@
+// hcs-lint driver: file discovery, suppression comments, baseline filtering.
+//
+// Suppression comment forms, each naming one or more rule ids (the examples
+// use real ids so this header lints clean against its own parser):
+//   hcs-lint: allow(wall-clock, raw-random)   — suppresses on the comment's line
+//   hcs-lint: allow-next-line(co-await-subexpr) — suppresses on the next line
+//   hcs-lint: allow-file(task-discard)          — suppresses in the whole file
+// A justification after the closing paren is encouraged and ignored by the
+// tool.  Unknown rule names in a suppression are themselves reported (a typo
+// would otherwise silently disable nothing).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/baseline.hpp"
+#include "lint/finding.hpp"
+
+namespace hcs::lint {
+
+struct AnalyzerOptions {
+  std::set<std::string> enabled_rules;  // empty = all
+  std::string root;                     // paths are reported relative to this
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  // sorted; suppressions already applied
+  // Raw source lines per relative path, for baseline keying/serialization.
+  std::map<std::string, std::vector<std::string>> lines;
+};
+
+// Lints one in-memory source (unit-testable without touching the
+// filesystem).  `rel_path` is the path used in findings and exemptions.
+std::vector<Finding> analyze_source(const std::string& rel_path, const std::string& source,
+                                    const AnalyzerOptions& options);
+
+// Lints every C++ file under `paths` (files or directories, resolved against
+// options.root when relative).  Paths under tests/lint/fixtures are skipped:
+// the bad fixtures fail by design.  Throws std::runtime_error on I/O errors.
+AnalysisResult analyze_paths(const std::vector<std::string>& paths,
+                             const AnalyzerOptions& options);
+
+// Drops baselined findings (consuming credits) and returns the remainder.
+std::vector<Finding> apply_baseline(const AnalysisResult& result, Baseline baseline);
+
+}  // namespace hcs::lint

@@ -1,0 +1,44 @@
+// Committed-baseline support: known findings recorded in a file so the tool
+// lands clean on an existing tree and only *new* findings fail the build.
+//
+// Entries are line-number-free: a finding is keyed by (rule, path, normalized
+// source-line text) with a count, so unrelated edits that shift line numbers
+// do not churn the baseline.  Fix the finding (or move the line) and the
+// entry goes stale; `hcs_lint --write-baseline` regenerates the file sorted.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "lint/lexer.hpp"
+
+namespace hcs::lint {
+
+class Baseline {
+ public:
+  // Parses baseline text (one tab-separated entry per line: count, rule,
+  // path, normalized line).  Lines starting with '#' and blank lines are
+  // ignored.  Returns false on malformed input (error set to a description).
+  bool parse(const std::string& text, std::string* error);
+
+  // The stable key for a finding: its source line with whitespace collapsed.
+  static std::string normalize_line(const std::string& line);
+  static std::string key(const Finding& f, const std::vector<std::string>& file_lines);
+
+  // Consumes one baseline credit for the finding if available.  Call once
+  // per finding; returns true when the finding is baselined (suppressed).
+  bool consume(const Finding& f, const std::vector<std::string>& file_lines);
+
+  // Serializes findings as baseline text (sorted, deduplicated with counts).
+  static std::string serialize(const std::vector<Finding>& findings,
+                               const std::map<std::string, std::vector<std::string>>& lines);
+
+  bool empty() const { return credits_.empty(); }
+
+ private:
+  std::map<std::string, int> credits_;
+};
+
+}  // namespace hcs::lint

@@ -1,0 +1,33 @@
+// A single hcs-lint diagnostic.
+#pragma once
+
+#include <string>
+#include <tuple>
+
+namespace hcs::lint {
+
+enum class Severity { kWarning, kError };
+
+inline const char* to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.col, a.rule, a.message) <
+           std::tie(b.path, b.line, b.col, b.rule, b.message);
+  }
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.col, a.rule, a.message) ==
+           std::tie(b.path, b.line, b.col, b.rule, b.message);
+  }
+};
+
+}  // namespace hcs::lint

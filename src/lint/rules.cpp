@@ -1,0 +1,808 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <sstream>
+
+namespace hcs::lint {
+namespace {
+
+using Toks = std::vector<Token>;
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+bool is(const Token& t, const char* text) { return t.text == text; }
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_ident(const Token& t, const char* text) { return is_ident(t) && t.text == text; }
+
+bool opens(const Token& t) { return is(t, "(") || is(t, "[") || is(t, "{"); }
+bool closes(const Token& t) { return is(t, ")") || is(t, "]") || is(t, "}"); }
+
+bool is_assign_op(const Token& t) {
+  return t.kind == TokKind::kPunct &&
+         (t.text == "=" || t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+          t.text == "/=" || t.text == "%=" || t.text == "&=" || t.text == "|=" ||
+          t.text == "^=" || t.text == "<<=" || t.text == ">>=");
+}
+
+bool is_exit_kw(const Token& t) {
+  return is_ident(t, "return") || is_ident(t, "co_return") || is_ident(t, "break") ||
+         is_ident(t, "continue") || is_ident(t, "throw");
+}
+
+// Matching close bracket for the open bracket at `i`; n (= one past the last
+// token) when unbalanced.
+std::size_t match_forward(const Toks& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (opens(t[k])) ++depth;
+    if (closes(t[k]) && --depth == 0) return k;
+  }
+  return t.size();
+}
+
+std::size_t match_backward(const Toks& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t k = i + 1; k-- > 0;) {
+    if (closes(t[k])) ++depth;
+    if (opens(t[k]) && --depth == 0) return k;
+  }
+  return 0;
+}
+
+// One past the end of the statement starting at `b`.  Handles compound
+// statements and control-flow headers so a rule can treat "the then branch"
+// as one span whether or not it is braced.
+std::size_t stmt_end(const Toks& t, std::size_t b) {
+  if (b >= t.size()) return t.size();
+  if (is(t[b], "{")) return std::min(match_forward(t, b) + 1, t.size());
+  if (is_ident(t[b], "if") || is_ident(t[b], "for") || is_ident(t[b], "while") ||
+      is_ident(t[b], "switch")) {
+    std::size_t p = b + 1;
+    if (p < t.size() && is_ident(t[p], "constexpr")) ++p;  // if constexpr
+    if (p >= t.size() || !is(t[p], "(")) return b + 1;
+    std::size_t body = std::min(match_forward(t, p) + 1, t.size());
+    std::size_t e = stmt_end(t, body);
+    if (is_ident(t[b], "if") && e < t.size() && is_ident(t[e], "else")) {
+      return stmt_end(t, e + 1);
+    }
+    return e;
+  }
+  if (is_ident(t[b], "do")) {
+    std::size_t e = stmt_end(t, b + 1);  // body
+    while (e < t.size() && !is(t[e], ";")) ++e;
+    return std::min(e + 1, t.size());
+  }
+  int depth = 0;
+  for (std::size_t k = b; k < t.size(); ++k) {
+    if (opens(t[k])) ++depth;
+    if (closes(t[k])) {
+      if (depth == 0) return k;  // ran out of the enclosing block
+      --depth;
+    }
+    if (depth == 0 && is(t[k], ";")) return k + 1;
+  }
+  return t.size();
+}
+
+// ---------------------------------------------------------------------------
+// Call-site classification
+// ---------------------------------------------------------------------------
+
+enum class CallKind { kNone, kMethod, kFree };
+
+// Classifies the identifier at `i` (which must be followed by "(") as a
+// method call, a free/qualified call, or not a call (declarations and
+// definitions: the name is preceded by a type).
+CallKind call_kind(const Toks& t, std::size_t i) {
+  if (i + 1 >= t.size() || !is(t[i + 1], "(")) return CallKind::kNone;
+  if (i == 0) return CallKind::kNone;
+  const Token& prev = t[i - 1];
+  if (is(prev, ".") || is(prev, "->")) return CallKind::kMethod;
+  std::size_t head = i;
+  if (is(prev, "::")) {  // walk back over the qualifier chain
+    std::size_t k = i;
+    while (k >= 2 && is(t[k - 1], "::") && is_ident(t[k - 2])) k -= 2;
+    if (k >= 1 && is(t[k - 1], "::")) --k;  // leading ::name
+    head = k;
+  }
+  if (head == 0) return CallKind::kNone;
+  const Token& before = t[head - 1];
+  // A type name, template close, attribute close or `~` in front means this
+  // is a declaration, definition or destructor, not a call.
+  if (is_ident(before)) {
+    if (is_exit_kw(before) || is_ident(before, "co_await") || is_ident(before, "co_yield") ||
+        is_ident(before, "case") || is_ident(before, "else") || is_ident(before, "do")) {
+      return CallKind::kFree;
+    }
+    return CallKind::kNone;
+  }
+  if (is(before, ">") || is(before, ">>") || is(before, "]") || is(before, "~") ||
+      is(before, "*") || is(before, "&")) {
+    return CallKind::kNone;
+  }
+  return CallKind::kFree;
+}
+
+// ---------------------------------------------------------------------------
+// Function extents and coroutine discovery
+// ---------------------------------------------------------------------------
+
+struct FuncExtent {
+  std::size_t open = 0;   // index of the body "{"
+  std::size_t close = 0;  // index of the matching "}"
+  bool lambda = false;
+  bool coroutine = false;  // contains co_await/co_return/co_yield directly
+};
+
+bool benign_decl_token(const Token& t) {
+  if (is_ident(t)) return true;  // specifiers, trailing-return type names
+  return t.text == "::" || t.text == "<" || t.text == ">" || t.text == "&" || t.text == "*" ||
+         t.text == "->" || t.text == "...";
+}
+
+// Finds every function (and lambda) body.  Heuristic: a "{" qualifies when
+// walking back over declaration-ish tokens reaches a ")" whose matching "("
+// is not a control-flow header.  Constructors with init lists degrade
+// gracefully (the body is still found via the last init-list ")").
+std::vector<FuncExtent> function_extents(const Toks& t) {
+  std::vector<FuncExtent> out;
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    if (!is(t[j], "{")) continue;
+    std::size_t k = j;
+    bool found_paren = false;
+    while (k-- > 0) {
+      if (is(t[k], ")")) {
+        found_paren = true;
+        break;
+      }
+      if (!benign_decl_token(t[k])) break;
+    }
+    if (!found_paren) continue;
+    const std::size_t open_paren = match_backward(t, k);
+    if (open_paren == 0) continue;
+    const Token& callee = t[open_paren - 1];
+    if (is_ident(callee, "if") || is_ident(callee, "for") || is_ident(callee, "while") ||
+        is_ident(callee, "switch") || is_ident(callee, "catch")) {
+      continue;
+    }
+    FuncExtent fe;
+    fe.open = j;
+    fe.close = match_forward(t, j);
+    fe.lambda = is(callee, "]");
+    if (fe.close >= t.size()) continue;
+    out.push_back(fe);
+  }
+  // Mark coroutines: each co_* keyword belongs to the innermost extent.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i], "co_await") && !is_ident(t[i], "co_return") &&
+        !is_ident(t[i], "co_yield")) {
+      continue;
+    }
+    FuncExtent* innermost = nullptr;
+    for (auto& fe : out) {
+      if (fe.open < i && i < fe.close &&
+          (!innermost || fe.close - fe.open < innermost->close - innermost->open)) {
+        innermost = &fe;
+      }
+    }
+    if (innermost) innermost->coroutine = true;
+  }
+  return out;
+}
+
+const FuncExtent* enclosing_function(const std::vector<FuncExtent>& fns, std::size_t i) {
+  const FuncExtent* best = nullptr;
+  for (const auto& fe : fns) {
+    if (fe.open < i && i < fe.close &&
+        (!best || fe.close - fe.open < best->close - best->open)) {
+      best = &fe;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-file context
+// ---------------------------------------------------------------------------
+
+struct FileCtx {
+  const LexedFile& file;
+  const std::string& rel_path;
+  const Toks& t;
+  std::vector<FuncExtent> fns;
+  std::set<std::string> rank_vars;  // identifiers holding rank-derived values
+
+  FileCtx(const LexedFile& f, const std::string& rp)
+      : file(f), rel_path(rp), t(f.tokens), fns(function_extents(f.tokens)) {
+    compute_rank_vars();
+  }
+
+  void add(std::vector<Finding>& out, const RuleInfo& rule, const Token& at,
+           std::string message, Severity severity) const {
+    out.push_back(Finding{rule.id, severity, rel_path, at.line, at.col, std::move(message)});
+  }
+
+ private:
+  // Data-flow-lite: a variable assigned from a top-level rank() call (or from
+  // an already-tainted variable at top level) is itself rank-derived.  Depth
+  // matters: `split(color, comm.rank())` does not taint the result — the rank
+  // is an argument there, not the value.
+  void compute_rank_vars() {
+    bool changed = true;
+    for (int pass = 0; pass < 5 && changed; ++pass) {
+      changed = false;
+      for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+        if (!is(t[i], "=") || !is_ident(t[i - 1])) continue;
+        const std::string& lhs = t[i - 1].text;
+        if (rank_vars.count(lhs)) continue;
+        int depth = 0;
+        for (std::size_t k = i + 1; k < t.size(); ++k) {
+          if (is(t[k], ";") && depth == 0) break;
+          if (opens(t[k])) {
+            ++depth;
+            continue;
+          }
+          if (closes(t[k])) {
+            if (depth == 0) break;
+            --depth;
+            continue;
+          }
+          if (depth != 0 || !is_ident(t[k])) continue;
+          const bool rank_call = (t[k].text == "rank" || t[k].text == "my_world_rank" ||
+                                  t[k].text == "my_index") &&
+                                 k + 1 < t.size() && is(t[k + 1], "(");
+          if (rank_call || rank_vars.count(t[k].text)) {
+            rank_vars.insert(lhs);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: coll-rank-branch (+ the shared collective-call table)
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& free_collectives() {
+  static const std::set<std::string> k = {"barrier",   "bcast",    "reduce",
+                                          "allreduce", "gather",   "scatter",
+                                          "allgather", "alltoall", "reduce_scatter",
+                                          "scan"};
+  return k;
+}
+
+const std::set<std::string>& method_collectives() {
+  static const std::set<std::string> k = {"split", "split_shared_node", "split_shared_socket"};
+  return k;
+}
+
+bool is_collective_call(const Toks& t, std::size_t i) {
+  const CallKind kind = call_kind(t, i);
+  if (kind == CallKind::kMethod) return method_collectives().count(t[i].text) > 0;
+  if (kind == CallKind::kFree) return free_collectives().count(t[i].text) > 0;
+  return false;
+}
+
+std::vector<std::string> collectives_in(const Toks& t, std::size_t b, std::size_t e) {
+  std::vector<std::string> names;
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    if (is_ident(t[i]) && is_collective_call(t, i)) names.push_back(t[i].text);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// Early exits that skip the rest of the *function*.  break/continue only
+// skip the rest of a loop and throw fails the whole run loudly, so neither
+// causes the silent collective desync this rule protects against.
+bool has_function_exit(const Toks& t, std::size_t b, std::size_t e) {
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    if (is_ident(t[i], "return") || is_ident(t[i], "co_return")) return true;
+  }
+  return false;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  if (v.empty()) return "nothing";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : "") << v[i];
+  return os.str();
+}
+
+// True when the condition span [b, e) tests rank identity.  Identifiers that
+// only feed status-style calls (peer_status(other_rank), locate(rank), ...)
+// do not count: those are failure-detector checks, not rank branching.
+bool rank_dependent_cond(const FileCtx& ctx, std::size_t b, std::size_t e) {
+  static const std::set<std::string> kNeutralCallees = {"peer_status", "locate", "world_rank",
+                                                        "detect_time", "status", "at"};
+  const Toks& t = ctx.t;
+  std::vector<bool> neutral_stack;
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    if (is(t[i], "(")) {
+      const bool neutral = i > b && is_ident(t[i - 1]) && kNeutralCallees.count(t[i - 1].text);
+      neutral_stack.push_back(neutral);
+      continue;
+    }
+    if (is(t[i], ")")) {
+      if (!neutral_stack.empty()) neutral_stack.pop_back();
+      continue;
+    }
+    if (!is_ident(t[i])) continue;
+    const bool in_neutral =
+        std::any_of(neutral_stack.begin(), neutral_stack.end(), [](bool n) { return n; });
+    if (in_neutral) continue;
+    if (kNeutralCallees.count(t[i].text)) continue;  // the callee name itself
+    const std::string low = lower(t[i].text);
+    if (low.find("rank") != std::string::npos || low == "root" || low == "leader" ||
+        low == "is_leader" || ctx.rank_vars.count(t[i].text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_coll_rank_branch(const FileCtx& ctx, const RuleInfo& rule,
+                           std::vector<Finding>& out) {
+  const Toks& t = ctx.t;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "if") || !is(t[i + 1], "(")) continue;
+    if (i > 0 && is_ident(t[i - 1], "else")) {
+      // An else-if arm was already analyzed as part of the outer if.
+    }
+    const std::size_t cond_close = match_forward(t, i + 1);
+    if (cond_close >= t.size()) continue;
+    if (!rank_dependent_cond(ctx, i + 2, cond_close)) continue;
+
+    const std::size_t then_b = cond_close + 1;
+    const std::size_t then_e = stmt_end(t, then_b);
+    std::size_t else_b = then_e, else_e = then_e;
+    if (then_e < t.size() && is_ident(t[then_e], "else")) {
+      else_b = then_e + 1;
+      else_e = stmt_end(t, else_b);
+    }
+    const std::vector<std::string> in_then = collectives_in(t, then_b, then_e);
+    const std::vector<std::string> in_else = collectives_in(t, else_b, else_e);
+    if (in_then != in_else) {
+      ctx.add(out, rule, t[i],
+              "collective calls diverge across a rank-dependent branch: then-branch calls " +
+                  join(in_then) + ", else-branch calls " + join(in_else) +
+                  " — every rank must reach the same collective sequence",
+              rule.severity);
+      continue;
+    }
+    // Matched branches (usually both empty): an early exit on one side still
+    // desynchronizes every collective that follows in this function.
+    const bool exit_then = has_function_exit(t, then_b, then_e);
+    const bool exit_else = else_b != else_e && has_function_exit(t, else_b, else_e);
+    if (exit_then == exit_else) continue;
+    const FuncExtent* fn = enclosing_function(ctx.fns, i);
+    const std::size_t scan_to = fn ? fn->close : t.size();
+    const std::vector<std::string> after = collectives_in(t, std::max(then_e, else_e), scan_to);
+    if (!after.empty()) {
+      ctx.add(out, rule, t[i],
+              "rank-dependent early exit skips later collective(s) " + join(after) +
+                  " for some ranks — hoist the exit below the collective or make it uniform",
+              rule.severity);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: ft-plain-recv
+// ---------------------------------------------------------------------------
+
+void rule_ft_plain_recv(const FileCtx& ctx, const RuleInfo& rule, std::vector<Finding>& out) {
+  const Toks& t = ctx.t;
+  bool uses_ft = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_ident(t[i]) && (t[i].text == "recv_ft" || t[i].text == "peer_status") &&
+        call_kind(t, i) == CallKind::kMethod) {
+      uses_ft = true;
+      break;
+    }
+  }
+  if (!uses_ft) return;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_ident(t[i], "recv") && call_kind(t, i) == CallKind::kMethod) {
+      ctx.add(out, rule, t[i],
+              "plain recv() in a file using the failure-detector path (recv_ft/peer_status): "
+              "recv blocks forever if the peer has crashed — use recv_ft",
+              rule.severity);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock
+// ---------------------------------------------------------------------------
+
+void rule_wall_clock(const FileCtx& ctx, const RuleInfo& rule, std::vector<Finding>& out) {
+  const Toks& t = ctx.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i])) continue;
+    const std::string& s = t[i].text;
+    const bool chrono_clock =
+        s == "system_clock" || s == "steady_clock" || s == "high_resolution_clock";
+    const bool c_api = (s == "gettimeofday" || s == "clock_gettime") &&
+                       call_kind(t, i) == CallKind::kFree;
+    if (chrono_clock || c_api) {
+      ctx.add(out, rule, t[i],
+              "wall-clock time source '" + s +
+                  "' breaks byte-identical reproducibility — simulated code must use "
+                  "sim::Simulation time; host-side timing belongs in src/runner/",
+              rule.severity);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-random
+// ---------------------------------------------------------------------------
+
+void rule_raw_random(const FileCtx& ctx, const RuleInfo& rule, std::vector<Finding>& out) {
+  static const std::set<std::string> kEngines = {
+      "mt19937",  "mt19937_64", "minstd_rand",           "minstd_rand0",
+      "ranlux24", "ranlux48",   "default_random_engine", "knuth_b"};
+  const Toks& t = ctx.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i])) continue;
+    const std::string& s = t[i].text;
+    if (s == "random_device") {
+      ctx.add(out, rule, t[i],
+              "std::random_device is nondeterministic by construction — derive streams from "
+              "the run seed (sim::Rng / World RNG streams)",
+              rule.severity);
+      continue;
+    }
+    if ((s == "rand" || s == "srand") && call_kind(t, i) == CallKind::kFree) {
+      ctx.add(out, rule, t[i],
+              s + "() uses hidden global state and is not seedable per trial — use sim::Rng",
+              rule.severity);
+      continue;
+    }
+    if (kEngines.count(s) && i + 1 < t.size() && is_ident(t[i + 1]) &&
+        t[i + 1].text.back() != '_') {  // trailing _ = member, seeded in the ctor
+      const std::size_t after = i + 2;
+      const bool unseeded =
+          after < t.size() &&
+          (is(t[after], ";") ||
+           (is(t[after], "{") && after + 1 < t.size() && is(t[after + 1], "}")));
+      if (unseeded) {
+        ctx.add(out, rule, t[i],
+                "default-constructed random engine '" + t[i + 1].text +
+                    "' has an implementation-defined seed — seed it explicitly from the "
+                    "run seed",
+                rule.severity);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iter
+// ---------------------------------------------------------------------------
+
+void rule_unordered_iter(const FileCtx& ctx, const RuleInfo& rule, std::vector<Finding>& out) {
+  const Toks& t = ctx.t;
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i]) || t[i].text.rfind("unordered_", 0) != 0) continue;
+    std::size_t k = i + 1;
+    if (is(t[k], "<")) {  // skip the template argument list
+      int depth = 0;
+      for (; k < t.size(); ++k) {
+        if (is(t[k], "<")) ++depth;
+        if (is(t[k], ">") && --depth == 0) {
+          ++k;
+          break;
+        }
+        if (is(t[k], ">>") && (depth -= 2) <= 0) {
+          ++k;
+          break;
+        }
+      }
+    }
+    while (k < t.size() && (is(t[k], "&") || is(t[k], "&&") || is(t[k], "*"))) ++k;
+    if (k < t.size() && is_ident(t[k]) && t[k].text != "const") {
+      unordered_vars.insert(t[k].text);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "for") || !is(t[i + 1], "(")) continue;
+    const std::size_t close = match_forward(t, i + 1);
+    if (close >= t.size()) continue;
+    // Range-for: a ":" at paren depth 1 with no top-level ";".
+    std::size_t colon = 0;
+    int depth = 0;
+    bool classic = false;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (opens(t[k])) ++depth;
+      if (closes(t[k])) --depth;
+      if (depth == 1 && is(t[k], ";")) classic = true;
+      if (depth == 1 && is(t[k], ":") && colon == 0) colon = k;
+    }
+    if (classic || colon == 0) continue;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (is_ident(t[k]) &&
+          (unordered_vars.count(t[k].text) || t[k].text.rfind("unordered_", 0) == 0)) {
+        ctx.add(out, rule, t[i],
+                "iteration over std::unordered_* ('" + t[k].text +
+                    "') has unspecified order — anything it feeds (exporters, logs, metrics) "
+                    "loses byte-identical output; use std::map/std::set or sort first",
+                rule.severity);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: co-await-subexpr
+// ---------------------------------------------------------------------------
+
+// Scans the operand containing the co_await at `i` for ?:, && or || at the
+// co_await's own nesting level.  GCC 12 miscompiles such expressions (frame
+// double-free; see the PR-4 Comm::split fix), and evaluation-order subtleties
+// make them hazardous even on correct compilers.
+bool subexpr_hazard(const Toks& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t k = i; k-- > 0;) {  // backward over the operand
+    const Token& tok = t[k];
+    if (closes(tok)) {
+      ++depth;
+      continue;
+    }
+    if (opens(tok)) {
+      if (depth == 0) break;
+      --depth;
+      continue;
+    }
+    if (depth != 0) continue;
+    if (is(tok, ";") || is(tok, "{") || is(tok, "}") || is(tok, ",") || is_assign_op(tok) ||
+        is_exit_kw(tok) || is_ident(tok, "co_yield") || is_ident(tok, "co_await")) {
+      break;
+    }
+    if (is(tok, "?") || is(tok, "&&") || is(tok, "||")) return true;
+  }
+  depth = 0;
+  for (std::size_t k = i + 1; k < t.size(); ++k) {  // forward over the operand
+    const Token& tok = t[k];
+    if (opens(tok)) {
+      ++depth;
+      continue;
+    }
+    if (closes(tok)) {
+      if (depth == 0) break;
+      --depth;
+      continue;
+    }
+    if (depth != 0) continue;
+    if (is(tok, ";") || is(tok, ",") || is(tok, "{") || is(tok, "}")) break;
+    if (is(tok, "?") || is(tok, "&&") || is(tok, "||")) return true;
+  }
+  return false;
+}
+
+void rule_co_await_subexpr(const FileCtx& ctx, const RuleInfo& rule,
+                           std::vector<Finding>& out) {
+  const Toks& t = ctx.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_ident(t[i], "co_await") && subexpr_hazard(t, i)) {
+      ctx.add(out, rule, t[i],
+              "co_await inside a ?:/&&/|| subexpression — GCC 12 miscompiles these (coroutine "
+              "frame double-free, cf. the Comm::split fix); hoist it into its own statement",
+              rule.severity);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: coro-lambda-capture
+// ---------------------------------------------------------------------------
+
+bool lambda_start(const Toks& t, std::size_t i) {
+  if (!is(t[i], "[")) return false;
+  if (i + 1 < t.size() && is(t[i + 1], "[")) return false;  // [[attribute]]
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  if (is_ident(prev)) {
+    return is_exit_kw(prev) || is_ident(prev, "co_await") || is_ident(prev, "co_yield") ||
+           is_ident(prev, "case") || is_ident(prev, "else") || is_ident(prev, "do");
+  }
+  if (is(prev, ")") || is(prev, "]") || prev.kind == TokKind::kNumber ||
+      prev.kind == TokKind::kString) {
+    return false;  // subscript
+  }
+  return true;
+}
+
+void rule_coro_lambda_capture(const FileCtx& ctx, const RuleInfo& rule,
+                              std::vector<Finding>& out) {
+  const Toks& t = ctx.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!lambda_start(t, i)) continue;
+    const std::size_t cap_close = match_forward(t, i);
+    if (cap_close >= t.size()) continue;
+    bool any_capture = false, ref_capture = false;
+    for (std::size_t k = i + 1; k < cap_close; ++k) {
+      any_capture = true;
+      if (is(t[k], "&")) ref_capture = true;
+    }
+    // Find the body "{": skip template params, parameter list and specifiers.
+    std::size_t k = cap_close + 1;
+    if (k < t.size() && is(t[k], "<")) {
+      int depth = 0;
+      for (; k < t.size(); ++k) {
+        if (is(t[k], "<")) ++depth;
+        if (is(t[k], ">") && --depth == 0) {
+          ++k;
+          break;
+        }
+      }
+    }
+    if (k < t.size() && is(t[k], "(")) k = match_forward(t, k) + 1;
+    while (k < t.size() && !is(t[k], "{") && !is(t[k], ";") && !is(t[k], ")")) ++k;
+    if (k >= t.size() || !is(t[k], "{")) continue;
+    const std::size_t body_open = k;
+    const std::size_t body_close = match_forward(t, body_open);
+    if (body_close >= t.size()) continue;
+    bool is_coro = false;
+    for (std::size_t b = body_open + 1; b < body_close; ++b) {
+      if (is_ident(t[b], "co_await") || is_ident(t[b], "co_return") ||
+          is_ident(t[b], "co_yield")) {
+        is_coro = true;
+        break;
+      }
+    }
+    if (!is_coro) continue;
+    const bool invoked_now = body_close + 1 < t.size() && is(t[body_close + 1], "(");
+    if (invoked_now && any_capture) {
+      ctx.add(out, rule, t[i],
+              "immediately-invoked lambda coroutine with captures: the temporary lambda dies "
+              "at the end of this statement while the coroutine frame still points into it — "
+              "pass state as parameters or name the lambda with matching lifetime",
+              rule.severity);
+      continue;
+    }
+    const bool escapes = i > 0 && (is_ident(t[i - 1], "return") || is_ident(t[i - 1], "co_return"));
+    if (escapes && ref_capture) {
+      ctx.add(out, rule, t[i],
+              "returned lambda coroutine captures by reference: the captured locals die with "
+              "the enclosing scope before the coroutine runs — capture by value",
+              rule.severity);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: task-discard
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& task_returning() {
+  static const std::set<std::string> k = {
+      "send",          "recv",           "recv_ft",
+      "wait",          "pingpong_burst", "split",
+      "split_shared_node", "split_shared_socket",
+      "barrier",       "bcast",          "reduce",
+      "allreduce",     "gather",         "scatter",
+      "allgather",     "alltoall",       "reduce_scatter",
+      "scan",          "sync_clocks",    "measure_offset",
+      "agree_any",     "surviving_quorum", "p2p_recv",
+      "p2p_send",      "block_on_recv",  "await_recv_until",
+      "delay"};
+  return k;
+}
+
+void rule_task_discard(const FileCtx& ctx, const RuleInfo& rule, std::vector<Finding>& out) {
+  const Toks& t = ctx.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i]) || !task_returning().count(t[i].text)) continue;
+    if (call_kind(t, i) == CallKind::kNone) continue;
+    const std::size_t close = match_forward(t, i + 1);
+    if (close + 1 >= t.size() || !is(t[close + 1], ";")) continue;
+    // Statement scan: bail if the value is consumed (co_await, assignment,
+    // return, spawn) or if the call sits inside a larger expression.
+    bool consumed = false;
+    int depth = 0;
+    for (std::size_t k = i; k-- > 0;) {
+      const Token& tok = t[k];
+      if (closes(tok)) {
+        ++depth;
+        continue;
+      }
+      if (opens(tok)) {
+        if (depth == 0) {
+          // "{" starts the enclosing block (statement position); "(" or "["
+          // means the call is an argument of a larger expression.
+          consumed = !is(tok, "{");
+          break;
+        }
+        --depth;
+        continue;
+      }
+      if (depth != 0) continue;
+      if (is(tok, ";") || is(tok, "}") || is(tok, ":")) break;
+      if (is_ident(tok, "co_await") || is_assign_op(tok) || is_exit_kw(tok) ||
+          is_ident(tok, "co_yield") || is_ident(tok, "spawn") || is_ident(tok, "for") ||
+          is_ident(tok, "while") || is_ident(tok, "if")) {
+        consumed = true;
+        break;
+      }
+    }
+    if (consumed) continue;
+    ctx.add(out, rule, t[i],
+            "Task-returning call '" + t[i].text +
+                "' is never awaited or stored — the operation is destroyed before it runs; "
+                "co_await it (or hand it to Simulation::spawn)",
+            rule.severity);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rule table + dispatch
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kTable = {
+      {"coll-rank-branch", Severity::kError, "collective-matching",
+       "simmpi collective calls must match across rank-dependent branches", {}},
+      {"ft-plain-recv", Severity::kError, "collective-matching",
+       "plain recv() is forbidden in files using the failure-detector path", {}},
+      {"wall-clock", Severity::kError, "determinism",
+       "no wall-clock time sources outside the runner's timing shim", {"src/runner/"}},
+      {"raw-random", Severity::kError, "determinism",
+       "no rand()/random_device/unseeded engines — randomness derives from the run seed", {}},
+      {"unordered-iter", Severity::kError, "determinism",
+       "no iteration over unordered containers (unspecified order)", {}},
+      {"co-await-subexpr", Severity::kError, "coroutine-lifetime",
+       "no co_await inside ?:/&&/|| subexpressions (GCC 12 miscompile class)", {}},
+      {"coro-lambda-capture", Severity::kError, "coroutine-lifetime",
+       "lambda coroutines must not outlive their captures", {}},
+      {"task-discard", Severity::kError, "coroutine-lifetime",
+       "Task-returning calls must be co_awaited, stored or spawned", {}},
+  };
+  return kTable;
+}
+
+const RuleInfo* find_rule(const std::string& id) {
+  for (const auto& r : rule_table()) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+void run_rules(const LexedFile& file, const std::string& rel_path,
+               const std::set<std::string>& enabled, std::vector<Finding>& out) {
+  const FileCtx ctx(file, rel_path);
+  for (const auto& rule : rule_table()) {
+    if (!enabled.empty() && !enabled.count(rule.id)) continue;
+    const bool exempt = std::any_of(
+        rule.exempt_path_prefixes.begin(), rule.exempt_path_prefixes.end(),
+        [&](const std::string& p) { return rel_path.rfind(p, 0) == 0; });
+    if (exempt) continue;
+    if (rule.id == "coll-rank-branch") rule_coll_rank_branch(ctx, rule, out);
+    if (rule.id == "ft-plain-recv") rule_ft_plain_recv(ctx, rule, out);
+    if (rule.id == "wall-clock") rule_wall_clock(ctx, rule, out);
+    if (rule.id == "raw-random") rule_raw_random(ctx, rule, out);
+    if (rule.id == "unordered-iter") rule_unordered_iter(ctx, rule, out);
+    if (rule.id == "co-await-subexpr") rule_co_await_subexpr(ctx, rule, out);
+    if (rule.id == "coro-lambda-capture") rule_coro_lambda_capture(ctx, rule, out);
+    if (rule.id == "task-discard") rule_task_discard(ctx, rule, out);
+  }
+}
+
+}  // namespace hcs::lint

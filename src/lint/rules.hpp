@@ -1,0 +1,38 @@
+// The hcs-lint rule catalogue and rule engine.
+//
+// Rules are table-driven: rule_table() is the single source of truth for rule
+// ids, default severities, categories and per-rule path exemptions.  Every
+// rule is a token-stream check over a LexedFile (see docs/static-analysis.md
+// for the catalogue with rationale and examples).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "lint/lexer.hpp"
+
+namespace hcs::lint {
+
+struct RuleInfo {
+  std::string id;
+  Severity severity = Severity::kError;
+  std::string category;  // collective-matching | determinism | coroutine-lifetime
+  std::string summary;
+  // Repo-relative path prefixes (forward slashes) where the rule is off by
+  // design, e.g. the runner's wall-clock timing shim.
+  std::vector<std::string> exempt_path_prefixes;
+};
+
+const std::vector<RuleInfo>& rule_table();
+const RuleInfo* find_rule(const std::string& id);
+
+// Runs every rule whose id is in `enabled` (empty set = all rules) over
+// `file` and appends raw findings.  `rel_path` is the repo-relative path used
+// for exemption matching and reporting; suppression comments and baselines
+// are applied by the analyzer, not here.
+void run_rules(const LexedFile& file, const std::string& rel_path,
+               const std::set<std::string>& enabled, std::vector<Finding>& out);
+
+}  // namespace hcs::lint

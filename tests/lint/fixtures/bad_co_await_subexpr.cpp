@@ -1,0 +1,21 @@
+// Bad fixture for co-await-subexpr: the GCC 12 miscompile class — co_await
+// evaluated inside ?:, && or || (cf. the PR 4 Comm::split frame double-free).
+#include "simmpi/comm.hpp"
+
+namespace fixture {
+
+sim::Task<bool> ready(hcs::simmpi::Comm& comm);
+sim::Task<bool> drain(hcs::simmpi::Comm& comm);
+
+sim::Task<int> ternary(hcs::simmpi::Comm& comm, bool is_leaf) {
+  int v = is_leaf ? co_await comm.recv(0, 0) : 7;  // hcs-lint-expect: co-await-subexpr
+  co_return v;
+}
+
+sim::Task<bool> conjunction(hcs::simmpi::Comm& comm) {
+  bool ok = co_await ready(comm) &&  // hcs-lint-expect: co-await-subexpr
+            co_await drain(comm);    // hcs-lint-expect: co-await-subexpr
+  co_return ok;
+}
+
+}  // namespace fixture

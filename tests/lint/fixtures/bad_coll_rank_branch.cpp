@@ -1,0 +1,30 @@
+// Bad fixture for coll-rank-branch: collective calls that only some ranks
+// reach.  Not compiled — scanned by the lint tests.
+#include "simmpi/collectives.hpp"
+
+namespace fixture {
+
+sim::Task<void> diverging(hcs::simmpi::RankCtx& ctx) {
+  if (ctx.rank() == 0) {  // hcs-lint-expect: coll-rank-branch
+    co_await bcast(ctx.comm_world(), 1.0, 0);
+  }
+  co_return;
+}
+
+sim::Task<void> early_exit(hcs::simmpi::RankCtx& ctx) {
+  if (ctx.rank() > 3) {  // hcs-lint-expect: coll-rank-branch
+    co_return;
+  }
+  co_await barrier(ctx.comm_world());
+}
+
+sim::Task<void> tainted_variable(hcs::simmpi::RankCtx& ctx) {
+  const int me = ctx.rank();
+  const int color = me % 2;
+  if (color == 0) {  // hcs-lint-expect: coll-rank-branch
+    auto row = co_await ctx.comm_world().split(0, 0);
+  }
+  co_return;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Bad fixture for coro-lambda-capture: lambda coroutines outliving their
+// captures (CP.51).  The temporary closure dies at the semicolon; the frame
+// keeps pointing into it.
+#include "sim/simulation.hpp"
+
+namespace fixture {
+
+void use(int v);
+
+void detached_with_capture(hcs::sim::Simulation& s, int payload) {
+  s.spawn([&payload]() -> hcs::sim::Task<void> {  // hcs-lint-expect: coro-lambda-capture
+    co_await s.delay(1.0);
+    use(payload);
+  }());
+}
+
+auto returned_ref_capture(hcs::sim::Simulation& s) {
+  int local = 42;
+  return [&]() -> hcs::sim::Task<void> {  // hcs-lint-expect: coro-lambda-capture
+    co_await s.delay(1.0);
+    use(local);
+  };
+}
+
+}  // namespace fixture

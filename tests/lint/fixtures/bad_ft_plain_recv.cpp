@@ -1,0 +1,13 @@
+// Bad fixture for ft-plain-recv: a file on the failure-detector path (it
+// calls recv_ft) also uses plain recv, which hangs if the peer crashed.
+#include "simmpi/comm.hpp"
+
+namespace fixture {
+
+sim::Task<double> drain(hcs::simmpi::Comm& comm, int peer) {
+  auto guarded = co_await comm.recv_ft(peer, 0);
+  double v = co_await comm.recv(peer, 1);  // hcs-lint-expect: ft-plain-recv
+  co_return v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Bad fixture for raw-random: nondeterministic or unseedable randomness.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::random_device rd;  // hcs-lint-expect: raw-random
+  (void)rd;
+  std::mt19937 gen;  // hcs-lint-expect: raw-random
+  (void)gen;
+  return rand() % 6;  // hcs-lint-expect: raw-random
+}
+
+void reseed() {
+  srand(42);  // hcs-lint-expect: raw-random
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Bad fixture for task-discard: Task-returning calls whose result is dropped
+// on the floor — the coroutine is destroyed before it ever runs.
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fixture {
+
+sim::Task<void> fire_and_forget(hcs::simmpi::Comm& comm) {
+  comm.send(1, 0, 3.5);  // hcs-lint-expect: task-discard
+  barrier(comm);  // hcs-lint-expect: task-discard
+  co_return;
+}
+
+void sync_context(hcs::sim::Simulation& s) {
+  s.delay(0.25);  // hcs-lint-expect: task-discard
+}
+
+}  // namespace fixture

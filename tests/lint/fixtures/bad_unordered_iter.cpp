@@ -1,0 +1,24 @@
+// Bad fixture for unordered-iter: iteration order feeds output.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void emit(int k, double v);
+
+void dump_param(const std::unordered_map<int, double>& stats) {
+  for (const auto& kv : stats) {  // hcs-lint-expect: unordered-iter
+    emit(kv.first, kv.second);
+  }
+}
+
+void dump_local() {
+  std::unordered_set<std::string> names;
+  names.insert("a");
+  for (const auto& n : names) {  // hcs-lint-expect: unordered-iter
+    emit(static_cast<int>(n.size()), 0.0);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Bad fixture for wall-clock: host time sources in simulated code.
+#include <chrono>
+#include <sys/time.h>
+
+namespace fixture {
+
+double host_now() {
+  const auto t0 = std::chrono::steady_clock::now();  // hcs-lint-expect: wall-clock
+  (void)t0;
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);  // hcs-lint-expect: wall-clock
+  return static_cast<double>(tv.tv_sec);
+}
+
+using WallClock = std::chrono::system_clock;  // hcs-lint-expect: wall-clock
+
+}  // namespace fixture

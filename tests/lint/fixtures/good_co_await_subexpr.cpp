@@ -1,0 +1,29 @@
+// Good fixture for co-await-subexpr: every await is a full statement (or the
+// sole initializer); short-circuiting happens on already-awaited values.
+#include "simmpi/comm.hpp"
+
+namespace fixture {
+
+sim::Task<bool> ready(hcs::simmpi::Comm& comm);
+sim::Task<bool> drain(hcs::simmpi::Comm& comm);
+
+sim::Task<int> hoisted(hcs::simmpi::Comm& comm, bool is_leaf) {
+  int v = 7;
+  if (is_leaf) {
+    v = co_await comm.recv(0, 0);
+  }
+  co_return v;
+}
+
+sim::Task<bool> sequenced(hcs::simmpi::Comm& comm) {
+  const bool a = co_await ready(comm);
+  const bool b = co_await drain(comm);
+  co_return a && b;
+}
+
+// && inside the awaited call's arguments is below the co_await, not beside it.
+sim::Task<void> args_ok(hcs::simmpi::Comm& comm, bool x, bool y) {
+  co_await comm.send(0, 0, (x && y) ? 1.0 : 0.0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Good fixture for coro-lambda-capture: the repo's safe idioms must stay
+// silent — run_all holds the callable for the whole run, and capture-free
+// lambdas pass state as coroutine parameters (copied into the frame).
+#include "sim/simulation.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/world.hpp"
+
+namespace fixture {
+
+// The World owns the callable until every rank finishes: captures are safe.
+void run(hcs::simmpi::World& w, int rounds) {
+  w.run_all([&](hcs::simmpi::RankCtx& ctx) -> hcs::sim::Task<void> {
+    for (int i = 0; i < rounds; ++i) {
+      co_await barrier(ctx.comm_world());
+    }
+  });
+}
+
+// Capture-free immediately-invoked coroutine: state lives in the frame.
+void detached(hcs::sim::Simulation& s) {
+  s.spawn([](hcs::sim::Simulation& sim) -> hcs::sim::Task<void> {
+    co_await sim.delay(1.0);
+  }(s));
+}
+
+// Returned lambda capturing by value owns its state.
+auto by_value(hcs::sim::Simulation& s, int payload) {
+  return [payload](hcs::sim::Simulation& sim) -> hcs::sim::Task<void> {
+    co_await sim.delay(static_cast<double>(payload));
+  };
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Good fixture for ft-plain-recv: plain recv is fine in a file that never
+// touches the failure-detector API (no crash-awareness expected here).
+#include "simmpi/comm.hpp"
+
+namespace fixture {
+
+sim::Task<double> drain(hcs::simmpi::Comm& comm, int peer) {
+  double v = co_await comm.recv(peer, 0);
+  co_return v;
+}
+
+// A declaration of a method named recv is not a call.
+struct Stub {
+  sim::Task<double> recv(int peer, int tag);
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Good fixture for raw-random: all randomness derives from the run seed.
+#include <cstdint>
+#include <random>
+
+#include "sim/rng.hpp"
+
+namespace fixture {
+
+// Member engines ending in _ are seeded in the constructor.
+struct Streams {
+  explicit Streams(std::uint64_t seed) : rng_(seed) {}
+  std::mt19937_64 rng_;
+};
+
+// Explicitly seeded locals are fine.
+double jitter(std::uint64_t seed) {
+  std::mt19937 gen(seed);
+  return static_cast<double>(gen());
+}
+
+// The project RNG carries the per-trial seed.
+int draw(hcs::sim::Rng& rng) { return static_cast<int>(rng.uniform(0.0, 5.0)); }
+
+}  // namespace fixture

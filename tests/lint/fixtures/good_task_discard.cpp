@@ -1,0 +1,24 @@
+// Good fixture for task-discard: every Task is awaited, stored or spawned.
+#include <utility>
+
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fixture {
+
+sim::Task<void> awaited(hcs::simmpi::Comm& comm) {
+  co_await comm.send(1, 0, 3.5);
+  auto pending = comm.recv(1, 0);
+  double v = co_await std::move(pending);
+  (void)v;
+  co_return;
+}
+
+void spawned(hcs::sim::Simulation& s, hcs::simmpi::Comm& comm) {
+  s.spawn(comm.send(1, 0, 2.0));
+}
+
+// A declaration is not a discarded call.
+sim::Task<void> send(hcs::simmpi::Comm& comm, int peer);
+
+}  // namespace fixture

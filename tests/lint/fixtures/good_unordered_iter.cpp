@@ -1,0 +1,27 @@
+// Good fixture for unordered-iter: ordered containers iterate fine, and
+// point lookups into unordered containers are not iteration.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+void emit(int k, double v);
+
+void dump_ordered(const std::map<int, double>& stats) {
+  for (const auto& kv : stats) {
+    emit(kv.first, kv.second);
+  }
+}
+
+double lookup(const std::unordered_map<int, double>& cache, int key) {
+  return cache.at(key);
+}
+
+void classic_loop(const std::vector<double>& xs) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    emit(static_cast<int>(i), xs[i]);
+  }
+}
+
+}  // namespace fixture

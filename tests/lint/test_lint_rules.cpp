@@ -1,0 +1,171 @@
+// Fixture-driven rule tests: every rule has a bad fixture whose
+// `// hcs-lint-expect: <rule-id>` annotations name the exact findings it must
+// produce (rule id + line), and a good fixture that must stay silent.  The
+// pairing itself is enforced: adding a rule without fixtures fails RuleTable.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+#include "lint/rules.hpp"
+
+namespace hcs::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kFixtureDir = HCS_LINT_FIXTURE_DIR;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read fixture " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string underscored(std::string rule) {
+  for (char& c : rule) {
+    if (c == '-') c = '_';
+  }
+  return rule;
+}
+
+// Findings and expectations both reduce to (line, rule) pairs with
+// multiplicity — two awaits on one line mean two findings on that line.
+using LineRule = std::pair<int, std::string>;
+
+std::multiset<LineRule> expectations(const std::string& source) {
+  std::multiset<LineRule> out;
+  std::istringstream in(source);
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    const std::size_t at = line.find("hcs-lint-expect:");
+    if (at == std::string::npos) continue;
+    std::string cur;
+    const auto flush = [&] {
+      if (!cur.empty()) out.insert({n, cur});
+      cur.clear();
+    };
+    for (std::size_t i = at + 16; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == ',') {
+        flush();
+      } else if (c != ' ' && c != '\t') {
+        cur.push_back(c);
+      }
+    }
+    flush();
+  }
+  return out;
+}
+
+std::multiset<LineRule> as_line_rules(const std::vector<Finding>& findings) {
+  std::multiset<LineRule> out;
+  for (const Finding& f : findings) out.insert({f.line, f.rule});
+  return out;
+}
+
+std::string dump(const std::multiset<LineRule>& s) {
+  std::ostringstream os;
+  for (const auto& [line, rule] : s) os << "  line " << line << ": " << rule << "\n";
+  return s.empty() ? "  (none)\n" : os.str();
+}
+
+class FixturePair : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FixturePair, BadFixtureFiresExactlyTheAnnotatedFindings) {
+  const std::string rule = GetParam();
+  const fs::path path = kFixtureDir / ("bad_" + underscored(rule) + ".cpp");
+  const std::string source = read_file(path);
+  const std::multiset<LineRule> expected = expectations(source);
+  ASSERT_FALSE(expected.empty()) << path << " has no hcs-lint-expect annotations";
+
+  const std::vector<Finding> findings =
+      analyze_source("tests/lint/fixtures/" + path.filename().string(), source, {});
+  const std::multiset<LineRule> actual = as_line_rules(findings);
+  EXPECT_EQ(expected, actual) << "expected findings:\n"
+                              << dump(expected) << "actual findings:\n"
+                              << dump(actual);
+  for (const auto& [line, r] : expected) {
+    EXPECT_EQ(r, rule) << path << ":" << line
+                       << " annotates a different rule than the fixture is named for";
+  }
+}
+
+TEST_P(FixturePair, GoodFixtureStaysSilent) {
+  const std::string rule = GetParam();
+  const fs::path path = kFixtureDir / ("good_" + underscored(rule) + ".cpp");
+  const std::string source = read_file(path);
+  ASSERT_EQ(source.find("hcs-lint-expect"), std::string::npos)
+      << path << ": good fixtures must not carry expect annotations";
+
+  const std::vector<Finding> findings =
+      analyze_source("tests/lint/fixtures/" + path.filename().string(), source, {});
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << "  " << f.path << ":" << f.line << ": " << f.message << " [" << f.rule << "]\n";
+  }
+  EXPECT_TRUE(findings.empty()) << "good fixture produced findings:\n" << os.str();
+}
+
+std::vector<std::string> all_rule_ids() {
+  std::vector<std::string> ids;
+  for (const RuleInfo& r : rule_table()) ids.push_back(r.id);
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, FixturePair, ::testing::ValuesIn(all_rule_ids()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return underscored(info.param);
+                         });
+
+TEST(RuleTable, EveryRuleHasAFixturePairOnDisk) {
+  for (const RuleInfo& r : rule_table()) {
+    EXPECT_TRUE(fs::exists(kFixtureDir / ("bad_" + underscored(r.id) + ".cpp")))
+        << "rule " << r.id << " has no bad fixture";
+    EXPECT_TRUE(fs::exists(kFixtureDir / ("good_" + underscored(r.id) + ".cpp")))
+        << "rule " << r.id << " has no good fixture";
+  }
+}
+
+TEST(RuleTable, EveryFixtureOnDiskNamesAKnownRule) {
+  for (const auto& entry : fs::directory_iterator(kFixtureDir)) {
+    std::string stem = entry.path().stem().string();
+    std::string prefix;
+    for (const char* p : {"bad_", "good_"}) {
+      if (stem.rfind(p, 0) == 0) prefix = p;
+    }
+    ASSERT_FALSE(prefix.empty()) << "fixture " << entry.path()
+                                 << " is not named bad_<rule>.cpp or good_<rule>.cpp";
+    std::string id = stem.substr(prefix.size());
+    for (char& c : id) {
+      if (c == '_') c = '-';
+    }
+    EXPECT_NE(find_rule(id), nullptr) << "fixture " << entry.path()
+                                      << " names unknown rule '" << id << "'";
+  }
+}
+
+TEST(RuleTable, IdsAreUniqueAndCategorized) {
+  std::set<std::string> seen;
+  const std::set<std::string> kCategories = {"collective-matching", "determinism",
+                                             "coroutine-lifetime"};
+  for (const RuleInfo& r : rule_table()) {
+    EXPECT_TRUE(seen.insert(r.id).second) << "duplicate rule id " << r.id;
+    EXPECT_TRUE(kCategories.count(r.category)) << r.id << ": unknown category " << r.category;
+    EXPECT_FALSE(r.summary.empty()) << r.id << ": empty summary";
+  }
+}
+
+}  // namespace
+}  // namespace hcs::lint

@@ -152,6 +152,7 @@ TEST(Simulation, TenThousandProcessesFinishInAnyOrder) {
   Simulation sim;
   int done = 0;
   constexpr int kProcs = 10000;
+  // hcs-lint: allow-next-line(wall-clock) — measures real host time on purpose
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < kProcs; ++i) {
     sim.spawn([](Simulation& s, int* done, int i) -> Task<void> {
@@ -161,6 +162,7 @@ TEST(Simulation, TenThousandProcessesFinishInAnyOrder) {
     }(sim, &done, i));
   }
   sim.run();
+  // hcs-lint: allow-next-line(wall-clock) — perf guard, not simulated time
   const auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_EQ(done, kProcs);
   EXPECT_EQ(sim.processes_finished(), static_cast<std::size_t>(kProcs));
