@@ -21,6 +21,9 @@ const BenchFlag kBenchFlags[] = {
     {"seed", "N", "base seed; mpirun i uses seed N + i"},
     {"jobs", "J",
      "worker threads for independent trials; 0 = one per hardware thread ($HCLOCKSYNC_JOBS)"},
+    {"shards", "K",
+     "event-loop shards inside each World (conservative PDES); 0 = one per hardware thread; "
+     "output is byte-identical for any K ($HCLOCKSYNC_SHARDS)"},
     {"csv", nullptr, "additionally emit CSV rows"},
     {"trace-out", "FILE", "write a Chrome trace (chrome://tracing / Perfetto)"},
     {"metrics-out", "FILE", "write the metrics registry as CSV"},
@@ -66,6 +69,10 @@ BenchOptions parse_common(int argc, const char* const* argv, double default_scal
     opt.scale = cli.scale(default_scale);
     opt.seed = cli.seed(1);
     opt.jobs = cli.jobs(1);
+    opt.shards = runner::resolve_jobs(cli.shards(1));
+    // Helpers that build Worlds internally (and don't thread opt through)
+    // pick the flag up via the process-wide default.
+    simmpi::set_default_shards(opt.shards);
     opt.csv = cli.has("csv");
     opt.trace_out = cli.trace_out();
     opt.metrics_out = cli.metrics_out();
@@ -152,8 +159,8 @@ int scaled(int value, double scale, int min_value) {
 SyncAccuracyPoint run_sync_accuracy(const topology::MachineConfig& machine,
                                     const std::string& label, double wait_time,
                                     double sample_fraction, std::uint64_t seed,
-                                    const fault::FaultPlan& fault_plan) {
-  simmpi::World world(machine, seed, fault_plan);
+                                    const fault::FaultPlan& fault_plan, int shards) {
+  simmpi::World world(machine, seed, fault_plan, shards);
   SyncAccuracyPoint point;
   const std::vector<int> clients =
       clocksync::sample_clients(world.size(), 0, sample_fraction, seed ^ 0xabcdefULL);
@@ -198,7 +205,8 @@ void run_and_print_sync_experiment(util::Table& table, const topology::MachineCo
         const int label_idx = trial.index / nmpiruns;
         const int run = trial.index % nmpiruns;
         return run_sync_accuracy(machine, labels[label_idx], wait_time, sample_fraction,
-                                 opt.seed + static_cast<std::uint64_t>(run), opt.fault_plan);
+                                 opt.seed + static_cast<std::uint64_t>(run), opt.fault_plan,
+                                 opt.shards);
       });
   for (int label_idx = 0; label_idx < nlabels; ++label_idx) {
     const std::string& label = labels[static_cast<std::size_t>(label_idx)];

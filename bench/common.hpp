@@ -33,6 +33,7 @@ struct BenchOptions {
   double scale = 1.0;
   std::uint64_t seed = 1;
   int jobs = 1;             // worker threads for independent trials; 0 = auto
+  int shards = 1;           // event-loop shards inside each World (resolved; >= 1)
   bool csv = false;
   std::string trace_out;    // empty = tracing off
   std::string metrics_out;  // empty = metrics CSV off
@@ -102,7 +103,7 @@ struct SyncAccuracyPoint {
 SyncAccuracyPoint run_sync_accuracy(const topology::MachineConfig& machine,
                                     const std::string& label, double wait_time,
                                     double sample_fraction, std::uint64_t seed,
-                                    const fault::FaultPlan& fault_plan = {});
+                                    const fault::FaultPlan& fault_plan = {}, int shards = 1);
 
 /// Runs `label` nmpiruns times and prints one row per run plus a mean row,
 /// mirroring the point-clouds of the paper's Figs. 3-6.

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Measures the simulator hot path (bench_micro_sim) and the parallel trial
+# Measures the simulator hot path (bench_micro_sim), the parallel trial
 # runner (bench_fig03_algorithms wall time at --jobs 1 vs --jobs nproc) and
-# writes the result as JSON.
+# the sharded PDES engine (bench_fig06_hier_titan wall time over --shards —
+# the single-World benchmark --jobs cannot help with) and writes the result
+# as JSON.
 #
 #   scripts/bench_perf.sh [BUILD_DIR]     (default: build)
 #
 # Environment:
 #   BENCH_OUT       output path (default: BENCH_pr2.json in the repo root)
+#   BENCH_SUITE     "suite" label embedded in the JSON
 #   BASELINE_JSON   optional google-benchmark JSON of the same micro suite
 #                   from a baseline tree; per-benchmark speedups are computed
 #                   against it and embedded under "baseline".
@@ -17,7 +20,8 @@ BUILD_DIR="${1:-build}"
 OUT="${BENCH_OUT:-BENCH_pr2.json}"
 MICRO="$BUILD_DIR/bench/bench_micro_sim"
 FIG03="$BUILD_DIR/bench/bench_fig03_algorithms"
-[[ -x "$MICRO" && -x "$FIG03" ]] \
+FIG06="$BUILD_DIR/bench/bench_fig06_hier_titan"
+[[ -x "$MICRO" && -x "$FIG03" && -x "$FIG06" ]] \
   || { echo "bench_perf.sh: build '$BUILD_DIR' first (cmake --build $BUILD_DIR -j)" >&2; exit 1; }
 
 MICRO_JSON=$(mktemp)
@@ -42,11 +46,28 @@ NPROC=$(nproc)
 FIG03_J1=$(fig03_seconds 1)
 FIG03_JN=$(fig03_seconds "$NPROC")
 
-python3 - "$MICRO_JSON" "$OUT" "$FIG03_J1" "$FIG03_JN" "$NPROC" "${BASELINE_JSON:-}" <<'PY'
+# The sharded-engine sweep: one 16 384-rank Titan World (the workload --jobs
+# cannot parallelize — a single slow trial) advanced on 1/2/4 shard threads.
+# Output is byte-identical at every shard count; only the clock differs.
+fig06_seconds() {
+  local start_ns end_ns
+  start_ns=$(date +%s%N)
+  "$FIG06" --scale 0.01 --seed 1 --shards "$1" > /dev/null
+  end_ns=$(date +%s%N)
+  awk -v a="$start_ns" -v b="$end_ns" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+}
+FIG06_S1=$(fig06_seconds 1)
+FIG06_S2=$(fig06_seconds 2)
+FIG06_S4=$(fig06_seconds 4)
+
+python3 - "$MICRO_JSON" "$OUT" "$FIG03_J1" "$FIG03_JN" "$NPROC" \
+    "$FIG06_S1" "$FIG06_S2" "$FIG06_S4" "${BASELINE_JSON:-}" <<'PY'
 import json
+import os
 import sys
 
-micro_path, out_path, fig03_j1, fig03_jn, nproc, baseline_path = sys.argv[1:7]
+(micro_path, out_path, fig03_j1, fig03_jn, nproc,
+ fig06_s1, fig06_s2, fig06_s4, baseline_path) = sys.argv[1:10]
 
 def micro_table(path):
     with open(path) as f:
@@ -69,11 +90,13 @@ def micro_table(path):
 
 micro = micro_table(micro_path)
 result = {
-    "suite": "pr2: parallel trial runner + simulator hot path",
+    "suite": os.environ.get("BENCH_SUITE",
+                            "pr2: parallel trial runner + simulator hot path"),
     "notes": [
         "per-benchmark values are the best repetition (least-perturbed run on a shared machine)",
         "baseline should be captured with this same script from a pre-PR tree, ideally interleaved with the current binary",
         "fig03 jobs_nproc equals jobs_1 when nproc is 1; the runner's speedup needs real cores",
+        "fig06 shards_N on a 1-core host measures the engine's overhead, not its speedup: the shard workers time-slice one core, so shards_N >= shards_1 there by construction; speedup needs real cores",
     ],
     "machine": {"nproc": int(nproc)},
     "micro": micro,
@@ -82,6 +105,13 @@ result = {
         "jobs_1": float(fig03_j1),
         "jobs_nproc": float(fig03_jn),
         "speedup": round(float(fig03_j1) / float(fig03_jn), 2),
+    },
+    "fig06_shards_wall_seconds": {
+        "scale": 0.01,
+        "shards_1": float(fig06_s1),
+        "shards_2": float(fig06_s2),
+        "shards_4": float(fig06_s4),
+        "speedup_shards_4": round(float(fig06_s1) / float(fig06_s4), 2),
     },
 }
 if baseline_path:

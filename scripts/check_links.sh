@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Verify every relative markdown link in the repo's docs resolves to a real
+# file (anchors are stripped; http(s)/mailto links are skipped).  CI runs
+# this so a renamed doc or section file fails the build instead of rotting.
+#
+#   scripts/check_links.sh [FILE.md ...]   (default: *.md + docs/*.md)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(ls ./*.md docs/*.md)
+fi
+
+broken=0
+for f in "${files[@]}"; do
+  dir=$(dirname "$f")
+  # Pull out the (target) of every [text](target) markdown link.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"            # drop the #anchor, keep the file part
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "$f: broken link -> $target" >&2
+      broken=1
+    fi
+  done < <(
+    # Fenced code blocks and inline `code` spans are full of [x](y)-shaped
+    # C++ (lambdas); strip them before extracting link targets.
+    awk '/^```/ { fence = !fence; next } !fence' "$f" \
+      | sed 's/`[^`]*`//g' \
+      | grep -o '\[[^]]*\]([^)]*)' \
+      | sed 's/^\[[^]]*\](\([^)]*\))$/\1/' \
+      || true
+  )
+done
+
+if [[ $broken -ne 0 ]]; then
+  echo "check_links: broken relative links found" >&2
+  exit 1
+fi
+echo "check_links: all relative links resolve (${#files[@]} files)"

@@ -13,7 +13,7 @@ bool crash_model_active(const simmpi::Comm& comm) {
 
 bool crash_era_begun(const simmpi::Comm& comm) {
   const simmpi::FailureDetector* fd = comm.world().failure_detector();
-  return fd && fd->any_event_fired(comm.world().sim().now());
+  return fd && fd->any_event_fired(comm.sim().now());
 }
 
 sim::Task<bool> agree_any(simmpi::Comm& comm, bool my_vote) {

@@ -1,13 +1,17 @@
 #include "fault/fault_injector.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
+#include "sim/shard_context.hpp"
+
 namespace hcs::fault {
 
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nranks)
-    : rng_(seed ^ (plan.seed() * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)) {
+    : channel_seed_(seed ^ (plan.seed() * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)),
+      channel_rngs_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)) {
   for (const FaultSpec& s : plan.specs()) {
     if (s.rank >= nranks || s.peer >= nranks) {
       throw std::invalid_argument("fault spec targets rank " +
@@ -62,14 +66,45 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nran
   crash_active_ = !crash_times_.empty() || !link_cuts_.empty();
   net_active_ = !drops_rules_.empty() || !dup_rules_.empty() || !reorder_rules_.empty() ||
                 !burst_rules_.empty() || !straggler_rules_.empty();
-  if (trace::MetricsRegistry* m = trace::active_metrics()) {
-    drop_metric_ = &m->counter("fault.net.drops");
-    dup_metric_ = &m->counter("fault.net.duplicates");
-    delayed_metric_ = &m->counter("fault.net.delayed");
-    pause_metric_ = &m->counter("fault.pause.holds");
-    crash_drop_metric_ = &m->counter("fault.crash.drops");
-    extra_delay_metric_ = &m->histogram("fault.net.extra_delay");
+  shard_metrics_.push_back(resolve_metrics(trace::active_metrics()));
+}
+
+FaultInjector::ShardMetrics FaultInjector::resolve_metrics(trace::MetricsRegistry* registry) {
+  ShardMetrics out;
+  if (!registry) return out;
+  out.drops = &registry->counter("fault.net.drops");
+  out.duplicates = &registry->counter("fault.net.duplicates");
+  out.delayed = &registry->counter("fault.net.delayed");
+  out.pauses = &registry->counter("fault.pause.holds");
+  out.crash_drops = &registry->counter("fault.crash.drops");
+  out.extra_delay = &registry->histogram("fault.net.extra_delay");
+  return out;
+}
+
+void FaultInjector::bind_shards(const std::vector<trace::MetricsRegistry*>& registries) {
+  shard_metrics_.clear();
+  for (trace::MetricsRegistry* registry : registries) {
+    shard_metrics_.push_back(resolve_metrics(registry));
   }
+  if (shard_metrics_.empty()) shard_metrics_.push_back(resolve_metrics(nullptr));
+}
+
+FaultInjector::ShardMetrics& FaultInjector::my_metrics() const {
+  assert(static_cast<std::size_t>(sim::current_shard()) < shard_metrics_.size());
+  return shard_metrics_[static_cast<std::size_t>(sim::current_shard())];
+}
+
+sim::Rng& FaultInjector::channel_rng(int src, int dst) {
+  auto& per_src = channel_rngs_[static_cast<std::size_t>(src)];
+  auto it = per_src.find(dst);
+  if (it == per_src.end()) {
+    std::uint64_t state = channel_seed_ ^
+                          (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(src) + 1)) ^
+                          (0xd1b54a32d192ed03ULL * (static_cast<std::uint64_t>(dst) + 1));
+    const std::uint64_t derived = sim::splitmix64(state);
+    it = per_src.emplace(dst, sim::Rng(derived)).first;
+  }
+  return it->second;
 }
 
 sim::Time FaultInjector::link_down_time(int a, int b) const noexcept {
@@ -86,12 +121,13 @@ sim::Time FaultInjector::link_down_time(int a, int b) const noexcept {
 }
 
 void FaultInjector::count_crash_drop() {
-  ++crash_drops_;
-  if (crash_drop_metric_) crash_drop_metric_->inc();
+  crash_drops_.fetch_add(1, std::memory_order_relaxed);
+  if (trace::Counter* m = my_metrics().crash_drops) m->inc();
 }
 
 NetFaultDecision FaultInjector::on_message(int src, int dst, int level, sim::Time now) {
   NetFaultDecision d;
+  sim::Rng& rng = channel_rng(src, dst);
   for (const StragglerRule& r : straggler_rules_) {
     if (src == r.rank || dst == r.rank) d.delay_factor *= r.factor;
   }
@@ -99,32 +135,33 @@ NetFaultDecision FaultInjector::on_message(int src, int dst, int level, sim::Tim
     if (!matches(r.level, level)) continue;
     const double in_period = std::fmod(now - r.phase, r.period);
     if (now >= r.phase && in_period >= 0.0 && in_period < r.duration) {
-      d.extra_delay += rng_.lognormal(r.mu, r.sigma);
+      d.extra_delay += rng.lognormal(r.mu, r.sigma);
     }
   }
   for (const ReorderRule& r : reorder_rules_) {
-    if (matches(r.level, level) && rng_.bernoulli(r.p)) {
-      d.extra_delay += rng_.exponential(r.delay);
+    if (matches(r.level, level) && rng.bernoulli(r.p)) {
+      d.extra_delay += rng.exponential(r.delay);
     }
   }
   for (const ProbRule& r : drops_rules_) {
-    if (matches(r.level, level) && rng_.bernoulli(r.p)) d.drop = true;
+    if (matches(r.level, level) && rng.bernoulli(r.p)) d.drop = true;
   }
   for (const ProbRule& r : dup_rules_) {
-    if (matches(r.level, level) && rng_.bernoulli(r.p)) d.duplicate = true;
+    if (matches(r.level, level) && rng.bernoulli(r.p)) d.duplicate = true;
   }
+  ShardMetrics& m = my_metrics();
   if (d.drop) {
-    ++drops_;
-    if (drop_metric_) drop_metric_->inc();
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    if (m.drops) m.drops->inc();
   }
   if (d.duplicate) {
-    ++duplicates_;
-    if (dup_metric_) dup_metric_->inc();
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+    if (m.duplicates) m.duplicates->inc();
   }
   if (d.extra_delay > 0.0) {
-    ++delayed_;
-    if (delayed_metric_) delayed_metric_->inc();
-    if (extra_delay_metric_) extra_delay_metric_->observe(d.extra_delay);
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    if (m.delayed) m.delayed->inc();
+    if (m.extra_delay) m.extra_delay->observe(d.extra_delay);
   }
   return d;
 }
@@ -144,8 +181,8 @@ sim::Time FaultInjector::release_time(int rank, sim::Time t) const {
     }
   }
   if (out != t) {
-    ++pause_holds_;
-    if (pause_metric_) pause_metric_->inc();
+    pause_holds_.fetch_add(1, std::memory_order_relaxed);
+    if (trace::Counter* m = my_metrics().pauses) m->inc();
   }
   return out;
 }

@@ -4,16 +4,24 @@
 // are completely separate from the network / clock RNGs: consulting the
 // injector never perturbs the fault-free random sequences, so a plan whose
 // probabilities are all zero produces bit-identical results to no plan at
-// all (tested in tests/fault/test_fault_injector.cpp).  One injector per
-// World; the simulation is single-threaded, so no locking.
+// all (tested in tests/fault/test_fault_injector.cpp).  Fault randomness is
+// keyed per (src, dst) channel — like NetworkModel's delay streams — so the
+// verdict for a message depends only on its channel's draw history, which
+// follows the sender's timeline.  That makes fault decisions invariant under
+// World sharding (docs/parallel-simulation.md); a channel is only consulted
+// from its sender's shard, so the streams need no locking, and the firing
+// counters are relaxed atomics.
 //
 // Network faults are evaluated per message via on_message(); pause windows
 // translate timestamps via release_time(); clock faults are applied once by
 // the World at construction.  Fault firings are counted into the active
-// MetricsRegistry (handles resolved at construction, like NetworkModel).
+// MetricsRegistry (handles resolved at construction, like NetworkModel;
+// re-bound per shard via bind_shards when the World is sharded).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "fault/fault_plan.hpp"
@@ -94,13 +102,19 @@ class FaultInjector {
   /// Clock faults resolved per rank, for the World to apply.
   const std::vector<ClockFault>& clock_faults() const noexcept { return clock_faults_; }
 
+  /// Re-resolves the metric handles against one registry per shard (null
+  /// entries = metrics off); see NetworkModel::bind_shards.
+  void bind_shards(const std::vector<trace::MetricsRegistry*>& registries);
+
   // Firing counters (also exported as fault.* metrics when a registry is
   // active); plain members so tests need no registry.
-  std::uint64_t drops() const noexcept { return drops_; }
-  std::uint64_t duplicates() const noexcept { return duplicates_; }
-  std::uint64_t delayed() const noexcept { return delayed_; }
-  std::uint64_t pause_holds() const noexcept { return pause_holds_; }
-  std::uint64_t crash_drops_count() const noexcept { return crash_drops_; }
+  std::uint64_t drops() const noexcept { return drops_.load(std::memory_order_relaxed); }
+  std::uint64_t duplicates() const noexcept { return duplicates_.load(std::memory_order_relaxed); }
+  std::uint64_t delayed() const noexcept { return delayed_.load(std::memory_order_relaxed); }
+  std::uint64_t pause_holds() const noexcept { return pause_holds_.load(std::memory_order_relaxed); }
+  std::uint64_t crash_drops_count() const noexcept {
+    return crash_drops_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ProbRule {
@@ -139,7 +153,11 @@ class FaultInjector {
     return rule_level == NetLevel::kAll || static_cast<int>(rule_level) == level;
   }
 
-  sim::Rng rng_;
+  /// The (src -> dst) channel's private fault stream, created on first use.
+  sim::Rng& channel_rng(int src, int dst);
+
+  std::uint64_t channel_seed_;
+  std::vector<std::map<int, sim::Rng>> channel_rngs_;  // [src][dst]
   std::vector<ProbRule> drops_rules_;
   std::vector<ProbRule> dup_rules_;
   std::vector<ReorderRule> reorder_rules_;
@@ -152,18 +170,26 @@ class FaultInjector {
   bool net_active_ = false;
   bool crash_active_ = false;
 
-  std::uint64_t drops_ = 0;
-  std::uint64_t duplicates_ = 0;
-  std::uint64_t delayed_ = 0;
-  mutable std::uint64_t pause_holds_ = 0;
-  std::uint64_t crash_drops_ = 0;
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+  mutable std::atomic<std::uint64_t> pause_holds_{0};
+  std::atomic<std::uint64_t> crash_drops_{0};
 
-  trace::Counter* drop_metric_ = nullptr;
-  trace::Counter* dup_metric_ = nullptr;
-  trace::Counter* delayed_metric_ = nullptr;
-  trace::Counter* pause_metric_ = nullptr;
-  trace::Counter* crash_drop_metric_ = nullptr;
-  trace::HistogramMetric* extra_delay_metric_ = nullptr;
+  // Per-shard metric handles, indexed by sim::current_shard(); slot 0 is
+  // resolved at construction, bind_shards replaces the table.
+  struct ShardMetrics {
+    trace::Counter* drops = nullptr;
+    trace::Counter* duplicates = nullptr;
+    trace::Counter* delayed = nullptr;
+    trace::Counter* pauses = nullptr;
+    trace::Counter* crash_drops = nullptr;
+    trace::HistogramMetric* extra_delay = nullptr;
+  };
+  static ShardMetrics resolve_metrics(trace::MetricsRegistry* registry);
+  ShardMetrics& my_metrics() const;
+
+  mutable std::vector<ShardMetrics> shard_metrics_;  // size >= 1
 };
 
 }  // namespace hcs::fault

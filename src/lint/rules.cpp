@@ -750,6 +750,59 @@ void rule_task_discard(const FileCtx& ctx, const RuleInfo& rule, std::vector<Fin
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: shard-shared-state
+// ---------------------------------------------------------------------------
+
+// The sharded World engine (docs/parallel-simulation.md) runs one event loop
+// per shard, each on its own worker thread.  Rank code and scheduler
+// callbacks must therefore (a) read time and RNG streams through their own
+// shard's accessors — Comm::sim() / RankCtx::sim() — never through
+// World::sim(), which is shard 0's Simulation: the wrong clock for ranks on
+// other shards and a data race with shard 0's worker; and (b) never re-point
+// the engine-owned thread-local shard context.  Cross-shard effects go
+// through the mailbox/outbox API (ordinary sends, drained at window
+// boundaries) instead of touching another shard's state directly.
+void rule_shard_shared_state(const FileCtx& ctx, const RuleInfo& rule,
+                             std::vector<Finding>& out) {
+  const Toks& t = ctx.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i])) continue;
+    const std::string& s = t[i].text;
+    if (s == "set_current_shard" && i + 1 < t.size() && is(t[i + 1], "(")) {
+      ctx.add(out, rule, t[i],
+              "the shard context is owned by the engine's window scheduler — re-pointing it "
+              "from rank/callback code lets writes bypass the cross-shard mailbox API; send a "
+              "message instead (it lands in the destination shard at the next window boundary)",
+              rule.severity);
+      continue;
+    }
+    if (s == "tl_current_shard") {
+      ctx.add(out, rule, t[i],
+              "direct access to the thread-local shard slot bypasses the scheduler — read it "
+              "via sim::current_shard() and never write it outside the engine",
+              rule.severity);
+      continue;
+    }
+    // world().sim() / world_->sim(): shard 0's event loop.  Rank code on any
+    // other shard reading time or drawing randomness through it observes the
+    // wrong clock and races with shard 0's worker thread.
+    const bool via_call = is_ident(t[i], "world") && i + 6 < t.size() && is(t[i + 1], "(") &&
+                          is(t[i + 2], ")") && is(t[i + 3], ".") && is_ident(t[i + 4], "sim") &&
+                          is(t[i + 5], "(") && is(t[i + 6], ")");
+    const bool via_member = is_ident(t[i], "world_") && i + 4 < t.size() &&
+                            is(t[i + 1], "->") && is_ident(t[i + 2], "sim") &&
+                            is(t[i + 3], "(") && is(t[i + 4], ")");
+    if (via_call || via_member) {
+      ctx.add(out, rule, t[i],
+              "World::sim() is shard 0's event loop — the wrong clock (and a data race) for "
+              "ranks on other shards; read time through Comm::sim() or RankCtx::sim(), which "
+              "resolve the rank's owning shard",
+              rule.severity);
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -774,6 +827,10 @@ const std::vector<RuleInfo>& rule_table() {
        "lambda coroutines must not outlive their captures", {}},
       {"task-discard", Severity::kError, "coroutine-lifetime",
        "Task-returning calls must be co_awaited, stored or spawned", {}},
+      {"shard-shared-state", Severity::kError, "determinism",
+       "no cross-shard state access from rank code — use the mailbox API and per-rank "
+       "shard accessors",
+       {"src/sim/shard_context.hpp", "src/simmpi/world.cpp"}},
   };
   return kTable;
 }
@@ -802,6 +859,7 @@ void run_rules(const LexedFile& file, const std::string& rel_path,
     if (rule.id == "co-await-subexpr") rule_co_await_subexpr(ctx, rule, out);
     if (rule.id == "coro-lambda-capture") rule_coro_lambda_capture(ctx, rule, out);
     if (rule.id == "task-discard") rule_task_discard(ctx, rule, out);
+    if (rule.id == "shard-shared-state") rule_shard_shared_state(ctx, rule, out);
   }
 }
 

@@ -121,4 +121,30 @@ void Simulation::run(std::uint64_t max_events) {
   HCS_METRIC_SET("sim.processes_spawned", static_cast<double>(spawned_));
 }
 
+void Simulation::run_window(Time window_end, std::uint64_t max_events) {
+  if (first_error_) return;  // collected by take_error() in the serial phase
+  while (!queue_.empty() && queue_.next_time() < window_end) {
+    if (events_processed_ >= max_events) {
+      first_error_ = std::make_exception_ptr(
+          std::runtime_error("Simulation::run: event budget exceeded (" +
+                             std::to_string(max_events) + " events)"));
+      return;
+    }
+    const EventQueue::Event ev = queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_processed_;
+    ev.handle.resume();
+    if (first_error_) return;
+  }
+}
+
+std::exception_ptr Simulation::take_error() {
+  if (!first_error_) return nullptr;
+  queue_.clear();
+  auto error = first_error_;
+  first_error_ = nullptr;
+  return error;
+}
+
 }  // namespace hcs::sim

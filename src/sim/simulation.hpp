@@ -60,6 +60,25 @@ class Simulation {
   /// more than `max_events` events fire (runaway guard).
   void run(std::uint64_t max_events = UINT64_MAX);
 
+  /// Windowed execution for the sharded World engine: processes events with
+  /// time strictly below `window_end` (ties with `window_end` stay queued for
+  /// the next window).  Never throws — errors (including the event-budget
+  /// guard, compared against lifetime events_processed() like run()) are
+  /// parked for take_error() so shard worker threads can't unwind across the
+  /// barrier.  Reports no metrics; the engine reports once per World::run.
+  void run_window(Time window_end, std::uint64_t max_events = UINT64_MAX);
+
+  /// True when no events are queued (a shard with nothing scheduled).
+  bool idle() const noexcept { return queue_.empty(); }
+
+  /// Timestamp of the earliest queued event; only valid when !idle().
+  Time next_event_time() const noexcept { return queue_.next_time(); }
+
+  /// Hands back (and clears) the first process/budget error recorded by
+  /// run_window, dropping all still-queued events — mirroring run()'s
+  /// throw-path cleanup.  Returns nullptr when no error is pending.
+  std::exception_ptr take_error();
+
   std::uint64_t events_processed() const noexcept { return events_processed_; }
   std::size_t processes_spawned() const noexcept { return spawned_; }
   std::size_t processes_finished() const noexcept { return finished_; }

@@ -68,7 +68,7 @@ sim::Task<std::optional<Message>> Comm::recv_ft(int src, int tag) {
   // plus the liveness net so even a pathological live-live cross-wait
   // terminates (degraded) instead of deadlocking the world.
   const sim::Time deadline =
-      std::min(fd->detect_time(me, wsrc), world_->sim().now() + kLivenessTimeout);
+      std::min(fd->detect_time(me, wsrc), sim().now() + kLivenessTimeout);
   co_return co_await world_->await_recv_until(world_->p2p_irecv(me, wsrc, user_tag(tag)),
                                               deadline);
 }
@@ -76,7 +76,7 @@ sim::Task<std::optional<Message>> Comm::recv_ft(int src, int tag) {
 PeerStatus Comm::peer_status(int comm_rank) const {
   const FailureDetector* fd = world_->failure_detector();
   if (!fd) return PeerStatus::kAlive;
-  return fd->status(my_world_rank(), world_rank(comm_rank), world_->sim().now());
+  return fd->status(my_world_rank(), world_rank(comm_rank), sim().now());
 }
 
 RecvRequest Comm::irecv(int src, int tag) {

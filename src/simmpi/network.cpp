@@ -1,6 +1,9 @@
 #include "simmpi/network.hpp"
 
 #include <algorithm>
+#include <cassert>
+
+#include "sim/shard_context.hpp"
 
 namespace hcs::simmpi {
 
@@ -9,22 +12,39 @@ NetworkModel::NetworkModel(const topology::ClusterTopology& topo,
     : topo_(&topo),
       params_(params),
       rng_(seed),
+      channel_seed_(seed ^ 0x6a09e667f3bcc909ULL),
+      channel_rngs_(static_cast<std::size_t>(topo.total_ranks())),
       egress_free_(static_cast<std::size_t>(topo.nodes()), 0.0),
       ingress_free_(static_cast<std::size_t>(topo.nodes()), 0.0) {
-  if (trace::MetricsRegistry* m = trace::active_metrics()) {
-    static constexpr const char* kLevelNames[3] = {"intra_socket", "intra_node", "inter_node"};
-    for (int level = 0; level < 3; ++level) {
-      const std::string suffix = kLevelNames[level];
-      metrics_[level].messages = &m->counter("net.messages." + suffix);
-      metrics_[level].bytes = &m->counter("net.bytes." + suffix);
-      metrics_[level].delay = &m->histogram("net.delay." + suffix);
-    }
-    retransmit_metric_ = &m->counter("fault.net.retransmits");
+  shard_metrics_.push_back(resolve_metrics(trace::active_metrics()));
+}
+
+NetworkModel::ShardMetrics NetworkModel::resolve_metrics(trace::MetricsRegistry* registry) {
+  ShardMetrics out;
+  if (!registry) return out;
+  static constexpr const char* kLevelNames[3] = {"intra_socket", "intra_node", "inter_node"};
+  for (int level = 0; level < 3; ++level) {
+    const std::string suffix = kLevelNames[level];
+    out.levels[level].messages = &registry->counter("net.messages." + suffix);
+    out.levels[level].bytes = &registry->counter("net.bytes." + suffix);
+    out.levels[level].delay = &registry->histogram("net.delay." + suffix);
   }
+  out.retransmits = &registry->counter("fault.net.retransmits");
+  return out;
+}
+
+void NetworkModel::bind_shards(const std::vector<trace::MetricsRegistry*>& registries) {
+  shard_metrics_.clear();
+  for (trace::MetricsRegistry* registry : registries) {
+    shard_metrics_.push_back(resolve_metrics(registry));
+  }
+  if (shard_metrics_.empty()) shard_metrics_.push_back(resolve_metrics(nullptr));
 }
 
 void NetworkModel::count_delivery(LinkLevel level, std::int64_t bytes, sim::Time delay) {
-  LevelMetrics& m = metrics_[static_cast<int>(level)];
+  assert(static_cast<std::size_t>(sim::current_shard()) < shard_metrics_.size());
+  LevelMetrics& m =
+      shard_metrics_[static_cast<std::size_t>(sim::current_shard())].levels[static_cast<int>(level)];
   if (!m.messages) return;
   m.messages->inc();
   m.bytes->inc(static_cast<std::uint64_t>(bytes));
@@ -49,13 +69,30 @@ const topology::LinkParams& NetworkModel::link(LinkLevel level) const {
 }
 
 sim::Time NetworkModel::sample_delay(LinkLevel level, std::int64_t bytes) {
+  return sample_delay(level, bytes, rng_);
+}
+
+sim::Time NetworkModel::sample_delay(LinkLevel level, std::int64_t bytes, sim::Rng& rng) {
   const topology::LinkParams& lp = link(level);
   sim::Time d = lp.base_latency + lp.per_byte * static_cast<double>(bytes);
-  d += rng_.exponential(lp.jitter_mean);
-  if (lp.spike_prob > 0 && rng_.bernoulli(lp.spike_prob)) {
-    d += rng_.exponential(lp.spike_mean);
+  d += rng.exponential(lp.jitter_mean);
+  if (lp.spike_prob > 0 && rng.bernoulli(lp.spike_prob)) {
+    d += rng.exponential(lp.spike_mean);
   }
   return d;
+}
+
+sim::Rng& NetworkModel::channel_rng(int src_rank, int dst_rank) {
+  auto& per_src = channel_rngs_[static_cast<std::size_t>(src_rank)];
+  auto it = per_src.find(dst_rank);
+  if (it == per_src.end()) {
+    std::uint64_t state = channel_seed_ ^
+                          (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(src_rank) + 1)) ^
+                          (0xd1b54a32d192ed03ULL * (static_cast<std::uint64_t>(dst_rank) + 1));
+    const std::uint64_t derived = sim::splitmix64(state);
+    it = per_src.emplace(dst_rank, sim::Rng(derived)).first;
+  }
+  return it->second;
 }
 
 double NetworkModel::expected_delay(LinkLevel level, std::int64_t bytes) const {
@@ -74,8 +111,9 @@ sim::Time NetworkModel::deliver_attempt(LinkLevel level, int src_rank, int dst_r
   const double factor = decision ? decision->delay_factor : 1.0;
   const double extra = decision ? decision->extra_delay : 0.0;
   const bool dropped = decision && decision->drop;
+  sim::Rng& rng = channel_rng(src_rank, dst_rank);
   if (level != LinkLevel::kInterNode) {
-    const sim::Time d = sample_delay(level, bytes) * factor + extra;
+    const sim::Time d = sample_delay(level, bytes, rng) * factor + extra;
     if (!dropped) count_delivery(level, bytes, d);
     return depart_ready + d;
   }
@@ -84,7 +122,7 @@ sim::Time NetworkModel::deliver_attempt(LinkLevel level, int src_rank, int dst_r
   const double nic_busy = params_.nic_gap + params_.nic_per_byte * static_cast<double>(bytes);
   const sim::Time depart = std::max(depart_ready, egress_free_[src_node]);
   egress_free_[src_node] = depart + nic_busy;
-  sim::Time arrive = depart + sample_delay(level, bytes) * factor + extra;
+  sim::Time arrive = depart + sample_delay(level, bytes, rng) * factor + extra;
   // A message lost in the fabric consumed egress bandwidth but never reaches
   // the destination NIC.
   if (dropped) return arrive;
@@ -93,6 +131,55 @@ sim::Time NetworkModel::deliver_attempt(LinkLevel level, int src_rank, int dst_r
   // The observed delay includes NIC queueing: hand-off to arrival.
   count_delivery(level, bytes, arrive - depart_ready);
   return arrive;
+}
+
+sim::Time NetworkModel::egress_to_wire(int src_rank, int dst_rank, std::int64_t bytes,
+                                       sim::Time depart_ready,
+                                       const fault::NetFaultDecision* decision) {
+  const double factor = decision ? decision->delay_factor : 1.0;
+  const double extra = decision ? decision->extra_delay : 0.0;
+  const auto src_node = static_cast<std::size_t>(topo_->locate(src_rank).node);
+  const double nic_busy = params_.nic_gap + params_.nic_per_byte * static_cast<double>(bytes);
+  const sim::Time depart = std::max(depart_ready, egress_free_[src_node]);
+  egress_free_[src_node] = depart + nic_busy;
+  sim::Rng& rng = channel_rng(src_rank, dst_rank);
+  return depart + sample_delay(LinkLevel::kInterNode, bytes, rng) * factor + extra;
+}
+
+sim::Time NetworkModel::ingress_admit(int dst_rank, std::int64_t bytes, sim::Time port_time,
+                                      sim::Time depart_ready) {
+  const auto dst_node = static_cast<std::size_t>(topo_->locate(dst_rank).node);
+  const double nic_busy = params_.nic_gap + params_.nic_per_byte * static_cast<double>(bytes);
+  const sim::Time arrive = std::max(port_time, ingress_free_[dst_node]);
+  ingress_free_[dst_node] = arrive + nic_busy;
+  count_delivery(LinkLevel::kInterNode, bytes, arrive - depart_ready);
+  return arrive;
+}
+
+sim::Time NetworkModel::transit_time(int src_rank, int dst_rank, std::int64_t bytes,
+                                     sim::Time depart_ready, DeliveryFaults* faults) {
+  if (!faults || !injector_ || !injector_->net_active()) {
+    return egress_to_wire(src_rank, dst_rank, bytes, depart_ready, nullptr);
+  }
+  const double rto = retransmit_timeout(LinkLevel::kInterNode, bytes);
+  sim::Time ready = depart_ready;
+  for (int attempt = 0;; ++attempt) {
+    fault::NetFaultDecision fd = injector_->on_message(
+        src_rank, dst_rank, static_cast<int>(LinkLevel::kInterNode), ready);
+    if (attempt >= kMaxRetransmits) fd.drop = false;
+    const sim::Time port = egress_to_wire(src_rank, dst_rank, bytes, ready, &fd);
+    if (!fd.drop) {
+      faults->retransmits = attempt;
+      faults->duplicate = fd.duplicate;
+      if (attempt > 0) {
+        trace::Counter* m =
+            shard_metrics_[static_cast<std::size_t>(sim::current_shard())].retransmits;
+        if (m) m->inc(static_cast<std::uint64_t>(attempt));
+      }
+      return port;
+    }
+    ready += rto;
+  }
 }
 
 sim::Time NetworkModel::deliver_time(int src_rank, int dst_rank, std::int64_t bytes,
@@ -113,8 +200,10 @@ sim::Time NetworkModel::deliver_time(int src_rank, int dst_rank, std::int64_t by
     if (!fd.drop) {
       faults->retransmits = attempt;
       faults->duplicate = fd.duplicate;
-      if (attempt > 0 && retransmit_metric_) {
-        retransmit_metric_->inc(static_cast<std::uint64_t>(attempt));
+      if (attempt > 0) {
+        trace::Counter* m =
+            shard_metrics_[static_cast<std::size_t>(sim::current_shard())].retransmits;
+        if (m) m->inc(static_cast<std::uint64_t>(attempt));
       }
       return arrive;
     }
@@ -126,13 +215,15 @@ sim::Time NetworkModel::deliver_time_uncontended(int src_rank, int dst_rank, std
                                                  sim::Time depart_ready,
                                                  fault::NetFaultDecision* decision) {
   const LinkLevel level = classify(src_rank, dst_rank);
+  sim::Rng& rng = channel_rng(src_rank, dst_rank);
   if (decision && injector_ && injector_->net_active()) {
     *decision = injector_->on_message(src_rank, dst_rank, static_cast<int>(level), depart_ready);
-    const sim::Time d = sample_delay(level, bytes) * decision->delay_factor + decision->extra_delay;
+    const sim::Time d =
+        sample_delay(level, bytes, rng) * decision->delay_factor + decision->extra_delay;
     if (!decision->drop) count_delivery(level, bytes, d);
     return depart_ready + d;
   }
-  const sim::Time d = sample_delay(level, bytes);
+  const sim::Time d = sample_delay(level, bytes, rng);
   count_delivery(level, bytes, d);
   return depart_ready + d;
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "fault/fault_injector.hpp"
@@ -51,8 +52,21 @@ class NetworkModel {
 
   const topology::LinkParams& link(LinkLevel level) const;
 
-  /// Samples the one-way wire delay (no NIC queueing, no CPU overheads).
+  /// Samples the one-way wire delay (no NIC queueing, no CPU overheads)
+  /// from the model's own stream.  Standalone/test entry point; the World
+  /// paths all draw from per-channel streams instead.
   sim::Time sample_delay(LinkLevel level, std::int64_t bytes);
+
+  /// As above but drawing from the caller-supplied stream.
+  sim::Time sample_delay(LinkLevel level, std::int64_t bytes, sim::Rng& rng);
+
+  /// The (src_rank -> dst_rank) channel's private delay stream, created on
+  /// first use.  Keying randomness by channel — rather than by global draw
+  /// order — is what makes delays shard-count-invariant: a channel's draws
+  /// follow the sender's timeline only, and senders never migrate between
+  /// shards (docs/parallel-simulation.md).  A channel is only ever touched
+  /// from its sender's shard, so no locking.
+  sim::Rng& channel_rng(int src_rank, int dst_rank);
 
   /// Full path: earliest arrival of a message handed to the network at
   /// `depart_ready`, including NIC egress/ingress serialization for
@@ -72,8 +86,39 @@ class NetworkModel {
                                      sim::Time depart_ready,
                                      fault::NetFaultDecision* decision = nullptr);
 
+  /// Sender half of the split inter-node path used by the sharded engine:
+  /// NIC egress serialization + wire delay, drawn from the sender's channel
+  /// stream.  Returns the time the message reaches the destination NIC port
+  /// (before ingress admission).  Only touches sender-side state, so shards
+  /// may call it concurrently for disjoint senders.  When `decision` is
+  /// non-null its factor/extra stretch the wire delay; a dropped message
+  /// still occupies egress and the returned port time is where it was lost.
+  sim::Time egress_to_wire(int src_rank, int dst_rank, std::int64_t bytes, sim::Time depart_ready,
+                           const fault::NetFaultDecision* decision = nullptr);
+
+  /// Receiver half: admits a message that reached `dst_rank`'s NIC port at
+  /// `port_time`, serializing through ingress and recording the delivery
+  /// metric against `depart_ready` (hand-off to arrival, as deliver_time
+  /// does).  Called in deterministic merge order at window boundaries.
+  sim::Time ingress_admit(int dst_rank, std::int64_t bytes, sim::Time port_time,
+                          sim::Time depart_ready);
+
+  /// Reliable sender-side path for inter-node traffic: the same bounded
+  /// retransmission loop as deliver_time (each lost attempt occupies egress
+  /// and the wire; the last attempt always survives the fabric) but stopping
+  /// at the destination NIC port.  As with deliver_time, a null `faults`
+  /// runs fault-blind (duplicate copies).
+  sim::Time transit_time(int src_rank, int dst_rank, std::int64_t bytes, sim::Time depart_ready,
+                         DeliveryFaults* faults = nullptr);
+
   double send_overhead() const { return params_.send_overhead; }
   double recv_overhead() const { return params_.recv_overhead; }
+
+  /// Conservative-window lookahead for the sharded engine: every inter-node
+  /// message handed to the network at time t reaches the destination NIC
+  /// port no earlier than t + this bound (base latency; jitter/spikes/fault
+  /// stretches only add).
+  double min_inter_node_latency() const { return params_.inter_node.base_latency; }
 
   /// Expected (mean) one-way delay for `bytes`, used by latency estimators.
   double expected_delay(LinkLevel level, std::int64_t bytes) const;
@@ -86,15 +131,27 @@ class NetworkModel {
   /// paths behave exactly as the fault-free model.
   void set_fault_injector(fault::FaultInjector* injector) noexcept { injector_ = injector; }
 
+  /// Re-resolves the per-delivery metric handles against one registry per
+  /// shard (null entries allowed — metrics off).  Deliveries recorded on a
+  /// shard worker thread land in that shard's registry (indexed by
+  /// sim::current_shard()); the World merges registries deterministically.
+  void bind_shards(const std::vector<trace::MetricsRegistry*>& registries);
+
  private:
   // Metric handles resolved once at construction against the registry that
   // was active then (install metrics before building the World); null when
-  // metrics are off, so the per-message cost is one branch.
+  // metrics are off, so the per-message cost is one branch.  Slot 0 of
+  // shard_metrics_; bind_shards replaces the table with per-shard handles.
   struct LevelMetrics {
     trace::Counter* messages = nullptr;
     trace::Counter* bytes = nullptr;
     trace::HistogramMetric* delay = nullptr;
   };
+  struct ShardMetrics {
+    LevelMetrics levels[3];  // indexed by LinkLevel
+    trace::Counter* retransmits = nullptr;
+  };
+  static ShardMetrics resolve_metrics(trace::MetricsRegistry* registry);
   void count_delivery(LinkLevel level, std::int64_t bytes, sim::Time delay);
 
   /// One delivery attempt; `decision` (nullable) scales/extends the sampled
@@ -104,12 +161,13 @@ class NetworkModel {
 
   const topology::ClusterTopology* topo_;
   topology::NetworkParams params_;
-  sim::Rng rng_;
-  std::vector<sim::Time> egress_free_;   // per node
-  std::vector<sim::Time> ingress_free_;  // per node
-  LevelMetrics metrics_[3];              // indexed by LinkLevel
+  sim::Rng rng_;                 // standalone sample_delay() only
+  std::uint64_t channel_seed_;   // keys the per-channel streams
+  std::vector<std::map<int, sim::Rng>> channel_rngs_;  // [src_rank][dst_rank]
+  std::vector<sim::Time> egress_free_;   // per node; sender-shard state
+  std::vector<sim::Time> ingress_free_;  // per node; receiver-side state
+  std::vector<ShardMetrics> shard_metrics_;  // size >= 1; [sim::current_shard()]
   fault::FaultInjector* injector_ = nullptr;
-  trace::Counter* retransmit_metric_ = nullptr;
 };
 
 }  // namespace hcs::simmpi

@@ -31,6 +31,7 @@ struct RecvState {
 };
 
 struct SendState {
+  int owner = -1;  // sending rank (routes await_send to the sender's shard)
   sim::Time complete_at = 0.0;
 };
 

@@ -1,12 +1,26 @@
 #include "simmpi/world.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "simmpi/comm.hpp"
 
 namespace hcs::simmpi {
+
+namespace {
+std::atomic<int> g_default_shards{1};
+}  // namespace
+
+void set_default_shards(int shards) noexcept {
+  g_default_shards.store(shards < 1 ? 1 : shards, std::memory_order_relaxed);
+}
+
+int default_shards() noexcept { return g_default_shards.load(std::memory_order_relaxed); }
 
 // ---------------------------------------------------------------- RankCtx --
 
@@ -17,33 +31,93 @@ RankCtx::~RankCtx() = default;
 
 vclock::ClockPtr RankCtx::base_clock() const { return world_->base_clock(rank_); }
 
-sim::Simulation& RankCtx::sim() const { return world_->sim(); }
+sim::Simulation& RankCtx::sim() const { return world_->sim_of(rank_); }
 
 // ------------------------------------------------------------------ World --
 
-World::World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPlan fault_plan)
+World::World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPlan fault_plan,
+             int shards)
     : machine_(std::move(machine)),
-      sim_(seed),
       network_(machine_.topo, machine_.net, seed ^ 0x9e3779b97f4a7c15ULL) {
+  const int nodes = machine_.topo.nodes();
+  if (shards <= 0) shards = default_shards();
+  nshards_ = std::clamp(shards, 1, nodes);
+  lookahead_ = network_.min_inter_node_latency();
+
+  // Contiguous node ranges per shard; shards never split a node, so every
+  // intra-node structure (mailboxes, NIC state, hardware clocks, the burst
+  // fast path) stays confined to one shard's thread.
+  node_of_rank_.resize(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    node_of_rank_[static_cast<std::size_t>(r)] = machine_.topo.locate(r).node;
+  }
+  shard_of_node_.resize(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    shard_of_node_[static_cast<std::size_t>(n)] =
+        static_cast<int>((static_cast<std::int64_t>(n) * nshards_) / nodes);
+  }
+
+  // Shard 0 keeps the World seed itself so --shards 1 reproduces the
+  // engine's historical ctx.sim().rng() streams; the rest chain off it.
+  // (ctx.sim().rng() draws are the one non-invariant under resharding —
+  // simulation results never consume them; see docs/parallel-simulation.md.)
+  sims_.reserve(static_cast<std::size_t>(nshards_));
+  std::uint64_t shard_sm = seed ^ 0x2545f4914f6cdd1dULL;
+  for (int s = 0; s < nshards_; ++s) {
+    sims_.push_back(std::make_unique<sim::Simulation>(s == 0 ? seed : sim::splitmix64(shard_sm)));
+  }
+  shard_states_.resize(static_cast<std::size_t>(nshards_));
+
+  // Hardware clocks: seed chain unchanged from the unsharded engine (clock
+  // paths must not depend on the shard count).  Each clock reads "now" from
+  // the simulation of the shard owning its ranks; a time source is at most
+  // node-wide (topology.cpp), so it can never span shards.
   const int sources = machine_.topo.num_time_sources();
+  std::vector<int> source_shard(static_cast<std::size_t>(sources), 0);
+  for (int r = size() - 1; r >= 0; --r) {
+    source_shard[static_cast<std::size_t>(machine_.topo.time_source_id(r))] = shard_of_rank(r);
+  }
   hw_clocks_.reserve(static_cast<std::size_t>(sources));
   std::uint64_t sm = seed ^ 0xd1b54a32d192ed03ULL;
   for (int s = 0; s < sources; ++s) {
-    hw_clocks_.push_back(
-        std::make_shared<vclock::HardwareClock>(sim_, machine_.clocks, sim::splitmix64(sm)));
+    hw_clocks_.push_back(std::make_shared<vclock::HardwareClock>(
+        *sims_[static_cast<std::size_t>(source_shard[static_cast<std::size_t>(s)])],
+        machine_.clocks, sim::splitmix64(sm)));
   }
   mailboxes_.resize(static_cast<std::size_t>(size()));
-  time_source_.sim = &sim_;
-  if (trace::Tracer* tracer = trace::active_tracer()) {
-    tracer->set_time_source(&time_source_, trace::TimeSourceKind::kSimTime);
+
+  // Observability: the parent tracer/registry stay bound to the constructing
+  // thread; sharded runs record into per-shard buffers that ~World absorbs
+  // in shard-index order (the record paths are not thread-safe).
+  parent_tracer_ = trace::active_tracer();
+  parent_metrics_ = trace::active_metrics();
+  time_source_.sim = sims_[0].get();
+  if (parent_tracer_) {
+    parent_tracer_->set_time_source(&time_source_, trace::TimeSourceKind::kSimTime);
   }
-  if (trace::MetricsRegistry* m = trace::active_metrics()) {
-    rtt_metric_ = &m->histogram("sync.rtt");
-    pingpong_counter_ = &m->counter("sync.pingpongs");
-    burst_retry_metric_ = &m->histogram("sync.burst_retries", trace::MetricUnit::kNone);
-    lost_exchange_metric_ = &m->counter("sync.exchanges_lost");
-    dup_absorbed_metric_ = &m->counter("fault.net.dup_absorbed");
+  std::vector<trace::MetricsRegistry*> regs(static_cast<std::size_t>(nshards_), nullptr);
+  if (nshards_ == 1) {
+    regs[0] = parent_metrics_;
+  } else {
+    for (int s = 0; s < nshards_; ++s) {
+      if (parent_tracer_) {
+        auto ts = std::make_unique<SimTimeSource>();
+        ts->sim = sims_[static_cast<std::size_t>(s)].get();
+        auto tracer = std::make_unique<trace::Tracer>(parent_tracer_->ring_capacity());
+        tracer->set_time_source(ts.get(), trace::TimeSourceKind::kSimTime);
+        shard_time_sources_.push_back(std::move(ts));
+        shard_tracers_.push_back(std::move(tracer));
+      }
+      if (parent_metrics_) {
+        shard_registries_.push_back(std::make_unique<trace::MetricsRegistry>());
+        regs[static_cast<std::size_t>(s)] = shard_registries_.back().get();
+      }
+    }
   }
+  world_metrics_.reserve(regs.size());
+  for (trace::MetricsRegistry* r : regs) world_metrics_.push_back(resolve_metrics(r));
+  if (nshards_ > 1) network_.bind_shards(regs);
+
   if (!fault_plan.empty()) {
     // The injector's streams derive from the World seed (plus the plan's own
     // seed, mixed in by the injector), never from the network/clock RNGs:
@@ -51,6 +125,7 @@ World::World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPl
     fault_ = std::make_unique<fault::FaultInjector>(fault_plan, seed ^ 0xa0761d6478bd642fULL,
                                                     size());
     network_.set_fault_injector(fault_.get());
+    if (nshards_ > 1) fault_->bind_shards(regs);
     seq_tracking_ = fault_->net_active();
     if (fault_->crash_active()) {
       detector_ = std::make_unique<FailureDetector>(*fault_, network_, size());
@@ -72,8 +147,27 @@ World::World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPl
 }
 
 World::~World() {
+  // Fold per-shard observability into the parent exactly once, in shard
+  // order: the resulting streams match what a 1-shard run records directly.
+  if (parent_tracer_) {
+    for (const auto& t : shard_tracers_) parent_tracer_->absorb(*t);
+  }
+  if (parent_metrics_) {
+    for (const auto& r : shard_registries_) parent_metrics_->merge_from(*r);
+  }
   trace::Tracer* tracer = trace::active_tracer();
   if (tracer && tracer->time_source() == &time_source_) tracer->set_time_source(nullptr);
+}
+
+World::WorldMetrics World::resolve_metrics(trace::MetricsRegistry* registry) {
+  WorldMetrics out;
+  if (!registry) return out;
+  out.rtt = &registry->histogram("sync.rtt");
+  out.pingpongs = &registry->counter("sync.pingpongs");
+  out.burst_retries = &registry->histogram("sync.burst_retries", trace::MetricUnit::kNone);
+  out.exchanges_lost = &registry->counter("sync.exchanges_lost");
+  out.dup_absorbed = &registry->counter("fault.net.dup_absorbed");
+  return out;
 }
 
 vclock::ClockPtr World::base_clock(int rank) const {
@@ -104,21 +198,128 @@ void World::launch(const RankFn& fn) {
   const bool guard = detector_ != nullptr;
   for (int r = 0; r < size(); ++r) {
     if (guard) {
-      sim_.spawn(run_rank_guarded(fn, ctx(r)));
+      sim_of(r).spawn(run_rank_guarded(fn, ctx(r)));
     } else {
-      sim_.spawn(fn(ctx(r)));
+      sim_of(r).spawn(fn(ctx(r)));
     }
   }
 }
 
-void World::run(std::uint64_t max_events) {
-  sim_.run(max_events);
-  if (sim_.processes_finished() != sim_.processes_spawned()) {
-    throw std::runtime_error(
-        "World::run: deadlock — " +
-        std::to_string(sim_.processes_spawned() - sim_.processes_finished()) +
-        " of " + std::to_string(sim_.processes_spawned()) + " processes still blocked");
+// ----------------------------------------------------------------- engine --
+
+std::uint64_t World::total_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : sims_) total += s->events_processed();
+  return total;
+}
+
+// One window-boundary step on the coordinating thread (workers parked):
+// collect errors, drain cross-shard traffic, pick the next window.  Returns
+// false when the run is over (all queues empty, or a fatal error).
+bool World::serial_phase(std::uint64_t max_events) {
+  for (int s = 0; s < nshards_; ++s) {
+    if (auto error = sims_[static_cast<std::size_t>(s)]->take_error()) {
+      if (!fatal_) fatal_ = error;
+    }
   }
+  if (fatal_) return false;
+  try {
+    drain_outboxes();
+    drain_burst_halves();
+  } catch (...) {
+    fatal_ = std::current_exception();
+    sim::set_current_shard(0);
+    return false;
+  }
+  sim::Time first = sim::kTimeInfinity;
+  for (const auto& s : sims_) {
+    if (!s->idle() && s->next_event_time() < first) first = s->next_event_time();
+  }
+  if (first == sim::kTimeInfinity) return false;
+  const std::uint64_t done = total_events();
+  if (done >= max_events) {
+    fatal_ = std::make_exception_ptr(
+        std::runtime_error("Simulation::run: event budget exceeded (" +
+                           std::to_string(max_events) + " events)"));
+    return false;
+  }
+  // Each shard is capped at its own lifetime count plus the global remainder;
+  // concurrent windows can overshoot by at most (shards - 1) * remainder,
+  // and with one shard the cap is exactly max_events, like the old engine.
+  const std::uint64_t remaining = max_events - done;
+  shard_caps_.resize(static_cast<std::size_t>(nshards_));
+  for (int s = 0; s < nshards_; ++s) {
+    shard_caps_[static_cast<std::size_t>(s)] =
+        sims_[static_cast<std::size_t>(s)]->events_processed() + remaining;
+  }
+  window_end_ = first + lookahead_;
+  if (!(window_end_ > first)) {
+    // Degenerate lookahead (zero inter-node latency): single-event windows.
+    window_end_ = std::nextafter(first, sim::kTimeInfinity);
+  }
+  last_window_end_ = window_end_;
+  return true;
+}
+
+void World::run(std::uint64_t max_events) {
+  fatal_ = nullptr;
+  sim::set_current_shard(0);
+  const std::uint64_t events_before = total_events();
+  if (nshards_ == 1) {
+    while (serial_phase(max_events)) {
+      sims_[0]->run_window(window_end_, shard_caps_[0]);
+    }
+  } else {
+    std::barrier gate(static_cast<std::ptrdiff_t>(nshards_) + 1);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(nshards_));
+    for (int s = 0; s < nshards_; ++s) {
+      workers.emplace_back([this, s, &gate, &stop] {
+        sim::set_current_shard(s);
+        trace::ScopedTracer tracer_guard(shard_tracers_.empty()
+                                             ? nullptr
+                                             : shard_tracers_[static_cast<std::size_t>(s)].get());
+        trace::ScopedMetrics metrics_guard(
+            shard_registries_.empty() ? nullptr
+                                      : shard_registries_[static_cast<std::size_t>(s)].get());
+        for (;;) {
+          gate.arrive_and_wait();
+          if (stop.load(std::memory_order_acquire)) break;
+          sims_[static_cast<std::size_t>(s)]->run_window(window_end_,
+                                                         shard_caps_[static_cast<std::size_t>(s)]);
+          gate.arrive_and_wait();
+        }
+      });
+    }
+    for (;;) {
+      const bool go = serial_phase(max_events);
+      if (!go) stop.store(true, std::memory_order_release);
+      gate.arrive_and_wait();  // release workers: run a window, or exit
+      if (!go) break;
+      gate.arrive_and_wait();  // window complete everywhere
+    }
+    for (auto& w : workers) w.join();
+  }
+  if (fatal_) {
+    auto error = fatal_;
+    fatal_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  std::size_t spawned = 0, finished = 0;
+  sim::Time virtual_now = 0.0;
+  for (const auto& s : sims_) {
+    spawned += s->processes_spawned();
+    finished += s->processes_finished();
+    virtual_now = std::max(virtual_now, s->now());
+  }
+  if (finished != spawned) {
+    throw std::runtime_error("World::run: deadlock — " + std::to_string(spawned - finished) +
+                             " of " + std::to_string(spawned) + " processes still blocked");
+  }
+  HCS_METRIC_ADD("sim.events_processed", total_events() - events_before);
+  HCS_METRIC_SET("sim.virtual_time_s", virtual_now);
+  HCS_METRIC_SET("sim.processes_spawned", static_cast<double>(spawned));
 }
 
 void World::run_all(const RankFn& fn, std::uint64_t max_events) {
@@ -129,17 +330,74 @@ void World::run_all(const RankFn& fn, std::uint64_t max_events) {
 // -------------------------------------------------------------------- p2p --
 
 namespace {
-sim::Task<void> deliver_later(World& world, sim::Time arrive, int dst, Message msg) {
-  co_await world.sim().delay(arrive - world.sim().now());
+sim::Task<void> deliver_later(World& world, sim::Simulation& s, sim::Time arrive, int dst,
+                              Message msg) {
+  co_await s.delay(arrive - s.now());
   world.deliver_now(dst, std::move(msg));
 }
 }  // namespace
 
+void World::push_ingress(int src, int dst, sim::Time depart_ready, sim::Time port_time,
+                         Message msg) {
+  ShardState& ss = shard_states_[static_cast<std::size_t>(shard_of_rank(src))];
+  IngressRecord record;
+  record.src = src;
+  record.dst = dst;
+  record.depart_ready = depart_ready;
+  record.port_time = port_time;
+  record.order = ss.outbox_seq++;
+  record.msg = std::move(msg);
+  ss.outbox.push_back(std::move(record));
+}
+
+// Window-boundary delivery of all parked inter-node messages, in a merge
+// order that no shard layout can change: (port arrival, src, dst, sender
+// push index).  Ingress NIC admission therefore evolves identically for any
+// shard count — the crux of the determinism guarantee.
+void World::drain_outboxes() {
+  std::vector<IngressRecord> records;
+  for (auto& ss : shard_states_) {
+    if (records.empty()) {
+      records = std::move(ss.outbox);
+      ss.outbox.clear();
+    } else {
+      for (auto& r : ss.outbox) records.push_back(std::move(r));
+      ss.outbox.clear();
+    }
+  }
+  if (records.empty()) return;
+  std::sort(records.begin(), records.end(), [](const IngressRecord& a, const IngressRecord& b) {
+    if (a.port_time != b.port_time) return a.port_time < b.port_time;
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.order < b.order;
+  });
+  for (IngressRecord& r : records) {
+    const int dshard = shard_of_rank(r.dst);
+    sim::set_current_shard(dshard);
+    sim::Time arrive = network_.ingress_admit(r.dst, r.msg.bytes, r.port_time, r.depart_ready);
+    if (fault_) arrive = fault_->release_time(r.dst, arrive);
+    r.msg.arrived_at = arrive;
+    if (!detector_ || crash_delivered(r.src, r.dst, arrive)) {
+      sim::Simulation& dst_sim = *sims_[static_cast<std::size_t>(dshard)];
+      dst_sim.spawn(deliver_later(*this, dst_sim, arrive, r.dst, std::move(r.msg)));
+    } else {
+      // The crash rule trumps the reliable transport's "final retransmission
+      // always lands": a dead endpoint or severed link loses the message for
+      // good, in-flight copies included.
+      fault_->count_crash_drop();
+    }
+  }
+  sim::set_current_shard(0);
+}
+
 // Hands one message to the network: fault evaluation (drops absorbed by the
 // network's bounded retransmission), pause-window translation at both
 // endpoints, channel sequencing, and the optional duplicate copy.  Shared by
-// p2p_send and p2p_isend; identical to the pre-fault path when no injector
-// is attached.
+// p2p_send and p2p_isend.  Intra-node messages deliver directly inside the
+// sender's shard; inter-node messages pay egress + wire now (sender-side
+// state only) and park in the outbox for ingress at the window boundary —
+// at every shard count, so the timeline never depends on the shard layout.
 void World::dispatch_message(int src, int dst, std::vector<double> data, std::int64_t bytes,
                              std::int64_t tag, sim::Time ready) {
   if (fault_) ready = fault_->release_time(src, ready);
@@ -154,29 +412,38 @@ void World::dispatch_message(int src, int dst, std::vector<double> data, std::in
                         static_cast<std::size_t>(dst)]++;
   }
   DeliveryFaults df;
+  if (node_of_rank_[static_cast<std::size_t>(src)] != node_of_rank_[static_cast<std::size_t>(dst)]) {
+    const sim::Time port = network_.transit_time(src, dst, bytes, ready,
+                                                 seq_tracking_ ? &df : nullptr);
+    if (df.duplicate) {
+      // The second copy rides the network fault-blind (no recursive faults)
+      // and keeps the original sequence number, so the receiving mailbox
+      // absorbs whichever copy arrives second.
+      Message copy = msg;
+      const sim::Time dup_port = network_.transit_time(src, dst, bytes, ready);
+      push_ingress(src, dst, ready, dup_port, std::move(copy));
+    }
+    push_ingress(src, dst, ready, port, std::move(msg));
+    return;
+  }
+  sim::Simulation& s = sim_of(dst);  // same shard as src: shards don't split nodes
   sim::Time arrive = network_.deliver_time(src, dst, bytes, ready, seq_tracking_ ? &df : nullptr);
   if (fault_) arrive = fault_->release_time(dst, arrive);
   msg.arrived_at = arrive;
   if (df.duplicate) {
-    // The second copy rides the network fault-blind (no recursive faults)
-    // and keeps the original sequence number, so the receiving mailbox
-    // absorbs whichever copy arrives second.
     Message copy = msg;
     sim::Time dup_arrive = network_.deliver_time(src, dst, bytes, ready);
     if (fault_) dup_arrive = fault_->release_time(dst, dup_arrive);
     copy.arrived_at = dup_arrive;
     if (!detector_ || crash_delivered(src, dst, dup_arrive)) {
-      sim_.spawn(deliver_later(*this, dup_arrive, dst, std::move(copy)));
+      s.spawn(deliver_later(*this, s, dup_arrive, dst, std::move(copy)));
     } else {
       fault_->count_crash_drop();
     }
   }
   if (!detector_ || crash_delivered(src, dst, arrive)) {
-    sim_.spawn(deliver_later(*this, arrive, dst, std::move(msg)));
+    s.spawn(deliver_later(*this, s, arrive, dst, std::move(msg)));
   } else {
-    // The crash rule trumps the reliable transport's "final retransmission
-    // always lands": a dead endpoint or severed link loses the message for
-    // good, in-flight copies included.
     fault_->count_crash_drop();
   }
 }
@@ -192,9 +459,10 @@ sim::Task<void> World::p2p_send(int src, int dst, std::int64_t tag, std::vector<
   check_crash(src);
   if (bytes <= 0) bytes = static_cast<std::int64_t>(data.size() * sizeof(double));
   if (bytes <= 0) bytes = 8;
-  co_await sim_.delay(network_.send_overhead());
+  sim::Simulation& s = sim_of(src);
+  co_await s.delay(network_.send_overhead());
   check_crash(src);  // a crash inside the send overhead kills the message too
-  dispatch_message(src, dst, std::move(data), bytes, tag, sim_.now());
+  dispatch_message(src, dst, std::move(data), bytes, tag, s.now());
 }
 
 void World::deliver_now(int dst, Message msg) {
@@ -209,12 +477,12 @@ void World::deliver_now(int dst, Message msg) {
   if (mb.expected_seq.empty()) mb.expected_seq.assign(static_cast<std::size_t>(size()), 0);
   std::uint64_t& expected = mb.expected_seq[static_cast<std::size_t>(msg.src)];
   if (msg.seq < expected) {
-    if (dup_absorbed_metric_) dup_absorbed_metric_->inc();
+    if (trace::Counter* m = my_metrics().dup_absorbed) m->inc();
     return;
   }
   if (msg.seq > expected) {
     if (!mb.held.emplace(std::make_pair(msg.src, msg.seq), std::move(msg)).second) {
-      if (dup_absorbed_metric_) dup_absorbed_metric_->inc();
+      if (trace::Counter* m = my_metrics().dup_absorbed) m->inc();
     }
     return;
   }
@@ -244,7 +512,8 @@ void World::match_or_enqueue(int dst, Message msg) {
   request->msg = std::move(msg);
   request->complete = true;
   if (request->waiter) {
-    sim_.schedule_at(sim_.now(), request->waiter);
+    sim::Simulation& s = sim_of(dst);
+    s.schedule_at(s.now(), request->waiter);
     request->waiter = nullptr;
   }
 }
@@ -280,7 +549,8 @@ void World::cancel_recv(const RecvRequest& request) {
 // A request that completed (or was resolved by the sibling watchdog) first
 // makes this a no-op.
 sim::Task<void> World::recv_watchdog(RecvRequest request, sim::Time when, bool crash_kind) {
-  co_await sim_.delay(when - sim_.now());
+  sim::Simulation& s = sim_of(request->owner);
+  co_await s.delay(when - s.now());
   if (request->complete || request->timed_out || request->owner_crashed) co_return;
   if (crash_kind) {
     request->owner_crashed = true;
@@ -289,7 +559,7 @@ sim::Task<void> World::recv_watchdog(RecvRequest request, sim::Time when, bool c
   }
   cancel_recv(request);
   if (request->waiter) {
-    sim_.schedule_at(sim_.now(), request->waiter);
+    s.schedule_at(s.now(), request->waiter);
     request->waiter = nullptr;
   }
 }
@@ -298,8 +568,9 @@ sim::Task<void> World::recv_watchdog(RecvRequest request, sim::Time when, bool c
 // is absolute; kTimeInfinity means "wait for the message" (plus, under the
 // crash model, the owner's own crash).
 sim::Task<void> World::block_on_recv(RecvRequest request, sim::Time deadline) {
+  sim::Simulation& s = sim_of(request->owner);
   if (!request->complete && detector_) {
-    const sim::Time now = sim_.now();
+    const sim::Time now = s.now();
     const sim::Time own_crash = detector_->crash_time(request->owner);
     if (now >= own_crash) {
       request->owner_crashed = true;
@@ -312,10 +583,10 @@ sim::Task<void> World::block_on_recv(RecvRequest request, sim::Time deadline) {
       co_return;
     }
     if (own_crash < sim::kTimeInfinity) {
-      sim_.spawn(recv_watchdog(request, own_crash, /*crash_kind=*/true));
+      s.spawn(recv_watchdog(request, own_crash, /*crash_kind=*/true));
     }
     if (deadline < sim::kTimeInfinity) {
-      sim_.spawn(recv_watchdog(request, deadline, /*crash_kind=*/false));
+      s.spawn(recv_watchdog(request, deadline, /*crash_kind=*/false));
     }
   }
   if (!request->complete && !request->timed_out && !request->owner_crashed) {
@@ -338,29 +609,31 @@ sim::Task<Message> World::await_recv(RecvRequest request) {
   // peer the detector has declared dead is turned into a loud error (and
   // the liveness net turns any remaining cross-wait into one too) instead
   // of a silent world deadlock.
+  sim::Simulation& s = sim_of(request->owner);
   sim::Time deadline = sim::kTimeInfinity;
   if (detector_ && !request->complete && request->src >= 0 && request->owner >= 0) {
     deadline = std::min(detector_->detect_time(request->owner, request->src),
-                        sim_.now() + kLivenessTimeout);
+                        s.now() + kLivenessTimeout);
   }
   co_await block_on_recv(request, deadline);
-  if (request->owner_crashed) throw RankCrashed{request->owner, sim_.now()};
+  if (request->owner_crashed) throw RankCrashed{request->owner, s.now()};
   if (request->timed_out) {
     throw std::runtime_error("recv on rank " + std::to_string(request->owner) + " from rank " +
                              std::to_string(request->src) +
                              " abandoned: peer declared dead (use the fault-tolerant receive "
                              "path for quorum collectives)");
   }
-  co_await sim_.delay(network_.recv_overhead());
+  co_await s.delay(network_.recv_overhead());
   co_return std::move(request->msg);
 }
 
 sim::Task<std::optional<Message>> World::await_recv_until(RecvRequest request,
                                                           sim::Time deadline) {
+  sim::Simulation& s = sim_of(request->owner);
   co_await block_on_recv(request, deadline);
-  if (request->owner_crashed) throw RankCrashed{request->owner, sim_.now()};
+  if (request->owner_crashed) throw RankCrashed{request->owner, s.now()};
   if (request->timed_out) co_return std::nullopt;
-  co_await sim_.delay(network_.recv_overhead());
+  co_await s.delay(network_.recv_overhead());
   co_return std::move(request->msg);
 }
 
@@ -375,16 +648,18 @@ SendRequest World::p2p_isend(int src, int dst, std::int64_t tag, std::vector<dou
   if (bytes <= 0) bytes = static_cast<std::int64_t>(data.size() * sizeof(double));
   if (bytes <= 0) bytes = 8;
   auto request = std::make_shared<SendState>();
+  request->owner = src;
   // The NIC takes over immediately; the rank's own overhead marks when the
   // send buffer is reusable (MPI_Wait on the isend).
-  request->complete_at = sim_.now() + network_.send_overhead();
+  request->complete_at = sim_of(src).now() + network_.send_overhead();
   dispatch_message(src, dst, std::move(data), bytes, tag, request->complete_at);
   return request;
 }
 
 sim::Task<void> World::await_send(SendRequest request) {
-  const sim::Time now = sim_.now();
-  if (request->complete_at > now) co_await sim_.delay(request->complete_at - now);
+  sim::Simulation& s = request->owner >= 0 ? sim_of(request->owner) : *sims_[0];
+  const sim::Time now = s.now();
+  if (request->complete_at > now) co_await s.delay(request->complete_at - now);
 }
 
 // ------------------------------------------------------------------ burst --
@@ -419,6 +694,7 @@ void World::synthesize_burst(BurstState& st) {
   constexpr int kMaxPingAttempts = 3;
   constexpr double kPingTimeoutFactor = 10.0;  // of the expected round-trip time
 
+  WorldMetrics& metrics = my_metrics();
   const double o_s = network_.send_overhead();
   const double o_r = network_.recv_overhead();
   sim::Time tc = st.client_ready;  // client's process-time cursor
@@ -486,7 +762,7 @@ void World::synthesize_burst(BurstState& st) {
           const sim::Time recv_time = arrive_client + o_r;
           s.client_recv = st.client_clock->at(recv_time);
           st.result.samples.push_back(s);
-          if (rtt_metric_) rtt_metric_->observe(recv_time - attempt_start);
+          if (metrics.rtt) metrics.rtt->observe(recv_time - attempt_start);
           tc = recv_time;
           break;
         }
@@ -501,11 +777,11 @@ void World::synthesize_burst(BurstState& st) {
   }
   st.client_done = tc;
   st.ref_done = tr;
-  if (pingpong_counter_) pingpong_counter_->inc(static_cast<std::uint64_t>(st.nexchanges));
+  if (metrics.pingpongs) metrics.pingpongs->inc(static_cast<std::uint64_t>(st.nexchanges));
   if (faulty) {
-    if (burst_retry_metric_) burst_retry_metric_->observe(st.result.retries);
-    if (lost_exchange_metric_ && st.result.lost > 0) {
-      lost_exchange_metric_->inc(static_cast<std::uint64_t>(st.result.lost));
+    if (metrics.burst_retries) metrics.burst_retries->observe(st.result.retries);
+    if (metrics.exchanges_lost && st.result.lost > 0) {
+      metrics.exchanges_lost->inc(static_cast<std::uint64_t>(st.result.lost));
     }
   }
   if (trace::Tracer* tracer = trace::active_tracer()) {
@@ -520,17 +796,24 @@ void World::synthesize_burst(BurstState& st) {
 // (the waiter's own crash time, or the moment its detector declares the
 // partner dead) the burst is reported fully lost and the waiter resumed —
 // it re-checks its own crash on resume.  A burst that paired in the
-// meantime cleared first_handle, making this a no-op.
+// meantime cleared first_handle, making this a no-op.  Intra-node waits
+// also un-register from the shard's pairing map; cross-node halves are
+// lazily skipped by the rendezvous drain instead.
 sim::Task<void> World::burst_watchdog(std::shared_ptr<BurstState> st, std::uint64_t key,
-                                      sim::Time when) {
-  if (when > sim_.now()) co_await sim_.delay(when - sim_.now());
+                                      sim::Time when, bool cross_node) {
+  const int owner = st->first_is_client ? st->client_rank : st->ref_rank;
+  sim::Simulation& s = sim_of(owner);
+  if (when > s.now()) co_await s.delay(when - s.now());
   if (!st->first_handle) co_return;
   st->result.requested = st->nexchanges;
   st->result.lost = st->nexchanges;
   if (fault_) fault_->count_crash_drop();
-  const auto it = bursts_.find(key);
-  if (it != bursts_.end() && it->second == st) bursts_.erase(it);
-  sim_.schedule_at(sim_.now(), st->first_handle);
+  if (!cross_node) {
+    auto& bursts = shard_states_[static_cast<std::size_t>(shard_of_rank(owner))].local_bursts;
+    const auto it = bursts.find(key);
+    if (it != bursts.end() && it->second == st) bursts.erase(it);
+  }
+  s.schedule_at(s.now(), st->first_handle);
   st->first_handle = nullptr;
 }
 
@@ -540,8 +823,22 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
   if (nexchanges < 1) throw std::invalid_argument("pingpong_burst: nexchanges must be >= 1");
   if (me == partner) throw std::invalid_argument("pingpong_burst: self ping-pong");
   check_crash(me);
+  if (node_of_rank_[static_cast<std::size_t>(me)] ==
+      node_of_rank_[static_cast<std::size_t>(partner)]) {
+    co_return co_await pingpong_burst_local(me, partner, i_am_client, my_clock, nexchanges, bytes);
+  }
+  co_return co_await pingpong_burst_cross(me, partner, i_am_client, my_clock, nexchanges, bytes);
+}
+
+// Intra-node burst: both callers live in the same shard, so the pairing map
+// and inline synthesis work exactly as in the unsharded engine.
+sim::Task<BurstResult> World::pingpong_burst_local(int me, int partner, bool i_am_client,
+                                                   vclock::Clock& my_clock, int nexchanges,
+                                                   std::int64_t bytes) {
+  sim::Simulation& s = sim_of(me);
+  auto& bursts = shard_states_[static_cast<std::size_t>(shard_of_rank(me))].local_bursts;
   const std::uint64_t key = pair_key(me, partner, size());
-  const auto it = bursts_.find(key);
+  const auto it = bursts.find(key);
 
   // NOTE: awaiters with non-trivially-destructible members must be named
   // locals, never co_await'ed as brace-init temporaries: GCC 12 destroys such
@@ -557,13 +854,11 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
     sim::Simulation* sim;
     sim::Time when;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) {
-      sim->schedule_at(when, h);
-    }
+    void await_suspend(std::coroutine_handle<> h) { sim->schedule_at(when, h); }
     void await_resume() const noexcept {}
   };
 
-  if (it == bursts_.end()) {
+  if (it == bursts.end()) {
     auto st = std::make_shared<BurstState>();
     st->nexchanges = nexchanges;
     st->bytes = bytes;
@@ -571,20 +866,20 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
     if (i_am_client) {
       st->client_rank = me;
       st->client_clock = &my_clock;
-      st->client_ready = sim_.now();
+      st->client_ready = s.now();
     } else {
       st->ref_rank = me;
       st->ref_clock = &my_clock;
-      st->ref_ready = sim_.now();
+      st->ref_ready = s.now();
     }
-    bursts_[key] = st;
+    bursts[key] = st;
     if (detector_) {
       const sim::Time partner_dead = detector_->detect_time(me, partner);
-      if (partner_dead <= sim_.now()) {
+      if (partner_dead <= s.now()) {
         // Partner already declared dead: resolve as fully lost without
         // suspending (a watchdog due "now" would fire before the suspend
         // below publishes the waiter handle).
-        bursts_.erase(key);
+        bursts.erase(key);
         st->result.requested = nexchanges;
         st->result.lost = nexchanges;
         fault_->count_crash_drop();
@@ -593,8 +888,12 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
       // check_crash above guarantees now < own crash time, so both watchdogs
       // fire strictly in the future, after the waiter handle is published.
       const sim::Time own_crash = fault_->crash_time(me);
-      if (own_crash < sim::kTimeInfinity) sim_.spawn(burst_watchdog(st, key, own_crash));
-      if (partner_dead < sim::kTimeInfinity) sim_.spawn(burst_watchdog(st, key, partner_dead));
+      if (own_crash < sim::kTimeInfinity) {
+        s.spawn(burst_watchdog(st, key, own_crash, /*cross_node=*/false));
+      }
+      if (partner_dead < sim::kTimeInfinity) {
+        s.spawn(burst_watchdog(st, key, partner_dead, /*cross_node=*/false));
+      }
     }
     SuspendForPartner wait_for_partner{st};
     co_await wait_for_partner;
@@ -603,26 +902,154 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
   }
 
   auto st = it->second;
-  bursts_.erase(it);
+  bursts.erase(it);
   if (st->nexchanges != nexchanges || st->first_is_client == i_am_client) {
     throw std::logic_error("pingpong_burst: mismatched burst call between partners");
   }
   if (i_am_client) {
     st->client_rank = me;
     st->client_clock = &my_clock;
-    st->client_ready = sim_.now();
+    st->client_ready = s.now();
   } else {
     st->ref_rank = me;
     st->ref_clock = &my_clock;
-    st->ref_ready = sim_.now();
+    st->ref_ready = s.now();
   }
   synthesize_burst(*st);
-  sim_.schedule_at(st->first_is_client ? st->client_done : st->ref_done, st->first_handle);
+  s.schedule_at(st->first_is_client ? st->client_done : st->ref_done, st->first_handle);
   st->first_handle = nullptr;  // burst watchdogs must not resume it again
-  ResumeAt resume_at{&sim_, i_am_client ? st->client_done : st->ref_done};
+  ResumeAt resume_at{&s, i_am_client ? st->client_done : st->ref_done};
   co_await resume_at;
   check_crash(me);
   co_return st->result;
+}
+
+// Cross-node burst: each caller parks its half in its shard and suspends;
+// the window-boundary rendezvous pairs the halves, synthesizes the burst
+// with both clocks in hand, and resumes both callers.  This path runs at
+// every shard count (including 1), so pairing and synthesis order never
+// depend on the shard layout.
+sim::Task<BurstResult> World::pingpong_burst_cross(int me, int partner, bool i_am_client,
+                                                   vclock::Clock& my_clock, int nexchanges,
+                                                   std::int64_t bytes) {
+  sim::Simulation& s = sim_of(me);
+  const std::uint64_t key = pair_key(me, partner, size());
+  auto st = std::make_shared<BurstState>();
+  st->nexchanges = nexchanges;
+  st->bytes = bytes;
+  st->first_is_client = i_am_client;
+  if (i_am_client) {
+    st->client_rank = me;
+    st->client_clock = &my_clock;
+    st->client_ready = s.now();
+  } else {
+    st->ref_rank = me;
+    st->ref_clock = &my_clock;
+    st->ref_ready = s.now();
+  }
+  if (detector_) {
+    const sim::Time partner_dead = detector_->detect_time(me, partner);
+    if (partner_dead <= s.now()) {
+      st->result.requested = nexchanges;
+      st->result.lost = nexchanges;
+      fault_->count_crash_drop();
+      co_return st->result;
+    }
+    const sim::Time own_crash = fault_->crash_time(me);
+    if (own_crash < sim::kTimeInfinity) {
+      s.spawn(burst_watchdog(st, key, own_crash, /*cross_node=*/true));
+    }
+    if (partner_dead < sim::kTimeInfinity) {
+      s.spawn(burst_watchdog(st, key, partner_dead, /*cross_node=*/true));
+    }
+  }
+  shard_states_[static_cast<std::size_t>(shard_of_rank(me))].halves.push_back(
+      PendingHalf{key, i_am_client, st});
+
+  struct SuspendForPartner {
+    std::shared_ptr<BurstState> st;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { st->first_handle = h; }
+    void await_resume() const noexcept {}
+  };
+  // NOTE: named awaiter on purpose (GCC 12 temporary-awaiter bug).
+  SuspendForPartner wait_for_partner{st};
+  co_await wait_for_partner;
+  check_crash(me);
+  co_return st->result;
+}
+
+// Window-boundary rendezvous for cross-node bursts.  Halves are paired in
+// (key, role) sort order; a half whose watchdog already resolved it is
+// skipped (the "watchdog wins within its window" rule — both the watchdog's
+// firing time and the window boundaries are shard-count-invariant, so which
+// one wins never depends on the layout).  Synthesis runs under the client
+// shard's observability context, and both callers resume no earlier than
+// the end of the window just finished.
+void World::drain_burst_halves() {
+  std::vector<PendingHalf> halves;
+  for (auto& ss : shard_states_) {
+    for (auto& h : ss.halves) halves.push_back(std::move(h));
+    ss.halves.clear();
+  }
+  if (halves.empty() && rendezvous_.empty()) return;
+  std::sort(halves.begin(), halves.end(), [](const PendingHalf& a, const PendingHalf& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.is_client && !b.is_client;
+  });
+  for (PendingHalf& h : halves) {
+    if (!h.st->first_handle) continue;  // watchdog resolved it this window
+    auto it = rendezvous_.find(h.key);
+    if (it != rendezvous_.end() && !it->second.st->first_handle) {
+      rendezvous_.erase(it);  // stale: first arriver gave up via watchdog
+      it = rendezvous_.end();
+    }
+    if (it == rendezvous_.end()) {
+      rendezvous_.emplace(h.key, h);
+      continue;
+    }
+    const PendingHalf first = it->second;
+    rendezvous_.erase(it);
+    const auto st = first.st;
+    if (st->nexchanges != h.st->nexchanges || first.is_client == h.is_client) {
+      sim::set_current_shard(0);
+      throw std::logic_error("pingpong_burst: mismatched burst call between partners");
+    }
+    if (h.is_client) {
+      st->client_rank = h.st->client_rank;
+      st->client_clock = h.st->client_clock;
+      st->client_ready = h.st->client_ready;
+    } else {
+      st->ref_rank = h.st->ref_rank;
+      st->ref_clock = h.st->ref_clock;
+      st->ref_ready = h.st->ref_ready;
+    }
+    const int client_shard = shard_of_rank(st->client_rank);
+    {
+      sim::set_current_shard(client_shard);
+      trace::ScopedTracer tracer_guard(
+          shard_tracers_.empty() ? parent_tracer_
+                                 : shard_tracers_[static_cast<std::size_t>(client_shard)].get());
+      trace::ScopedMetrics metrics_guard(
+          shard_registries_.empty()
+              ? parent_metrics_
+              : shard_registries_[static_cast<std::size_t>(client_shard)].get());
+      synthesize_burst(*st);
+    }
+    h.st->result = st->result;
+    const int first_rank = first.is_client ? st->client_rank : st->ref_rank;
+    const sim::Time first_done = first.is_client ? st->client_done : st->ref_done;
+    const sim::Time second_done = h.is_client ? st->client_done : st->ref_done;
+    // Resumes clamp to the end of the window that just ran: a reference
+    // whose service finished early may not re-enter its shard mid-window.
+    // The clamp time is itself shard-count-invariant, so so are the resumes.
+    sim_of(first_rank).schedule_at(std::max(first_done, last_window_end_), st->first_handle);
+    st->first_handle = nullptr;
+    const int second_rank = h.is_client ? st->client_rank : st->ref_rank;
+    sim_of(second_rank).schedule_at(std::max(second_done, last_window_end_), h.st->first_handle);
+    h.st->first_handle = nullptr;
+  }
+  sim::set_current_shard(0);
 }
 
 }  // namespace hcs::simmpi

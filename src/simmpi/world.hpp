@@ -5,6 +5,17 @@
 // coroutines created by launch(); run() drives the event loop to completion
 // and reports deadlocks (ranks still blocked with an empty event queue).
 //
+// The simulation is sharded (conservative PDES, docs/parallel-simulation.md):
+// ranks are partitioned into per-node-group shards, each with its own
+// sim::Simulation (event queue + coroutine scheduler).  run() advances all
+// shards concurrently inside conservative time windows bounded by the
+// network's minimum inter-node latency; inter-node messages cross shards via
+// per-shard outboxes drained in a deterministic merge order at window
+// boundaries, and cross-node ping-pong bursts rendezvous there too.  The
+// inter-node protocol is the same at every shard count — including
+// --shards 1, which runs the windows inline with no worker threads — so the
+// simulated timeline is bit-identical for any number of shards.
+//
 // The p2p_* and pingpong_burst members are the transport primitives used by
 // Comm; user code goes through Comm and the collectives API.
 #pragma once
@@ -20,6 +31,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "sim/shard_context.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 #include "simmpi/failure.hpp"
@@ -27,6 +39,7 @@
 #include "simmpi/request.hpp"
 #include "simmpi/network.hpp"
 #include "topology/presets.hpp"
+#include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
 #include "vclock/clock.hpp"
 #include "vclock/hardware_clock.hpp"
@@ -35,6 +48,13 @@ namespace hcs::simmpi {
 
 class World;
 class Comm;
+
+/// Process-wide default shard count, used by Worlds constructed with
+/// `shards = 0` (the bench binaries' --shards flag routes through here so
+/// helpers that build Worlds internally don't need an extra parameter).
+/// Values < 1 reset to the built-in default of 1.
+void set_default_shards(int shards) noexcept;
+int default_shards() noexcept;
 
 /// Per-rank execution context handed to rank programs.
 class RankCtx {
@@ -63,16 +83,46 @@ class World {
   /// seed), so identical (machine, seed, plan) triples reproduce bit-exactly
   /// regardless of how many trials run in parallel.  An empty plan leaves
   /// every code path identical to the fault-free model.
-  World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPlan fault_plan = {});
+  ///
+  /// `shards` splits the event loop across that many worker threads
+  /// (clamped to [1, nodes]; shards never split a node, so intra-node fast
+  /// paths stay single-threaded).  0 uses the process-wide default_shards().
+  /// Results are bit-identical for any value.
+  World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPlan fault_plan = {},
+        int shards = 0);
   ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  sim::Simulation& sim() noexcept { return sim_; }
+  /// Shard 0's simulation.  With --shards 1 (the default) this is the whole
+  /// world's event loop, which is what tests and examples drive.
+  sim::Simulation& sim() noexcept { return *sims_[0]; }
+
+  /// The simulation advancing `rank`'s timeline.
+  sim::Simulation& sim_of(int rank) noexcept {
+    return *sims_[static_cast<std::size_t>(shard_of_rank(rank))];
+  }
+  const sim::Simulation& sim_of(int rank) const noexcept {
+    return *sims_[static_cast<std::size_t>(shard_of_rank(rank))];
+  }
+
   const topology::ClusterTopology& topo() const noexcept { return machine_.topo; }
   const topology::MachineConfig& machine() const noexcept { return machine_; }
   NetworkModel& network() noexcept { return network_; }
   int size() const noexcept { return machine_.topo.total_ranks(); }
+
+  /// Number of event-loop shards (>= 1).
+  int shards() const noexcept { return nshards_; }
+
+  /// Shard that owns `rank` (its whole node lives there).
+  int shard_of_rank(int rank) const noexcept {
+    return shard_of_node_[static_cast<std::size_t>(
+        node_of_rank_[static_cast<std::size_t>(rank)])];
+  }
+
+  /// Conservative-window lookahead: minimum time for any inter-node message
+  /// to reach the destination NIC port (docs/parallel-simulation.md).
+  double lookahead() const noexcept { return lookahead_; }
 
   /// Fault injector for this World; null when no fault plan was given.
   fault::FaultInjector* fault_injector() noexcept { return fault_.get(); }
@@ -84,8 +134,8 @@ class World {
   /// Throws RankCrashed when the crash model has killed `rank` — every
   /// transport operation calls this on entry and after resuming.
   void check_crash(int rank) const {
-    if (detector_ && sim_.now() >= detector_->crash_time(rank)) {
-      throw RankCrashed{rank, sim_.now()};
+    if (detector_ && sim_of(rank).now() >= detector_->crash_time(rank)) {
+      throw RankCrashed{rank, sim_of(rank).now()};
     }
   }
 
@@ -97,8 +147,9 @@ class World {
   /// Spawns one process per rank running `fn`.
   void launch(const RankFn& fn);
 
-  /// Drains the event loop; throws on process exceptions, event-budget
-  /// overrun, or deadlock (blocked processes with an empty queue).
+  /// Drains all shards' event loops (windowed, concurrent when shards > 1);
+  /// throws on process exceptions, event-budget overrun, or deadlock
+  /// (blocked processes with every queue empty).
   void run(std::uint64_t max_events = 4'000'000'000ULL);
 
   /// launch + run in one call.
@@ -157,17 +208,62 @@ class World {
   struct BurstState;
 
   // Adapter handed to the active tracer so spans recorded anywhere in the
-  // process are stamped with this World's simulated time.
+  // process are stamped with the recording shard's simulated time.
   struct SimTimeSource final : trace::TimeSource {
     sim::Simulation* sim = nullptr;
     double trace_now() const override { return sim->now(); }
   };
 
+  /// One inter-node message waiting in its sender shard's outbox: the sender
+  /// already paid egress + wire (port_time is when it reaches the receiving
+  /// NIC port, provably >= the end of the window it was sent in); ingress
+  /// admission and delivery happen at the next window boundary, in
+  /// (port_time, src, dst, order) merge order.
+  struct IngressRecord {
+    int src = -1;
+    int dst = -1;
+    sim::Time depart_ready = 0.0;  // metric baseline (hand-off to arrival)
+    sim::Time port_time = 0.0;
+    std::uint64_t order = 0;  // per-shard push index: deterministic tiebreak
+    Message msg;
+  };
+
+  /// One side of a cross-node ping-pong burst, parked in its caller's shard
+  /// until the window boundary pairs it with the partner's half.
+  struct PendingHalf {
+    std::uint64_t key = 0;
+    bool is_client = false;
+    std::shared_ptr<BurstState> st;
+  };
+
+  /// Shard-confined engine state (only the owning worker thread touches it
+  /// between barriers; the coordinator drains it while workers are parked).
+  struct ShardState {
+    std::vector<IngressRecord> outbox;
+    std::uint64_t outbox_seq = 0;
+    std::vector<PendingHalf> halves;
+    // Intra-node bursts pair inline exactly as in the unsharded engine.
+    std::map<std::uint64_t, std::shared_ptr<BurstState>> local_bursts;
+  };
+
+  // Per-shard handles for the World's own metrics, indexed by
+  // sim::current_shard() (always slot 0 when unsharded).
+  struct WorldMetrics {
+    trace::HistogramMetric* rtt = nullptr;
+    trace::Counter* pingpongs = nullptr;
+    trace::HistogramMetric* burst_retries = nullptr;
+    trace::Counter* exchanges_lost = nullptr;
+    trace::Counter* dup_absorbed = nullptr;
+  };
+
   static std::uint64_t pair_key(int a, int b, int world_size);
+  static WorldMetrics resolve_metrics(trace::MetricsRegistry* registry);
+  WorldMetrics& my_metrics() { return world_metrics_[static_cast<std::size_t>(sim::current_shard())]; }
   void synthesize_burst(BurstState& st);
   void match_or_enqueue(int dst, Message msg);
   void dispatch_message(int src, int dst, std::vector<double> data, std::int64_t bytes,
                         std::int64_t tag, sim::Time ready);
+  void push_ingress(int src, int dst, sim::Time depart_ready, sim::Time port_time, Message msg);
 
   /// Uniform crash-era delivery rule: a message sent src->dst exists only if
   /// it arrives while both endpoints are alive and the link is up.
@@ -176,25 +272,56 @@ class World {
   sim::Task<void> block_on_recv(RecvRequest request, sim::Time deadline);
   sim::Task<void> recv_watchdog(RecvRequest request, sim::Time when, bool crash_kind);
   sim::Task<void> burst_watchdog(std::shared_ptr<BurstState> st, std::uint64_t key,
-                                 sim::Time when);
+                                 sim::Time when, bool cross_node);
+
+  // --- windowed engine (world_engine section of world.cpp) ---
+  sim::Task<BurstResult> pingpong_burst_local(int me, int partner, bool i_am_client,
+                                              vclock::Clock& my_clock, int nexchanges,
+                                              std::int64_t bytes);
+  sim::Task<BurstResult> pingpong_burst_cross(int me, int partner, bool i_am_client,
+                                              vclock::Clock& my_clock, int nexchanges,
+                                              std::int64_t bytes);
+  void drain_outboxes();          // ingress merge + delivery spawns
+  void drain_burst_halves();      // cross-node rendezvous + synthesis
+  bool serial_phase(std::uint64_t max_events);  // drains + next window; false = done
+  std::uint64_t total_events() const noexcept;
 
   topology::MachineConfig machine_;
-  sim::Simulation sim_;
+  int nshards_ = 1;
+  double lookahead_ = 0.0;
+  std::vector<int> node_of_rank_;   // rank -> node (cached topo.locate)
+  std::vector<int> shard_of_node_;  // node -> shard (contiguous ranges)
+  std::vector<std::unique_ptr<sim::Simulation>> sims_;  // one per shard
   NetworkModel network_;
   std::unique_ptr<fault::FaultInjector> fault_;
   std::unique_ptr<FailureDetector> detector_;  // only under crash/crashlink plans
   bool seq_tracking_ = false;          // assign/enforce channel sequence numbers
   std::vector<std::uint64_t> send_seq_;  // per (src, dst), when seq_tracking_
-  SimTimeSource time_source_;
-  trace::HistogramMetric* rtt_metric_ = nullptr;
-  trace::Counter* pingpong_counter_ = nullptr;
-  trace::HistogramMetric* burst_retry_metric_ = nullptr;
-  trace::Counter* lost_exchange_metric_ = nullptr;
-  trace::Counter* dup_absorbed_metric_ = nullptr;
+
+  // Observability: the parent tracer/registry are whatever was installed on
+  // the constructing thread.  When sharded, each shard gets a private tracer
+  // and registry (the record paths are not thread-safe); they are absorbed /
+  // merged into the parent in shard-index order by ~World, reproducing the
+  // exact stream a 1-shard run records.
+  trace::Tracer* parent_tracer_ = nullptr;
+  trace::MetricsRegistry* parent_metrics_ = nullptr;
+  SimTimeSource time_source_;  // parent tracer's clock (shard 0)
+  std::vector<std::unique_ptr<trace::Tracer>> shard_tracers_;
+  std::vector<std::unique_ptr<trace::MetricsRegistry>> shard_registries_;
+  std::vector<std::unique_ptr<SimTimeSource>> shard_time_sources_;
+  std::vector<WorldMetrics> world_metrics_;  // indexed by current_shard()
+
   std::vector<std::shared_ptr<vclock::HardwareClock>> hw_clocks_;  // per time source
   std::vector<Mailbox> mailboxes_;
-  std::map<std::uint64_t, std::shared_ptr<BurstState>> bursts_;
+  std::vector<ShardState> shard_states_;            // per shard
+  std::map<std::uint64_t, PendingHalf> rendezvous_;  // cross-node bursts (coordinator)
   std::vector<std::unique_ptr<RankCtx>> ctxs_;
+
+  // Window-loop state shared between serial_phase and the worker loop.
+  sim::Time window_end_ = 0.0;
+  sim::Time last_window_end_ = 0.0;  // shard-count-invariant resume clamp
+  std::vector<std::uint64_t> shard_caps_;  // per-shard lifetime event caps
+  std::exception_ptr fatal_;
 };
 
 }  // namespace hcs::simmpi

@@ -95,4 +95,17 @@ int Cli::jobs(int fallback) const {
   return static_cast<int>(j);
 }
 
+int Cli::shards(int fallback) const {
+  std::int64_t s = fallback;
+  if (const char* env = std::getenv("HCLOCKSYNC_SHARDS")) {
+    s = std::stoll(env);
+  }
+  s = get_int("shards", s);
+  if (s < 0) {
+    throw std::invalid_argument("shards must be >= 0 (0 = one per hardware thread), got " +
+                                std::to_string(s));
+  }
+  return static_cast<int>(s);
+}
+
 }  // namespace hcs::util

@@ -50,6 +50,12 @@ class Cli {
   /// negative values throw.
   int jobs(int fallback = 1) const;
 
+  /// Event-loop shards per World: --shards beats $HCLOCKSYNC_SHARDS beats
+  /// fallback.  0 means "one per hardware thread" (resolved by
+  /// runner::resolve_jobs); negative values throw.  Orthogonal to jobs():
+  /// jobs parallelizes across independent trials, shards inside one World.
+  int shards(int fallback = 1) const;
+
   /// Observability outputs: "--trace-out run.json" requests a Chrome-trace
   /// dump, "--metrics-out run.csv" a metrics CSV.  Empty = disabled.
   std::string trace_out() const { return get("trace-out", ""); }
