@@ -1,5 +1,7 @@
 #include "common.hpp"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -8,6 +10,7 @@
 #include <stdexcept>
 
 #include "clocksync/factory.hpp"
+#include "sim/frame_pool.hpp"
 #include "simmpi/collectives.hpp"
 #include "clocksync/skampi_offset.hpp"
 #include "simmpi/world.hpp"
@@ -24,6 +27,9 @@ const BenchFlag kBenchFlags[] = {
     {"shards", "K",
      "event-loop shards inside each World (conservative PDES); 0 = one per hardware thread; "
      "output is byte-identical for any K ($HCLOCKSYNC_SHARDS)"},
+    {"queue", "IMPL",
+     "event-queue engine: heap, ladder or adaptive (default: adaptive; output is "
+     "byte-identical for any choice; $HCLOCKSYNC_QUEUE)"},
     {"csv", nullptr, "additionally emit CSV rows"},
     {"trace-out", "FILE", "write a Chrome trace (chrome://tracing / Perfetto)"},
     {"metrics-out", "FILE", "write the metrics registry as CSV"},
@@ -38,33 +44,46 @@ const BenchFlag kBenchFlags[] = {
 };
 const std::size_t kBenchFlagCount = sizeof(kBenchFlags) / sizeof(kBenchFlags[0]);
 
-void print_usage(std::ostream& os, const std::string& program) {
+namespace {
+
+void usage_impl(std::ostream& os, const std::string& program,
+                const std::vector<BenchFlag>& extra) {
+  std::vector<BenchFlag> flags(kBenchFlags, kBenchFlags + kBenchFlagCount);
+  flags.insert(flags.end(), extra.begin(), extra.end());
   os << "usage: " << program;
-  for (std::size_t i = 0; i < kBenchFlagCount; ++i) {
-    const BenchFlag& f = kBenchFlags[i];
+  for (const BenchFlag& f : flags) {
     os << " [--" << f.name;
     if (f.arg) os << " " << f.arg;
     os << "]";
   }
   os << "\n\noptions:\n";
-  for (std::size_t i = 0; i < kBenchFlagCount; ++i) {
-    const BenchFlag& f = kBenchFlags[i];
+  for (const BenchFlag& f : flags) {
     std::string head = "  --" + std::string(f.name) + (f.arg ? " " + std::string(f.arg) : "");
     head.resize(std::max<std::size_t>(head.size() + 2, 22), ' ');
     os << head << f.help << "\n";
   }
 }
 
+}  // namespace
+
+void print_usage(std::ostream& os, const std::string& program) { usage_impl(os, program, {}); }
+
 BenchOptions parse_common(int argc, const char* const* argv, double default_scale) {
+  return parse_common_extra(argc, argv, default_scale, {}).opt;
+}
+
+ParsedBench parse_common_extra(int argc, const char* const* argv, double default_scale,
+                               const std::vector<BenchFlag>& extra) {
   const util::Cli cli(argc, argv, {"csv", "help"});
   if (cli.has("help")) {
-    print_usage(std::cout, cli.program());
+    usage_impl(std::cout, cli.program(), extra);
     std::exit(0);
   }
   BenchOptions opt;
   try {
     std::vector<std::string> known;
     for (std::size_t i = 0; i < kBenchFlagCount; ++i) known.push_back(kBenchFlags[i].name);
+    for (const BenchFlag& f : extra) known.push_back(f.name);
     cli.reject_unknown(known);
     opt.scale = cli.scale(default_scale);
     opt.seed = cli.seed(1);
@@ -73,6 +92,14 @@ BenchOptions parse_common(int argc, const char* const* argv, double default_scal
     // Helpers that build Worlds internally (and don't thread opt through)
     // pick the flag up via the process-wide default.
     simmpi::set_default_shards(opt.shards);
+    const std::string queue_name = cli.queue(sim::queue_impl_name(opt.queue));
+    const auto queue = sim::queue_impl_from_string(queue_name);
+    if (!queue) {
+      throw std::invalid_argument("unknown --queue '" + queue_name +
+                                  "' (known: heap, ladder, adaptive)");
+    }
+    opt.queue = *queue;
+    sim::set_default_queue_impl(opt.queue);
     opt.csv = cli.has("csv");
     opt.trace_out = cli.trace_out();
     opt.metrics_out = cli.metrics_out();
@@ -93,10 +120,10 @@ BenchOptions parse_common(int argc, const char* const* argv, double default_scal
         static_cast<std::uint64_t>(cli.get_int("fault-seed", 0)));
   } catch (const std::exception& e) {
     std::cerr << cli.program() << ": " << e.what() << "\n";
-    print_usage(std::cerr, cli.program());
+    usage_impl(std::cerr, cli.program(), extra);
     std::exit(2);
   }
-  return opt;
+  return ParsedBench{opt, cli};
 }
 
 Observability::Observability(const BenchOptions& opt)
@@ -154,6 +181,28 @@ void print_header(const std::string& figure, const std::string& what,
 
 int scaled(int value, double scale, int min_value) {
   return std::max(min_value, static_cast<int>(std::lround(value * scale)));
+}
+
+std::size_t peak_rss_bytes() {
+  // VmHWM is exact on Linux; ru_maxrss (KiB on Linux/BSD) is the fallback.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(std::stoll(line.substr(6))) * 1024;
+    }
+  }
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+  }
+  return 0;
+}
+
+void record_memory_metrics() {
+  HCS_METRIC_SET("hcs.mem.peak_rss_bytes", static_cast<double>(peak_rss_bytes()));
+  HCS_METRIC_SET("hcs.mem.frame_pool_bytes",
+                 static_cast<double>(sim::detail::FramePool::reserved_bytes()));
 }
 
 SyncAccuracyPoint run_sync_accuracy(const topology::MachineConfig& machine,

@@ -20,6 +20,7 @@
 #include "clocksync/sync_algorithm.hpp"
 #include "fault/fault_plan.hpp"
 #include "runner/trial_runner.hpp"
+#include "sim/event_queue.hpp"
 #include "topology/presets.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
@@ -34,6 +35,7 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   int jobs = 1;             // worker threads for independent trials; 0 = auto
   int shards = 1;           // event-loop shards inside each World (resolved; >= 1)
+  sim::QueueImpl queue = sim::QueueImpl::kAdaptive;  // event-queue engine
   bool csv = false;
   std::string trace_out;    // empty = tracing off
   std::string metrics_out;  // empty = metrics CSV off
@@ -62,6 +64,16 @@ void print_usage(std::ostream& os, const std::string& program);
 /// runs the default configuration.
 BenchOptions parse_common(int argc, const char* const* argv, double default_scale);
 
+/// parse_common plus binary-specific flags: each `extra` entry is accepted,
+/// documented by --help/usage alongside the shared table, and readable
+/// through the returned Cli view (e.g. bench_scale's --ranks).
+struct ParsedBench {
+  BenchOptions opt;
+  util::Cli cli;
+};
+ParsedBench parse_common_extra(int argc, const char* const* argv, double default_scale,
+                               const std::vector<BenchFlag>& extra);
+
 /// Installs a tracer and/or metrics registry for the binary's lifetime when
 /// the corresponding --trace-out/--metrics-out flag was given (construct it
 /// before the first World so hot paths resolve their metric handles).  The
@@ -86,6 +98,19 @@ void print_header(const std::string& figure, const std::string& what,
 
 /// Scales an integer parameter, never below `min_value`.
 int scaled(int value, double scale, int min_value);
+
+/// Peak resident set size of this process in bytes: VmHWM from
+/// /proc/self/status where available, ru_maxrss otherwise; 0 if neither
+/// source works.  Monotone over the process lifetime (it is a high-water
+/// mark), so sample it after the Worlds of interest have run.
+std::size_t peak_rss_bytes();
+
+/// Publishes the process memory high-water marks into the active metrics
+/// registry: hcs.mem.peak_rss_bytes (peak_rss_bytes()) and
+/// hcs.mem.frame_pool_bytes (the coroutine frame pool's slab reservation).
+/// No-op
+/// without an installed registry.
+void record_memory_metrics();
 
 /// Result of one mpirun of the paper's core experiment (sync + Alg. 6).
 struct SyncAccuracyPoint {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "clocksync/soa.hpp"
+
 namespace hcs::clocksync {
 
 namespace {
@@ -67,25 +69,19 @@ sim::Task<ClockOffset> MeanRttOffset::measure_offset(simmpi::Comm& comm, vclock:
   }
 
   const double rtt = cached->second;
-  struct Obs {
-    double timestamp;
-    double diff;  // local - ref - rtt/2, i.e. -(offset to reference)
-  };
-  std::vector<Obs> observations;
+  // diff = local - ref - rtt/2, i.e. -(offset to reference).
+  ObsSoA observations;
   observations.reserve(burst.samples.size());
   double min_rtt = std::numeric_limits<double>::infinity();
   for (const simmpi::PingSample& s : burst.samples) {
-    observations.push_back(Obs{s.client_recv, s.client_recv - s.ref_reply - rtt / 2.0});
+    observations.push(s.client_recv, s.client_recv - s.ref_reply - rtt / 2.0);
     min_rtt = std::min(min_rtt, s.client_recv - s.client_send);
   }
-  std::vector<Obs> by_diff = observations;
-  std::nth_element(by_diff.begin(), by_diff.begin() + static_cast<std::ptrdiff_t>(by_diff.size() / 2),
-                   by_diff.end(), [](const Obs& a, const Obs& b) { return a.diff < b.diff; });
-  const Obs median = by_diff[by_diff.size() / 2];
+  const auto [median_ts, median_diff] = observations.median_by_diff();
   // The paper's time_var is (local - ref): negate to report (ref - local),
   // the convention ClockOffset and the fitted models use.
-  result.timestamp = median.timestamp;
-  result.offset = -median.diff;
+  result.timestamp = median_ts;
+  result.offset = -median_diff;
   result.min_rtt = min_rtt;
   co_return result;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "clocksync/fitting.hpp"
+#include "clocksync/soa.hpp"
 #include "trace/metrics.hpp"
 #include "trace/span.hpp"
 
@@ -53,10 +54,8 @@ sim::Task<LearnResult> learn_clock_model(simmpi::Comm& comm, int p_ref, int othe
 
   SyncReport& report = out.report;
   report.points_requested = cfg.nfitpoints;
-  std::vector<double> xfit, yfit, rtts;
-  xfit.reserve(static_cast<std::size_t>(cfg.nfitpoints));
-  yfit.reserve(static_cast<std::size_t>(cfg.nfitpoints));
-  rtts.reserve(static_cast<std::size_t>(cfg.nfitpoints));
+  FitPointsSoA points;
+  points.reserve(static_cast<std::size_t>(cfg.nfitpoints));
   for (int idx = 0; idx < cfg.nfitpoints; ++idx) {
     // Dead reference: the remaining points can only come back invalid, so
     // charge them in one step and let the caller's healing logic take over.
@@ -71,50 +70,29 @@ sim::Task<LearnResult> learn_clock_model(simmpi::Comm& comm, int p_ref, int othe
       ++report.points_invalid;
       continue;
     }
-    xfit.push_back(o.timestamp);
-    yfit.push_back(o.offset);
-    rtts.push_back(o.min_rtt);
+    points.push(o.timestamp, o.offset, o.min_rtt);
   }
 
   // Min-RTT outlier rejection: points measured through congestion windows or
   // rescued by retries have inflated, asymmetric RTTs.  The threshold is
   // twice the median of the per-point minimum RTTs, which fault-free sits
   // just above the base latency and rejects nothing.
-  if (rtts.size() >= 4) {
-    std::vector<double> sorted = rtts;
-    std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2),
-                     sorted.end());
-    const double threshold = 2.0 * sorted[sorted.size() / 2] + 1e-9;
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < rtts.size(); ++i) {
-      if (rtts[i] <= threshold) {
-        xfit[kept] = xfit[i];
-        yfit[kept] = yfit[i];
-        rtts[kept] = rtts[i];
-        ++kept;
-      } else {
-        ++report.outliers_rejected;
-      }
-    }
-    xfit.resize(kept);
-    yfit.resize(kept);
-    rtts.resize(kept);
-  }
-  report.points_used = static_cast<int>(xfit.size());
+  report.outliers_rejected += static_cast<int>(points.compact_by_min_rtt());
+  report.points_used = static_cast<int>(points.size());
 
   HCS_METRIC_ADD("sync.fit_points", report.points_used);
   if (report.outliers_rejected > 0) {
     HCS_METRIC_ADD("sync.fit_outliers_rejected", report.outliers_rejected);
   }
   if (report.points_used >= 2) {
-    const FitResult fit = fit_linear_model(xfit, yfit);
+    const FitResult fit = fit_linear_model(points.timestamps(), points.offsets());
     out.model = fit.model;
     HCS_METRIC_OBSERVE_RAW("sync.fit_r2", fit.r2);
   } else {
     // Degenerate: a single usable point fixes only the offset; none at all
     // leaves the identity model (health kFailed either way).
     out.model.slope = 0.0;
-    out.model.intercept = yfit.empty() ? 0.0 : yfit.front();
+    out.model.intercept = points.empty() ? 0.0 : points.offsets().front();
   }
   if (cfg.recompute_intercept && comm.peer_status(p_ref) != simmpi::PeerStatus::kDead) {
     const ClockOffset o = co_await oalg.measure_offset(comm, clk, p_ref, other_rank);

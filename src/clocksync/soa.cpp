@@ -1,0 +1,45 @@
+#include "clocksync/soa.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hcs::clocksync {
+
+std::size_t FitPointsSoA::compact_by_min_rtt() {
+  if (min_rtts_.size() < 4) return 0;
+  std::vector<double> sorted = min_rtts_;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                   sorted.end());
+  const double threshold = 2.0 * sorted[sorted.size() / 2] + 1e-9;
+  std::size_t kept = 0;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < min_rtts_.size(); ++i) {
+    if (min_rtts_[i] <= threshold) {
+      timestamps_[kept] = timestamps_[i];
+      offsets_[kept] = offsets_[i];
+      min_rtts_[kept] = min_rtts_[i];
+      ++kept;
+    } else {
+      ++rejected;
+    }
+  }
+  timestamps_.resize(kept);
+  offsets_.resize(kept);
+  min_rtts_.resize(kept);
+  return rejected;
+}
+
+std::pair<double, double> ObsSoA::median_by_diff() const {
+  // nth_element over row indices compared by diff: the comparator sees the
+  // exact decisions an AoS nth_element over {timestamp, diff} records would,
+  // so the selected row — including its timestamp — is identical.
+  std::vector<std::size_t> rows(diffs_.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  const auto mid = rows.begin() + static_cast<std::ptrdiff_t>(rows.size() / 2);
+  std::nth_element(rows.begin(), mid, rows.end(),
+                   [this](std::size_t a, std::size_t b) { return diffs_[a] < diffs_[b]; });
+  return {timestamps_[*mid], diffs_[*mid]};
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,81 @@
+// SoA containers for per-point sync-measurement state.
+//
+// A 100k-rank sync holds tens of millions of measurement points across the
+// live clients.  Keeping each point as a struct-in-a-vector costs a wide
+// stride on every pass (median scans, outlier compaction, fitting touch one
+// field at a time); these containers store each field contiguously instead.
+// The hcs-lint rule `soa-point-state` steers new clocksync code here.
+//
+// Everything is bit-identical to the struct-of-fields form it replaced:
+// selection runs nth_element over the same value sequences with the same
+// comparators, so the chosen elements — and therefore every fitted model —
+// are unchanged (the bench goldens gate this).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hcs::clocksync {
+
+/// A client's fit-point table for one learn_clock_model call: timestamp,
+/// measured offset and per-point minimum RTT, one array per field.
+class FitPointsSoA {
+ public:
+  void reserve(std::size_t n) {
+    timestamps_.reserve(n);
+    offsets_.reserve(n);
+    min_rtts_.reserve(n);
+  }
+
+  void push(double timestamp, double offset, double min_rtt) {
+    timestamps_.push_back(timestamp);
+    offsets_.push_back(offset);
+    min_rtts_.push_back(min_rtt);
+  }
+
+  std::size_t size() const noexcept { return timestamps_.size(); }
+  bool empty() const noexcept { return timestamps_.empty(); }
+
+  const std::vector<double>& timestamps() const noexcept { return timestamps_; }
+  const std::vector<double>& offsets() const noexcept { return offsets_; }
+  const std::vector<double>& min_rtts() const noexcept { return min_rtts_; }
+
+  /// Min-RTT outlier rejection (paper §V): drops every point whose minimum
+  /// RTT exceeds twice the median of the per-point minima (plus epsilon),
+  /// compacting all three arrays in place.  No-op below four points.
+  /// Returns the number of points rejected.
+  std::size_t compact_by_min_rtt();
+
+ private:
+  std::vector<double> timestamps_;
+  std::vector<double> offsets_;
+  std::vector<double> min_rtts_;
+};
+
+/// MeanRttOffset's per-burst observation table: the client-side receive
+/// timestamp and the midpoint-corrected clock difference per exchange.
+class ObsSoA {
+ public:
+  void reserve(std::size_t n) {
+    timestamps_.reserve(n);
+    diffs_.reserve(n);
+  }
+
+  void push(double timestamp, double diff) {
+    timestamps_.push_back(timestamp);
+    diffs_.push_back(diff);
+  }
+
+  std::size_t size() const noexcept { return timestamps_.size(); }
+
+  /// (timestamp, diff) of the median-by-diff observation — the element a
+  /// nth_element over (diff, timestamp) records would select.
+  std::pair<double, double> median_by_diff() const;
+
+ private:
+  std::vector<double> timestamps_;
+  std::vector<double> diffs_;
+};
+
+}  // namespace hcs::clocksync

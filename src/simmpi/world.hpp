@@ -43,6 +43,7 @@
 #include "trace/tracer.hpp"
 #include "vclock/clock.hpp"
 #include "vclock/hardware_clock.hpp"
+#include "vclock/model_bank.hpp"
 
 namespace hcs::simmpi {
 
@@ -141,6 +142,17 @@ class World {
 
   /// Shared hardware clock of the rank's time source.
   vclock::ClockPtr base_clock(int rank) const;
+
+  /// SoA model storage for the rank's shard: sync algorithms append each
+  /// learned LinearModel here instead of allocating a GlobalClockLM per rank
+  /// (vclock/model_bank.hpp).  Shard-confined, so appends never race; the
+  /// shared_ptr keeps results alive after the World is destroyed.
+  const vclock::ModelBankPtr& model_bank_of(int rank) const noexcept {
+    return model_banks_[static_cast<std::size_t>(shard_of_rank(rank))];
+  }
+
+  /// Total events processed across all shards so far (bench reporting).
+  std::uint64_t events_processed() const noexcept { return total_events(); }
 
   using RankFn = std::function<sim::Task<void>(RankCtx&)>;
 
@@ -312,6 +324,7 @@ class World {
   std::vector<WorldMetrics> world_metrics_;  // indexed by current_shard()
 
   std::vector<std::shared_ptr<vclock::HardwareClock>> hw_clocks_;  // per time source
+  std::vector<vclock::ModelBankPtr> model_banks_;                  // per shard
   std::vector<Mailbox> mailboxes_;
   std::vector<ShardState> shard_states_;            // per shard
   std::map<std::uint64_t, PendingHalf> rendezvous_;  // cross-node bursts (coordinator)

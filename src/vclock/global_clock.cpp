@@ -4,7 +4,29 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "vclock/model_bank.hpp"
+
 namespace hcs::vclock {
+
+namespace {
+
+// One step down a decorator chain, whichever representation the level uses:
+// heap GlobalClockLM or SoA BankedClockLM (model_bank.hpp).  Returns the
+// base clock and writes the level's model, or nullptr at the innermost
+// non-model clock.
+const Clock* chain_step(const Clock* cur, LinearModel* out) {
+  if (const auto* lm = dynamic_cast<const GlobalClockLM*>(cur)) {
+    *out = lm->model();
+    return lm->base().get();
+  }
+  if (const auto* banked = dynamic_cast<const BankedClockLM*>(cur)) {
+    *out = banked->model();
+    return banked->base().get();
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 GlobalClockLM::GlobalClockLM(ClockPtr base, LinearModel lm) : base_(std::move(base)), lm_(lm) {
   if (!base_) throw std::invalid_argument("GlobalClockLM: null base clock");
@@ -18,10 +40,9 @@ double GlobalClockLM::now() { return lm_.apply(base_->now()); }
 
 std::vector<double> flatten_clock(const ClockPtr& clock) {
   std::vector<LinearModel> chain;
-  const Clock* cur = clock.get();
-  while (const auto* lm = dynamic_cast<const GlobalClockLM*>(cur)) {
-    chain.push_back(lm->model());
-    cur = lm->base().get();
+  LinearModel lm;
+  for (const Clock* cur = clock.get(); (cur = chain_step(cur, &lm)) != nullptr;) {
+    chain.push_back(lm);
   }
   std::vector<double> buffer;
   buffer.reserve(1 + 2 * chain.size());
@@ -33,7 +54,8 @@ std::vector<double> flatten_clock(const ClockPtr& clock) {
   return buffer;
 }
 
-ClockPtr unflatten_clock(ClockPtr base, const std::vector<double>& buffer) {
+ClockPtr unflatten_clock(ClockPtr base, const std::vector<double>& buffer,
+                         const ModelBankPtr& bank) {
   if (buffer.empty()) throw std::invalid_argument("unflatten_clock: empty buffer");
   const auto depth = static_cast<std::size_t>(std::llround(buffer[0]));
   if (buffer.size() != 1 + 2 * depth) {
@@ -43,19 +65,24 @@ ClockPtr unflatten_clock(ClockPtr base, const std::vector<double>& buffer) {
   ClockPtr clock = std::move(base);
   for (std::size_t level = depth; level-- > 0;) {
     const LinearModel lm{buffer[1 + 2 * level], buffer[2 + 2 * level]};
-    clock = std::make_shared<GlobalClockLM>(std::move(clock), lm);
+    clock = make_synced_clock(std::move(clock), lm, bank);
   }
   return clock;
 }
 
 LinearModel collapse_models(const ClockPtr& clock) {
   LinearModel acc{};  // identity
-  const Clock* cur = clock.get();
-  while (const auto* lm = dynamic_cast<const GlobalClockLM*>(cur)) {
-    acc = merge(acc, lm->model());
-    cur = lm->base().get();
+  LinearModel lm;
+  for (const Clock* cur = clock.get(); (cur = chain_step(cur, &lm)) != nullptr;) {
+    acc = merge(acc, lm);
   }
   return acc;
+}
+
+ClockPtr make_synced_clock(ClockPtr base, LinearModel lm, const ModelBankPtr& bank) {
+  if (bank == nullptr) return std::make_shared<GlobalClockLM>(std::move(base), lm);
+  const std::size_t row = bank->add(lm);
+  return std::make_shared<BankedClockLM>(std::move(base), bank, row);
 }
 
 }  // namespace hcs::vclock

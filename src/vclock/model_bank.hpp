@@ -1,0 +1,100 @@
+// SoA storage for per-rank synchronized-clock models.
+//
+// Every sync algorithm ends with one LinearModel per rank stacked on the
+// rank's base clock.  Storing those models as individual GlobalClockLM heap
+// objects scatters 100k+ tiny allocations across the heap; a LinearModelBank
+// instead keeps all models of a shard in two contiguous double arrays
+// (structure-of-arrays), and BankedClockLM is the per-rank Clock view into
+// one row.  Arithmetic is bit-identical to GlobalClockLM — same
+// LinearModel::apply on the same doubles — so simulation output does not
+// depend on which representation an algorithm used, and flatten_clock /
+// collapse_models (global_clock.cpp) walk both transparently.
+//
+// Banks are shard-confined: World owns one bank per PDES shard, and all
+// ranks of a shard run on one thread per window, so appends never race.
+// Row order is append order, which is deterministic per shard; nothing
+// observable depends on row indices.  Views keep the bank alive via
+// shared_ptr, so a SyncResult's clock stays valid after its World dies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "vclock/clock.hpp"
+#include "vclock/linear_model.hpp"
+
+namespace hcs::vclock {
+
+class LinearModelBank {
+ public:
+  /// Appends a model; returns its row index.
+  std::size_t add(LinearModel lm) {
+    slopes_.push_back(lm.slope);
+    intercepts_.push_back(lm.intercept);
+    return slopes_.size() - 1;
+  }
+
+  LinearModel get(std::size_t row) const {
+    return LinearModel{slopes_[row], intercepts_[row]};
+  }
+
+  double slope(std::size_t row) const noexcept { return slopes_[row]; }
+  double intercept(std::size_t row) const noexcept { return intercepts_[row]; }
+
+  /// HCA's final offset-adjustment round edits the model in place.
+  void adjust_intercept(std::size_t row, double delta) {
+    intercepts_[row] += delta;
+  }
+
+  std::size_t size() const noexcept { return slopes_.size(); }
+  void reserve(std::size_t rows) {
+    slopes_.reserve(rows);
+    intercepts_.reserve(rows);
+  }
+
+ private:
+  std::vector<double> slopes_;
+  std::vector<double> intercepts_;
+};
+
+using ModelBankPtr = std::shared_ptr<LinearModelBank>;
+
+/// A synchronized clock whose model lives in a LinearModelBank row.  The
+/// functional twin of GlobalClockLM (same decorator semantics, same
+/// flatten/unflatten/collapse treatment), different storage.
+class BankedClockLM final : public Clock {
+ public:
+  BankedClockLM(ClockPtr base, ModelBankPtr bank, std::size_t row)
+      : base_(std::move(base)), bank_(std::move(bank)), row_(row) {
+    if (!base_) throw std::invalid_argument("BankedClockLM: null base clock");
+    if (!bank_) throw std::invalid_argument("BankedClockLM: null bank");
+  }
+
+  double at(sim::Time true_time) override {
+    return model().apply(base_->at(true_time));
+  }
+  double at_exact(sim::Time true_time) const override {
+    return model().apply(base_->at_exact(true_time));
+  }
+  double now() override { return model().apply(base_->now()); }
+
+  LinearModel model() const { return bank_->get(row_); }
+  const ClockPtr& base() const { return base_; }
+
+  /// Adds `delta` to the intercept (HCA's final offset-adjustment round).
+  void adjust_intercept(double delta) { bank_->adjust_intercept(row_, delta); }
+
+ private:
+  ClockPtr base_;
+  ModelBankPtr bank_;
+  std::size_t row_;
+};
+
+/// Stacks `lm` on `base` in `bank` (SoA path), or as a plain GlobalClockLM
+/// when no bank is available (bank == nullptr) — declared here, defined in
+/// global_clock.cpp next to the chain walkers that must understand both.
+ClockPtr make_synced_clock(ClockPtr base, LinearModel lm, const ModelBankPtr& bank);
+
+}  // namespace hcs::vclock

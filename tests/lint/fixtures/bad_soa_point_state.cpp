@@ -1,0 +1,35 @@
+// Bad fixture for soa-point-state: per-point measurement state kept
+// array-of-structs in clock-sync code.
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+// A per-point record: two floating-point fields scanned one at a time by the
+// median/outlier/fit passes.
+struct FitPoint {
+  double timestamp = 0.0;
+  double offset = 0.0;
+  double min_rtt = 0.0;
+};
+
+double sum_offsets(int n) {
+  std::vector<FitPoint> points;  // hcs-lint-expect: soa-point-state
+  points.reserve(static_cast<unsigned>(n));
+  double sum = 0.0;
+  for (const FitPoint& p : points) sum += p.offset;
+  return sum;
+}
+
+double median_diff() {
+  // The two-field point record in disguise.
+  std::vector<std::pair<double, double>> obs;  // hcs-lint-expect: soa-point-state
+  return obs.empty() ? 0.0 : obs.front().second;
+}
+
+struct ClockOffset;  // the real one lives in clocksync/offset.hpp
+
+// Known point struct: flagged even though the definition is in another file.
+std::vector<ClockOffset>* burst_results();  // hcs-lint-expect: soa-point-state
+
+}  // namespace fixture

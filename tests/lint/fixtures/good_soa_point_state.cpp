@@ -1,0 +1,47 @@
+// Good fixture for soa-point-state: SoA layouts and near-miss AoS shapes
+// that must stay silent.
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+// The recommended shape: one contiguous array per field.
+class FitPointsSoA {
+ public:
+  void push(double timestamp, double offset) {
+    timestamps_.push_back(timestamp);
+    offsets_.push_back(offset);
+  }
+  std::size_t size() const { return timestamps_.size(); }
+
+ private:
+  std::vector<double> timestamps_;
+  std::vector<double> offsets_;
+};
+
+// One floating-point field is not a point record — a vector of these scans
+// the whole element anyway.
+struct Sample {
+  double value = 0.0;
+  int rank = 0;
+};
+
+std::vector<Sample> samples;
+
+// A single point-shaped instance is fine; the rule is about arrays of them.
+struct Window {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+Window current_window;
+
+double lookup(const std::vector<double>& xs, const std::vector<std::pair<int, double>>& tags) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  for (const auto& t : tags) sum += t.second;
+  return sum;
+}
+
+}  // namespace fixture

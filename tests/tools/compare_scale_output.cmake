@@ -1,0 +1,52 @@
+# Determinism guard for bench_scale across engine configurations.
+#
+# Runs BINARY at smoke size under every (queue engine x shard count)
+# combination the scaling work touches and fails unless stdout is
+# byte-identical across all runs: simulation output may not depend on the
+# event-queue engine (heap / ladder / adaptive) or on the PDES shard count.
+# Host metrics (wall-clock, RSS) go to the binary's stderr, which this guard
+# deliberately ignores.
+#
+# Usage: cmake -DBINARY=<path to bench_scale> -DOUT_DIR=<dir>
+#              [-DOUT_NAME=<stem>]    # default "scale"
+#              -P compare_scale_output.cmake
+foreach(required BINARY OUT_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "compare_scale_output.cmake: -D${required}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED OUT_NAME)
+  set(OUT_NAME scale)
+endif()
+
+set(args --ranks 64,128 --scale 0.02 --seed 3 --csv)
+
+function(run_once tag)
+  execute_process(COMMAND ${BINARY} ${args} ${ARGN}
+                  OUTPUT_FILE ${OUT_DIR}/${OUT_NAME}_${tag}.out
+                  ERROR_VARIABLE ignored_stderr RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BINARY} ${args} ${ARGN} failed with exit code ${rc}")
+  endif()
+endfunction()
+
+run_once(heap1 --queue heap --shards 1)
+run_once(heap2 --queue heap --shards 2)
+run_once(ladder1 --queue ladder --shards 1)
+run_once(ladder2 --queue ladder --shards 2)
+run_once(adaptive2 --queue adaptive --shards 2)
+
+function(expect_same tag why)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${OUT_DIR}/${OUT_NAME}_heap1.out ${OUT_DIR}/${OUT_NAME}_${tag}.out
+                  RESULT_VARIABLE differs)
+  if(NOT differs EQUAL 0)
+    message(FATAL_ERROR "${why} (${OUT_DIR}/${OUT_NAME}_heap1.out vs "
+                        "${OUT_DIR}/${OUT_NAME}_${tag}.out)")
+  endif()
+endfunction()
+
+expect_same(heap2 "output differs between --shards 1 and --shards 2 (heap engine)")
+expect_same(ladder1 "output differs between the heap and ladder queue engines")
+expect_same(ladder2 "output differs between heap --shards 1 and ladder --shards 2")
+expect_same(adaptive2 "output differs between the heap and adaptive queue engines")
