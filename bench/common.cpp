@@ -10,6 +10,8 @@
 #include <stdexcept>
 
 #include "clocksync/factory.hpp"
+#include "replay/bisect.hpp"
+#include "replay/format.hpp"
 #include "sim/frame_pool.hpp"
 #include "simmpi/collectives.hpp"
 #include "clocksync/skampi_offset.hpp"
@@ -33,6 +35,12 @@ const BenchFlag kBenchFlags[] = {
     {"csv", nullptr, "additionally emit CSV rows"},
     {"trace-out", "FILE", "write a Chrome trace (chrome://tracing / Perfetto)"},
     {"metrics-out", "FILE", "write the metrics registry as CSV"},
+    {"record-out", "FILE",
+     "record the per-rank event order of every World to FILE "
+     "(docs/record-replay.md)"},
+    {"replay", "FILE",
+     "verify this run against a recording: exits 1 and prints the first "
+     "diverging event on mismatch; requires --jobs 1"},
     {"fault", "SPEC",
      "inject a fault, repeatable; SPEC = kind:key=value,... e.g. drop:p=0.01,level=network "
      "(see docs/fault-injection.md)"},
@@ -103,6 +111,13 @@ ParsedBench parse_common_extra(int argc, const char* const* argv, double default
     opt.csv = cli.has("csv");
     opt.trace_out = cli.trace_out();
     opt.metrics_out = cli.metrics_out();
+    opt.record_out = cli.record_out();
+    opt.replay = cli.replay_file();
+    if (!opt.replay.empty() && opt.jobs != 1) {
+      throw std::invalid_argument(
+          "--replay requires --jobs 1 (got --jobs " + std::to_string(opt.jobs) +
+          "): verification re-runs the recorded schedule on one thread");
+    }
     for (const std::string& spec : cli.get_all("fault")) opt.fault_plan.add(spec);
     for (const std::string& path : cli.get_all("fault-file")) {
       std::ifstream in(path);
@@ -127,7 +142,10 @@ ParsedBench parse_common_extra(int argc, const char* const* argv, double default
 }
 
 Observability::Observability(const BenchOptions& opt)
-    : trace_path_(opt.trace_out), metrics_path_(opt.metrics_out) {
+    : trace_path_(opt.trace_out),
+      metrics_path_(opt.metrics_out),
+      record_path_(opt.record_out),
+      replay_path_(opt.replay) {
   if (!trace_path_.empty()) {
     tracer_ = std::make_unique<trace::Tracer>();
     trace::install_tracer(tracer_.get());
@@ -137,6 +155,11 @@ Observability::Observability(const BenchOptions& opt)
   if (!metrics_path_.empty() || !trace_path_.empty()) {
     metrics_ = std::make_unique<trace::MetricsRegistry>();
     trace::install_metrics(metrics_.get());
+  }
+  // --replay records in memory only (the recording is compared, not saved).
+  if (!record_path_.empty() || !replay_path_.empty()) {
+    recorder_ = std::make_unique<replay::Recorder>();
+    replay::install_recorder(recorder_.get());
   }
 }
 
@@ -163,6 +186,33 @@ Observability::~Observability() {
     std::cout << "\n--- metrics summary (histograms in us) ---\n";
     trace::print_metrics_summary(std::cout, *metrics_);
     trace::install_metrics(nullptr);
+  }
+  if (recorder_) {
+    replay::install_recorder(nullptr);
+    if (!record_path_.empty()) {
+      if (replay::save(record_path_, *recorder_)) {
+        std::size_t events = 0;
+        for (std::size_t i = 0; i < recorder_->world_count(); ++i) {
+          events += recorder_->world(i).total_events();
+        }
+        std::cout << "wrote recording (" << recorder_->world_count() << " worlds, " << events
+                  << " events): " << record_path_ << "\n";
+      } else {
+        std::cerr << "failed to write recording: " << record_path_ << "\n";
+      }
+    }
+    if (!replay_path_.empty()) {
+      const replay::Recording reference = replay::load(replay_path_);
+      const replay::Recording current = replay::parse(replay::serialize(*recorder_));
+      if (const auto d = replay::first_divergence(reference, current)) {
+        std::cerr << "replay verification FAILED vs " << replay_path_ << ": world " << d->world
+                  << " rank " << d->rank << " event " << d->index << " at t=" << d->time
+                  << ": " << d->field << " differs (a=recording, b=this run)\n  " << d->detail
+                  << "\n";
+        std::exit(1);
+      }
+      std::cout << "replay verification: no divergence vs " << replay_path_ << "\n";
+    }
   }
 }
 

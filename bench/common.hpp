@@ -19,6 +19,7 @@
 #include "clocksync/accuracy.hpp"
 #include "clocksync/sync_algorithm.hpp"
 #include "fault/fault_plan.hpp"
+#include "replay/record.hpp"
 #include "runner/trial_runner.hpp"
 #include "sim/event_queue.hpp"
 #include "topology/presets.hpp"
@@ -39,6 +40,8 @@ struct BenchOptions {
   bool csv = false;
   std::string trace_out;    // empty = tracing off
   std::string metrics_out;  // empty = metrics CSV off
+  std::string record_out;   // empty = event-order recording off
+  std::string replay;       // non-empty = verify this run against a recording
   fault::FaultPlan fault_plan;  // empty = no fault injection
 };
 
@@ -78,6 +81,10 @@ ParsedBench parse_common_extra(int argc, const char* const* argv, double default
 /// the corresponding --trace-out/--metrics-out flag was given (construct it
 /// before the first World so hot paths resolve their metric handles).  The
 /// destructor writes the requested files and prints the metrics summary.
+/// --record-out additionally installs an event-order recorder and saves it
+/// at exit; --replay records in memory and verifies the run against the
+/// given recording at exit, exiting 1 with the first divergence on mismatch
+/// (docs/record-replay.md).
 class Observability {
  public:
   explicit Observability(const BenchOptions& opt);
@@ -88,8 +95,11 @@ class Observability {
  private:
   std::unique_ptr<trace::Tracer> tracer_;
   std::unique_ptr<trace::MetricsRegistry> metrics_;
+  std::unique_ptr<replay::Recorder> recorder_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string record_path_;
+  std::string replay_path_;
 };
 
 /// Prints the standard experiment header.

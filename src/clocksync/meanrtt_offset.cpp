@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "clocksync/soa.hpp"
+#include "replay/observe.hpp"
 
 namespace hcs::clocksync {
 
@@ -64,7 +65,7 @@ sim::Task<ClockOffset> MeanRttOffset::measure_offset(simmpi::Comm& comm, vclock:
   if (!i_am_client) co_return result;
   if (burst.samples.empty()) {
     result.valid = false;
-    result.timestamp = clk.now();
+    result.timestamp = replay::observed_now(comm, clk);
     co_return result;
   }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "replay/observe.hpp"
 #include "simmpi/collectives.hpp"
 #include "trace/metrics.hpp"
 #include "trace/span.hpp"
@@ -24,7 +25,7 @@ sim::Task<vclock::ClockPtr> ResyncManager::tick(simmpi::Comm& comm, vclock::Cloc
     // unanimous even if other ranks' clocks disagree around the deadline.
     std::vector<double> decision;
     if (comm.rank() == 0) {
-      decision = util::vec(current_->now() >= deadline_ ? 1.0 : 0.0);
+      decision = util::vec(replay::observed_now(comm, *current_) >= deadline_ ? 1.0 : 0.0);
     }
     decision = co_await simmpi::bcast(comm, std::move(decision), 0);
     resync_now = decision.at(0) != 0.0;
@@ -35,7 +36,7 @@ sim::Task<vclock::ClockPtr> ResyncManager::tick(simmpi::Comm& comm, vclock::Cloc
     SyncResult res = co_await inner_->sync_clocks(comm, std::move(base));
     current_ = std::move(res.clock);
     last_report_ = res.report;
-    deadline_ = current_->now() + interval_;
+    deadline_ = replay::observed_now(comm, *current_) + interval_;
     ++resyncs_;
   }
   co_return current_;

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "replay/observe.hpp"
+
 namespace hcs::clocksync {
 
 namespace {
@@ -36,7 +38,7 @@ sim::Task<ClockOffset> SKaMPIOffset::measure_offset(simmpi::Comm& comm, vclock::
     // Every exchange was lost (only possible under fault injection); the
     // caller discards the point and reports the rank degraded.
     result.valid = false;
-    result.timestamp = clk.now();
+    result.timestamp = replay::observed_now(comm, clk);
     co_return result;
   }
 
@@ -49,7 +51,7 @@ sim::Task<ClockOffset> SKaMPIOffset::measure_offset(simmpi::Comm& comm, vclock::
     min_rtt = std::min(min_rtt, s.client_recv - s.client_send);
   }
   result.offset = 0.5 * (td_min + td_max);
-  result.timestamp = clk.now();
+  result.timestamp = replay::observed_now(comm, clk);
   result.min_rtt = min_rtt;
   co_return result;
 }

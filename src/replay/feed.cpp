@@ -1,0 +1,43 @@
+#include "replay/feed.hpp"
+
+#include <stdexcept>
+
+namespace hcs::replay {
+
+ReplayFeed::ReplayFeed(const RecordedWorld& world, int rank)
+    : events_(nullptr), rank_(rank) {
+  if (rank < 0 || rank >= world.info.nranks) {
+    throw std::out_of_range("ReplayFeed: rank " + std::to_string(rank) +
+                            " not in recorded world of " + std::to_string(world.info.nranks) +
+                            " ranks");
+  }
+  events_ = &world.ranks[static_cast<std::size_t>(rank)];
+}
+
+const Event& ReplayFeed::take() {
+  if (cursor_ >= events_->size()) {
+    diverge("recorded event log exhausted (the replayed program performed more transport "
+            "operations than the recording)");
+  }
+  return (*events_)[cursor_++];
+}
+
+const Event& ReplayFeed::expect(EventKind kind, int peer) {
+  const Event* ev = peek();
+  if (ev == nullptr) {
+    diverge(std::string("recorded event log exhausted while expecting ") + to_string(kind));
+  }
+  if (ev->kind != kind) {
+    diverge(std::string("expected ") + to_string(kind) + " but the recording has " +
+            to_string(ev->kind) + " (peer " + std::to_string(ev->peer) + ", sim-time " +
+            std::to_string(ev->time) + ")");
+  }
+  if (peer >= 0 && ev->peer != peer) {
+    diverge(std::string(to_string(kind)) + " peer mismatch: replay targets rank " +
+            std::to_string(peer) + ", recording has rank " + std::to_string(ev->peer));
+  }
+  ++cursor_;
+  return *ev;
+}
+
+}  // namespace hcs::replay

@@ -1,0 +1,75 @@
+// Single-rank replay feed (docs/record-replay.md).
+//
+// A ReplayFeed walks one rank's recorded event stream in order.  The World
+// transport hooks consume it instead of simulating the other ranks: receive
+// completions and ping-pong bursts are answered straight from the log
+// (resumed at the recorded absolute sim-time), sends and clock reads are
+// verified against it.  Any mismatch between what the replayed program does
+// and what the log says throws ReplayDivergence with enough detail to name
+// the first diverging event.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "replay/record.hpp"
+
+namespace hcs::replay {
+
+/// The replayed rank did something the recording did not: different
+/// operation, different arguments, different payload, or it ran past the
+/// end of the log.
+class ReplayDivergence : public std::runtime_error {
+ public:
+  ReplayDivergence(int rank, std::size_t index, std::string what)
+      : std::runtime_error("replay divergence at rank " + std::to_string(rank) + ", event " +
+                           std::to_string(index) + ": " + std::move(what)),
+        rank_(rank),
+        index_(index) {}
+
+  int rank() const noexcept { return rank_; }
+  std::size_t event_index() const noexcept { return index_; }
+
+ private:
+  int rank_;
+  std::size_t index_;
+};
+
+class ReplayFeed {
+ public:
+  /// Serves `rank`'s events of `world`; the RecordedWorld must outlive the
+  /// feed (the World holds the feed only by pointer, so the caller owns
+  /// both).
+  ReplayFeed(const RecordedWorld& world, int rank);
+
+  int rank() const noexcept { return rank_; }
+
+  /// Next unconsumed event, or nullptr once the log is exhausted.
+  const Event* peek() const noexcept {
+    return cursor_ < events_->size() ? &(*events_)[cursor_] : nullptr;
+  }
+
+  /// Consumes and returns the next event; throws ReplayDivergence when the
+  /// log is exhausted.
+  const Event& take();
+
+  /// Consumes the next event after checking it has `kind` (and `peer`, when
+  /// `peer` >= 0); throws ReplayDivergence naming both sides on mismatch.
+  const Event& expect(EventKind kind, int peer);
+
+  std::size_t consumed() const noexcept { return cursor_; }
+  std::size_t remaining() const noexcept { return events_->size() - cursor_; }
+
+  /// Throws ReplayDivergence carrying this feed's rank and cursor position.
+  [[noreturn]] void diverge(const std::string& what) const {
+    throw ReplayDivergence(rank_, cursor_, what);
+  }
+
+ private:
+  const std::vector<Event>* events_;
+  int rank_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace hcs::replay

@@ -1,0 +1,49 @@
+// Versioned binary serialization for recordings (docs/record-replay.md has
+// the byte-level spec).
+//
+// Layout (all integers little-endian, doubles as IEEE-754 bit patterns):
+//   file   := magic "HCSR" | u32 version (1) | u32 nworlds | world*
+//   world  := u64 seed | i32 nranks | u64 fault_seed
+//           | str machine | str fault_plan | str label
+//           | rank* (nranks of them) | u64 total_events (integrity check)
+//   rank   := u64 nevents | event*
+//   event  := u8 kind | u8 flags | i32 peer | i64 tag | i64 bytes
+//           | f64 time | f64 aux0 | f64 aux1 | u64 digest
+//           | u32 nvalues | f64*
+//   str    := u32 length | bytes
+//
+// serialize() walks worlds and ranks in index order, so identical event
+// streams produce byte-identical files — the property the invariance tests
+// and the CI bisect smoke step gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "replay/record.hpp"
+
+namespace hcs::replay {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// A recording loaded back from disk (or parsed from bytes).
+struct Recording {
+  std::vector<RecordedWorld> worlds;
+};
+
+/// Deterministic byte serialization of everything the recorder captured.
+std::string serialize(const Recorder& recorder);
+
+/// Parses bytes produced by serialize(); throws std::runtime_error naming
+/// the offset on any magic/version/bounds violation.
+Recording parse(const std::string& bytes);
+
+/// Writes serialize(recorder) to `path`; false (with errno untouched) when
+/// the file cannot be written.
+bool save(const std::string& path, const Recorder& recorder);
+
+/// Reads and parses `path`; throws std::runtime_error when the file cannot
+/// be read or fails to parse.
+Recording load(const std::string& path);
+
+}  // namespace hcs::replay

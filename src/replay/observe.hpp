@@ -1,0 +1,23 @@
+// Recorded clock reads (docs/record-replay.md).
+//
+// Hardware clock noise is drawn from an RNG shared by every rank of a time
+// source, so a direct clk.now() cannot be recomputed when only one rank is
+// replayed (the co-located ranks that would have consumed interleaved draws
+// are not running).  Sync code therefore routes its direct clock reads
+// through observed_now(): a plain clk.now() while recording is off, a
+// recorded read while a Recorder is installed, and a log-fed value during
+// single-rank replay.  Clock reads inside ping-pong bursts are already part
+// of the recorded BurstResult and need no hook.
+#pragma once
+
+#include "simmpi/comm.hpp"
+#include "vclock/clock.hpp"
+
+namespace hcs::replay {
+
+/// Noisy "read my clock now" for rank code, record/replay aware.
+inline double observed_now(simmpi::Comm& comm, vclock::Clock& clk) {
+  return comm.world().clock_read_hook(comm.my_world_rank(), clk);
+}
+
+}  // namespace hcs::replay

@@ -1,0 +1,36 @@
+// Named capture scenarios (docs/record-replay.md).
+//
+// A Scenario is everything needed to reproduce a recorded run from scratch:
+// the machine, the synchronization label, the fault plan, and the accuracy
+// phase's knobs.  hcs_capture records scenarios by name; the incident suite
+// and the single-rank replayer rebuild the identical World from the same
+// Scenario plus the seed stored in the recording header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "topology/presets.hpp"
+
+namespace hcs::replay {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  topology::MachineConfig machine;
+  std::string sync_label;        // clocksync::make_sync label
+  fault::FaultPlan faults;
+  double accuracy_wait = 0.25;   // seconds between the two accuracy passes
+  int accuracy_exchanges = 20;   // ping-pongs per accuracy measurement
+  double sample_fraction = 1.0;  // fraction of clients measured
+};
+
+/// The named scenario; throws std::invalid_argument listing the known names
+/// when `name` is unknown.
+const Scenario& find_scenario(const std::string& name);
+
+/// All registered scenario names, in registration order.
+std::vector<std::string> scenario_names();
+
+}  // namespace hcs::replay

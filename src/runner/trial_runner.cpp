@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 
+#include "replay/record.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
 
@@ -24,6 +25,7 @@ namespace {
 struct TrialSinks {
   std::unique_ptr<trace::Tracer> tracer;
   std::unique_ptr<trace::MetricsRegistry> metrics;
+  std::unique_ptr<replay::Recorder> recorder;
 };
 
 }  // namespace
@@ -36,6 +38,7 @@ void TrialRunner::run_indexed(int ntrials, std::uint64_t base_seed,
   // Sinks of the launching thread; trials get private ones mirroring these.
   trace::Tracer* const parent_tracer = trace::active_tracer();
   trace::MetricsRegistry* const parent_metrics = trace::active_metrics();
+  replay::Recorder* const parent_recorder = replay::active_recorder();
 
   std::vector<TrialSinks> sinks(n);
   std::vector<std::exception_ptr> errors(n);
@@ -53,10 +56,12 @@ void TrialRunner::run_indexed(int ntrials, std::uint64_t base_seed,
           sink.tracer = std::make_unique<trace::Tracer>(parent_tracer->ring_capacity());
         }
         if (parent_metrics != nullptr) sink.metrics = std::make_unique<trace::MetricsRegistry>();
+        if (parent_recorder != nullptr) sink.recorder = std::make_unique<replay::Recorder>();
         // Scoped install on *this* worker thread (the slots are thread_local);
         // restored before the next trial regardless of how the body exits.
         const trace::ScopedTracer install_tracer(sink.tracer.get());
         const trace::ScopedMetrics install_metrics(sink.metrics.get());
+        const replay::ScopedRecorder install_recorder(sink.recorder.get());
         body(Trial{index, base_seed + static_cast<std::uint64_t>(index)});
       } catch (...) {
         errors[static_cast<std::size_t>(index)] = std::current_exception();
@@ -79,9 +84,10 @@ void TrialRunner::run_indexed(int ntrials, std::uint64_t base_seed,
 
   // Fold per-trial observability into the parent in trial-index order: the
   // merged stream is what a sequential run would have recorded.
-  for (const TrialSinks& sink : sinks) {
+  for (TrialSinks& sink : sinks) {
     if (parent_metrics != nullptr && sink.metrics) parent_metrics->merge_from(*sink.metrics);
     if (parent_tracer != nullptr && sink.tracer) parent_tracer->absorb(*sink.tracer);
+    if (parent_recorder != nullptr && sink.recorder) parent_recorder->absorb(*sink.recorder);
   }
 
   // Rethrow the lowest-index error — the one a sequential run hits first.

@@ -5,9 +5,12 @@
 #include <barrier>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 
+#include "replay/feed.hpp"
+#include "replay/record.hpp"
 #include "simmpi/comm.hpp"
 
 namespace hcs::simmpi {
@@ -99,6 +102,21 @@ World::World(topology::MachineConfig machine, std::uint64_t seed, fault::FaultPl
   // in shard-index order (the record paths are not thread-safe).
   parent_tracer_ = trace::active_tracer();
   parent_metrics_ = trace::active_metrics();
+
+  // Record/replay: a Recorder installed on the constructing thread gets one
+  // section per World, keyed by everything needed to rebuild an identical
+  // World for replay (docs/record-replay.md).  The section's per-rank
+  // buffers are sized up front, so recording appends stay confined to each
+  // rank's own shard thread.
+  if (replay::Recorder* recorder = replay::active_recorder()) {
+    replay::WorldInfo info;
+    info.seed = seed;
+    info.nranks = size();
+    info.fault_seed = fault_plan.seed();
+    info.machine = machine_.describe();
+    if (!fault_plan.empty()) info.fault_plan = fault_plan.describe();
+    record_section_ = &recorder->begin_world(std::move(info));
+  }
   time_source_.sim = sims_[0].get();
   if (parent_tracer_) {
     parent_tracer_->set_time_source(&time_source_, trace::TimeSourceKind::kSimTime);
@@ -203,6 +221,16 @@ sim::Task<void> run_rank_guarded(World::RankFn fn, RankCtx& ctx) {
 }  // namespace
 
 void World::launch(const RankFn& fn) {
+  if (replay_feed_) {
+    // Single-rank replay: only the target rank runs; every peer interaction
+    // is answered from the recorded log instead of a simulated partner.
+    if (detector_ != nullptr) {
+      sim_of(replay_rank_).spawn(run_rank_guarded(fn, ctx(replay_rank_)));
+    } else {
+      sim_of(replay_rank_).spawn(fn(ctx(replay_rank_)));
+    }
+    return;
+  }
   const bool guard = detector_ != nullptr;
   for (int r = 0; r < size(); ++r) {
     if (guard) {
@@ -409,6 +437,23 @@ void World::drain_outboxes() {
 void World::dispatch_message(int src, int dst, std::vector<double> data, std::int64_t bytes,
                              std::int64_t tag, sim::Time ready) {
   if (fault_) ready = fault_->release_time(src, ready);
+  if (replay_feed_) {
+    // Replay: the message has no receiver to reach; verify the send against
+    // the log (same spot record mode logs it, after pause translation) and
+    // drop it.
+    replay_verify_send(src, dst, tag, bytes, data, ready);
+    return;
+  }
+  if (record_section_ != nullptr) {
+    replay::Event ev;
+    ev.kind = replay::EventKind::kSend;
+    ev.peer = dst;
+    ev.tag = tag;
+    ev.bytes = bytes;
+    ev.time = ready;
+    ev.digest = replay::payload_digest(data);
+    record_section_->append(src, std::move(ev));
+  }
   Message msg;
   msg.src = src;
   msg.tag = tag;
@@ -613,6 +658,7 @@ sim::Task<void> World::block_on_recv(RecvRequest request, sim::Time deadline) {
 }
 
 sim::Task<Message> World::await_recv(RecvRequest request) {
+  if (replay_feed_) co_return co_await replay_recv(std::move(request));
   // Even a plain receive gets a bound under the crash model: blocking on a
   // peer the detector has declared dead is turned into a loud error (and
   // the liveness net turns any remaining cross-wait into one too) instead
@@ -632,16 +678,29 @@ sim::Task<Message> World::await_recv(RecvRequest request) {
                              "path for quorum collectives)");
   }
   co_await s.delay(network_.recv_overhead());
+  record_recv_completion(request);
   co_return std::move(request->msg);
 }
 
 sim::Task<std::optional<Message>> World::await_recv_until(RecvRequest request,
                                                           sim::Time deadline) {
+  if (replay_feed_) co_return co_await replay_recv_until(std::move(request));
   sim::Simulation& s = sim_of(request->owner);
   co_await block_on_recv(request, deadline);
   if (request->owner_crashed) throw RankCrashed{request->owner, s.now()};
-  if (request->timed_out) co_return std::nullopt;
+  if (request->timed_out) {
+    if (record_section_ != nullptr) {
+      replay::Event ev;
+      ev.kind = replay::EventKind::kRecvTimeout;
+      ev.peer = request->src;
+      ev.tag = request->tag;
+      ev.time = s.now();
+      record_section_->append(request->owner, std::move(ev));
+    }
+    co_return std::nullopt;
+  }
   co_await s.delay(network_.recv_overhead());
+  record_recv_completion(request);
   co_return std::move(request->msg);
 }
 
@@ -831,11 +890,28 @@ sim::Task<BurstResult> World::pingpong_burst(int me, int partner, bool i_am_clie
   if (nexchanges < 1) throw std::invalid_argument("pingpong_burst: nexchanges must be >= 1");
   if (me == partner) throw std::invalid_argument("pingpong_burst: self ping-pong");
   check_crash(me);
+  if (replay_feed_) co_return co_await replay_burst(me, partner, i_am_client);
+  BurstResult result;
   if (node_of_rank_[static_cast<std::size_t>(me)] ==
       node_of_rank_[static_cast<std::size_t>(partner)]) {
-    co_return co_await pingpong_burst_local(me, partner, i_am_client, my_clock, nexchanges, bytes);
+    result = co_await pingpong_burst_local(me, partner, i_am_client, my_clock, nexchanges, bytes);
+  } else {
+    result = co_await pingpong_burst_cross(me, partner, i_am_client, my_clock, nexchanges, bytes);
   }
-  co_return co_await pingpong_burst_cross(me, partner, i_am_client, my_clock, nexchanges, bytes);
+  if (record_section_ != nullptr) {
+    // Recorded at the caller's resume point (its own shard thread, at the
+    // clamped done time — both shard-count-invariant), never from the
+    // coordinator's rendezvous drain.
+    replay::Event ev;
+    ev.kind = replay::EventKind::kBurst;
+    ev.flags = i_am_client ? 1 : 0;
+    ev.peer = partner;
+    ev.time = sim_of(me).now();
+    ev.values = replay::encode_burst(result);
+    ev.digest = replay::payload_digest(ev.values);
+    record_section_->append(me, std::move(ev));
+  }
+  co_return result;
 }
 
 // Intra-node burst: both callers live in the same shard, so the pairing map
@@ -1058,6 +1134,224 @@ void World::drain_burst_halves() {
     h.st->first_handle = nullptr;
   }
   sim::set_current_shard(0);
+}
+
+// -------------------------------------------------- record / replay --------
+//
+// Recording appends one Event per rank-visible transport completion (and per
+// hooked clock read) to this World's section of the installed Recorder;
+// replay re-runs one rank against such a log, resuming it at the recorded
+// absolute sim-times and verifying everything it emits against the recorded
+// stream (docs/record-replay.md).
+
+namespace {
+
+std::string fmt_time(sim::Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", t);
+  return buf;
+}
+
+// NOTE: named awaiter on purpose (GCC 12 temporary-awaiter bug).  schedule_at
+// clamps past times to "now", so recorded absolute times resume exactly —
+// a relative delay(t - now) could drift by an ulp.
+struct ReplayResume {
+  sim::Simulation* sim;
+  sim::Time when;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) { sim->schedule_at(when, h); }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace
+
+void World::attach_replay(replay::ReplayFeed* feed, int rank) {
+  if (nshards_ != 1) {
+    throw std::invalid_argument(
+        "attach_replay: single-rank replay requires an unsharded World (--shards 1)");
+  }
+  if (feed == nullptr) throw std::invalid_argument("attach_replay: null feed");
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("attach_replay: rank " + std::to_string(rank) +
+                            " not in a World of " + std::to_string(size()) + " ranks");
+  }
+  replay_feed_ = feed;
+  replay_rank_ = rank;
+  record_section_ = nullptr;  // a replay run is never itself recorded
+}
+
+void World::record_recv_completion(const RecvRequest& request) {
+  if (record_section_ == nullptr) return;
+  replay::Event ev;
+  ev.kind = replay::EventKind::kRecv;
+  ev.peer = request->msg.src;
+  ev.tag = request->msg.tag;
+  ev.bytes = request->msg.bytes;
+  ev.time = sim_of(request->owner).now();
+  ev.aux0 = request->msg.sent_at;
+  ev.aux1 = request->msg.arrived_at;
+  ev.values = request->msg.data;
+  ev.digest = replay::payload_digest(ev.values);
+  record_section_->append(request->owner, std::move(ev));
+}
+
+double World::clock_read_hook(int rank, vclock::Clock& clock) {
+  if (replay_feed_) {
+    const replay::Event* ev = replay_feed_->peek();
+    if (ev == nullptr) {
+      replay_feed_->diverge("recorded event log exhausted at a direct clock read");
+    }
+    if (ev->kind != replay::EventKind::kClockRead) {
+      replay_feed_->diverge(std::string("clock read does not match recorded ") +
+                            replay::to_string(ev->kind) + " (peer " + std::to_string(ev->peer) +
+                            ", sim-time " + fmt_time(ev->time) + ")");
+    }
+    const sim::Time now = sim_of(rank).now();
+    if (ev->time != now) {
+      replay_feed_->diverge("clock read at sim-time " + fmt_time(now) + ", recorded at " +
+                            fmt_time(ev->time));
+    }
+    const double value = ev->values.empty() ? 0.0 : ev->values[0];
+    replay_feed_->take();
+    return value;
+  }
+  const double value = clock.now();
+  if (record_section_ != nullptr) {
+    replay::Event ev;
+    ev.kind = replay::EventKind::kClockRead;
+    ev.time = sim_of(rank).now();
+    ev.values.push_back(value);
+    ev.digest = replay::payload_digest(ev.values);
+    record_section_->append(rank, std::move(ev));
+  }
+  return value;
+}
+
+void World::replay_verify_send(int src, int dst, std::int64_t tag, std::int64_t bytes,
+                               const std::vector<double>& data, sim::Time ready) {
+  const replay::Event* ev = replay_feed_->peek();
+  if (ev == nullptr) {
+    replay_feed_->diverge("recorded event log exhausted at a send to rank " +
+                          std::to_string(dst));
+  }
+  if (ev->kind != replay::EventKind::kSend || ev->peer != dst || ev->tag != tag ||
+      ev->bytes != bytes) {
+    replay_feed_->diverge("send to rank " + std::to_string(dst) + " (tag " +
+                          std::to_string(tag) + ", " + std::to_string(bytes) +
+                          " bytes) does not match recorded " +
+                          replay::to_string(ev->kind) + " (peer " + std::to_string(ev->peer) +
+                          ", tag " + std::to_string(ev->tag) + ", " +
+                          std::to_string(ev->bytes) + " bytes)");
+  }
+  if (ev->time != ready) {
+    replay_feed_->diverge("send to rank " + std::to_string(dst) + " dispatched at sim-time " +
+                          fmt_time(ready) + ", recorded at " + fmt_time(ev->time));
+  }
+  if (ev->digest != replay::payload_digest(data)) {
+    replay_feed_->diverge("send to rank " + std::to_string(dst) +
+                          " payload digest differs from the recording");
+  }
+  replay_feed_->take();
+}
+
+sim::Task<Message> World::replay_recv(RecvRequest request) {
+  const int me = request->owner;
+  cancel_recv(request);  // no peer will ever complete it
+  sim::Simulation& s = sim_of(me);
+  check_crash(me);
+  const replay::Event* ev = replay_feed_->peek();
+  if (ev == nullptr) {
+    co_await replay_starve(me);  // crash at the recorded time, or diverge
+    co_return Message{};         // unreachable: replay_starve always throws
+  }
+  if (ev->kind != replay::EventKind::kRecv || ev->peer != request->src ||
+      ev->tag != request->tag) {
+    replay_feed_->diverge("recv from rank " + std::to_string(request->src) + " (tag " +
+                          std::to_string(request->tag) + ") does not match recorded " +
+                          replay::to_string(ev->kind) + " (peer " + std::to_string(ev->peer) +
+                          ", tag " + std::to_string(ev->tag) + ")");
+  }
+  Message msg;
+  msg.src = ev->peer;
+  msg.tag = ev->tag;
+  msg.bytes = ev->bytes;
+  msg.sent_at = ev->aux0;
+  msg.arrived_at = ev->aux1;
+  msg.data = ev->values;
+  const sim::Time when = ev->time;
+  replay_feed_->take();
+  ReplayResume resume{&s, when};
+  co_await resume;
+  check_crash(me);
+  co_return msg;
+}
+
+sim::Task<std::optional<Message>> World::replay_recv_until(RecvRequest request) {
+  const int me = request->owner;
+  const replay::Event* ev = replay_feed_->peek();
+  if (ev != nullptr && ev->kind == replay::EventKind::kRecvTimeout) {
+    cancel_recv(request);
+    sim::Simulation& s = sim_of(me);
+    check_crash(me);
+    if (ev->peer != request->src || ev->tag != request->tag) {
+      replay_feed_->diverge("bounded recv from rank " + std::to_string(request->src) + " (tag " +
+                            std::to_string(request->tag) + ") does not match recorded timeout " +
+                            "(peer " + std::to_string(ev->peer) + ", tag " +
+                            std::to_string(ev->tag) + ")");
+    }
+    const sim::Time when = ev->time;
+    replay_feed_->take();
+    ReplayResume resume{&s, when};
+    co_await resume;
+    check_crash(me);
+    co_return std::nullopt;
+  }
+  co_return co_await replay_recv(std::move(request));
+}
+
+sim::Task<BurstResult> World::replay_burst(int me, int partner, bool i_am_client) {
+  sim::Simulation& s = sim_of(me);
+  const replay::Event* ev = replay_feed_->peek();
+  if (ev == nullptr) {
+    co_await replay_starve(me);
+    co_return BurstResult{};  // unreachable: replay_starve always throws
+  }
+  const std::uint8_t role = i_am_client ? 1 : 0;
+  if (ev->kind != replay::EventKind::kBurst || ev->peer != partner || ev->flags != role) {
+    replay_feed_->diverge("pingpong_burst with rank " + std::to_string(partner) + " as " +
+                          (i_am_client ? "client" : "reference") + " does not match recorded " +
+                          replay::to_string(ev->kind) + " (peer " + std::to_string(ev->peer) +
+                          ", flags " + std::to_string(ev->flags) + ")");
+  }
+  BurstResult result = replay::decode_burst(ev->values);
+  const sim::Time when = ev->time;
+  replay_feed_->take();
+  ReplayResume resume{&s, when};
+  co_await resume;
+  check_crash(me);
+  co_return result;
+}
+
+// The recording of a crashed rank simply ends at its last completed
+// operation; there is no explicit crash event.  When the feed runs dry and
+// the (purely deterministic) failure detector says this rank does crash,
+// advance to that moment and die exactly as record mode did.  Any other
+// exhaustion means the replayed program out-ran the recording.
+sim::Task<void> World::replay_starve(int me) {
+  if (detector_ != nullptr) {
+    const sim::Time crash = detector_->crash_time(me);
+    if (crash < sim::kTimeInfinity) {
+      sim::Simulation& s = sim_of(me);
+      if (crash > s.now()) {
+        ReplayResume resume{&s, crash};
+        co_await resume;
+      }
+      throw RankCrashed{me, s.now()};
+    }
+  }
+  replay_feed_->diverge(
+      "recorded event log exhausted (the replayed program performed more operations than the "
+      "recording)");
 }
 
 }  // namespace hcs::simmpi

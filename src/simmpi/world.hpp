@@ -45,6 +45,11 @@
 #include "vclock/hardware_clock.hpp"
 #include "vclock/model_bank.hpp"
 
+namespace hcs::replay {
+class ReplayFeed;
+struct RecordedWorld;
+}  // namespace hcs::replay
+
 namespace hcs::simmpi {
 
 class World;
@@ -207,6 +212,25 @@ class World {
   /// coroutine).
   void deliver_now(int dst, Message msg);
 
+  // --- record / replay (docs/record-replay.md) ---
+
+  /// Switches this World into single-rank replay mode: launch() spawns only
+  /// `rank`, and every transport operation is answered from (or verified
+  /// against) `feed` instead of the simulated peers.  The World must be
+  /// constructed with the same (machine, seed, fault plan) as the recorded
+  /// one so its deterministic models (clock parameters, failure detector)
+  /// match; it must be unsharded.  The caller owns the feed and the
+  /// RecordedWorld behind it; both must outlive the World.
+  void attach_replay(replay::ReplayFeed* feed, int rank);
+
+  /// True once attach_replay() was called.
+  bool replaying() const noexcept { return replay_feed_ != nullptr; }
+
+  /// Noisy clock read for rank code, record/replay aware — use via
+  /// replay::observed_now().  Plain clock.now() normally; additionally logged
+  /// while a Recorder is installed; answered from the log during replay.
+  double clock_read_hook(int rank, vclock::Clock& clock);
+
  private:
   struct Mailbox {
     std::deque<Message> unexpected;
@@ -286,6 +310,15 @@ class World {
   sim::Task<void> burst_watchdog(std::shared_ptr<BurstState> st, std::uint64_t key,
                                  sim::Time when, bool cross_node);
 
+  // --- record / replay internals (world.cpp, docs/record-replay.md) ---
+  void record_recv_completion(const RecvRequest& request);
+  void replay_verify_send(int src, int dst, std::int64_t tag, std::int64_t bytes,
+                          const std::vector<double>& data, sim::Time ready);
+  sim::Task<Message> replay_recv(RecvRequest request);
+  sim::Task<std::optional<Message>> replay_recv_until(RecvRequest request);
+  sim::Task<BurstResult> replay_burst(int me, int partner, bool i_am_client);
+  sim::Task<void> replay_starve(int me);  // crash at recorded time, or diverge
+
   // --- windowed engine (world_engine section of world.cpp) ---
   sim::Task<BurstResult> pingpong_burst_local(int me, int partner, bool i_am_client,
                                               vclock::Clock& my_clock, int nexchanges,
@@ -329,6 +362,15 @@ class World {
   std::vector<ShardState> shard_states_;            // per shard
   std::map<std::uint64_t, PendingHalf> rendezvous_;  // cross-node bursts (coordinator)
   std::vector<std::unique_ptr<RankCtx>> ctxs_;
+
+  // Record / replay: when a replay::Recorder was installed on the
+  // constructing thread, record_section_ is this World's section in it and
+  // every rank-visible transport completion is appended there (per-rank
+  // buffers, appended only from the owning shard's thread).  In replay mode
+  // replay_feed_ serves the single surviving rank's recorded events.
+  replay::RecordedWorld* record_section_ = nullptr;
+  replay::ReplayFeed* replay_feed_ = nullptr;
+  int replay_rank_ = -1;
 
   // Window-loop state shared between serial_phase and the worker loop.
   sim::Time window_end_ = 0.0;

@@ -66,6 +66,12 @@ class Cli {
   std::string trace_out() const { return get("trace-out", ""); }
   std::string metrics_out() const { return get("metrics-out", ""); }
 
+  /// Record/replay (docs/record-replay.md): "--record-out run.hcsr" writes
+  /// the deterministic event-order recording, "--replay run.hcsr" re-runs
+  /// while verifying against one.  Empty = disabled.
+  std::string record_out() const { return get("record-out", ""); }
+  std::string replay_file() const { return get("replay", ""); }
+
  private:
   std::string program_;
   std::map<std::string, std::string> options_;                 // last occurrence

@@ -1,0 +1,98 @@
+// Recorded-incident regression suite: replay single ranks of the committed
+// recordings under tests/replay/incidents/ and assert the outcomes in the
+// hexfloat sidecars reproduce bit-exactly (see incidents/README.md for the
+// library and how to regenerate it).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "replay/format.hpp"
+#include "replay/harness.hpp"
+#include "replay/scenario.hpp"
+
+namespace hcs::replay {
+namespace {
+
+struct Incident {
+  const char* file;      // basename under tests/replay/incidents/
+  const char* scenario;  // registered scenario name
+  std::uint64_t seed;    // seed the incident was captured with
+};
+
+constexpr Incident kIncidents[] = {
+    {"micro4-crash-seed42", "micro4-crash", 42},
+    {"micro4-drop-seed7", "micro4-drop", 7},
+    {"micro4-step-seed13", "micro4-step", 13},
+};
+
+std::string incident_path(const std::string& base, const char* ext) {
+  return std::string(HCS_REPLAY_INCIDENT_DIR) + "/" + base + ext;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+class IncidentSuite : public ::testing::TestWithParam<Incident> {};
+
+TEST_P(IncidentSuite, EveryRankReplaysBitExactly) {
+  const Incident& incident = GetParam();
+  const Recording recording = load(incident_path(incident.file, ".hcsr"));
+  ASSERT_EQ(recording.worlds.size(), 1u);
+  const RecordedWorld& world = recording.worlds[0];
+  EXPECT_EQ(world.info.seed, incident.seed);
+  EXPECT_EQ(world.info.label, incident.scenario);
+
+  const std::vector<std::string> expected = read_lines(incident_path(incident.file, ".expect"));
+  ASSERT_EQ(expected.size(), static_cast<std::size_t>(world.info.nranks));
+
+  const Scenario& scenario = find_scenario(incident.scenario);
+  for (int rank = 0; rank < world.info.nranks; ++rank) {
+    const RankOutcome replayed = replay_scenario_rank(scenario, world, rank);
+    EXPECT_EQ(describe_outcome(replayed), expected[static_cast<std::size_t>(rank)])
+        << incident.file << " rank " << rank;
+  }
+}
+
+TEST_P(IncidentSuite, SidecarRoundTripsThroughParseOutcome) {
+  const Incident& incident = GetParam();
+  for (const std::string& line : read_lines(incident_path(incident.file, ".expect"))) {
+    EXPECT_EQ(describe_outcome(parse_outcome(line)), line);
+  }
+}
+
+// Re-running the whole scenario from scratch must still produce the
+// committed outcomes — the recording pins the event order, this pins the
+// simulator itself.
+TEST_P(IncidentSuite, FreshRunStillMatchesSidecar) {
+  const Incident& incident = GetParam();
+  const std::vector<std::string> expected = read_lines(incident_path(incident.file, ".expect"));
+  const std::vector<RankOutcome> outcomes =
+      run_scenario(find_scenario(incident.scenario), incident.seed);
+  ASSERT_EQ(outcomes.size(), expected.size());
+  for (std::size_t rank = 0; rank < outcomes.size(); ++rank) {
+    EXPECT_EQ(describe_outcome(outcomes[rank]), expected[rank])
+        << incident.file << " rank " << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Incidents, IncidentSuite, ::testing::ValuesIn(kIncidents),
+                         [](const ::testing::TestParamInfo<Incident>& info) {
+                           std::string name = info.param.scenario;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hcs::replay
