@@ -29,6 +29,18 @@ class ResyncManager {
   /// current global clock (possibly unchanged).
   sim::Task<vclock::ClockPtr> tick(simmpi::Comm& comm, vclock::ClockPtr base);
 
+  /// Adopts an externally produced clock — e.g. a churn re-admission's
+  /// pairwise sub-phase (clocksync/membership) — as the current global
+  /// clock, with `deadline` the next re-sync due time on that clock.  A
+  /// returning rank that adopted its re-admitted clock participates in the
+  /// next tick()'s collective decision like everyone else, instead of
+  /// forcing an initial synchronization the rest of the view would not
+  /// expect.  Does not count as a resync.
+  void adopt(vclock::ClockPtr clock, double deadline) {
+    current_ = std::move(clock);
+    deadline_ = deadline;
+  }
+
   /// Clock from the most recent (re-)synchronization; null before the
   /// first tick.
   const vclock::ClockPtr& clock() const { return current_; }

@@ -1,9 +1,11 @@
 #include "fault/fault_injector.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "sim/shard_context.hpp"
 
@@ -12,6 +14,11 @@ namespace hcs::fault {
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nranks)
     : channel_seed_(seed ^ (plan.seed() * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)),
       channel_rngs_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)) {
+  // Per-rank lifecycle events: (time, is_up).  crash/leave go down at `at`,
+  // rejoin comes back up, join is down from 0 until `at`.
+  std::vector<std::vector<std::pair<sim::Time, bool>>> lifecycle(
+      static_cast<std::size_t>(nranks > 0 ? nranks : 0));
+  churn_ranks_.assign(static_cast<std::size_t>(nranks > 0 ? nranks : 0), false);
   for (const FaultSpec& s : plan.specs()) {
     if (s.rank >= nranks || s.peer >= nranks) {
       throw std::invalid_argument("fault spec targets rank " +
@@ -48,13 +55,22 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nran
       case FaultKind::kPause:
         pauses_.push_back({s.rank, s.at, s.at + s.duration});
         break;
-      case FaultKind::kCrash: {
-        if (crash_times_.empty()) crash_times_.assign(static_cast<std::size_t>(nranks),
-                                                      sim::kTimeInfinity);
-        sim::Time& t = crash_times_[static_cast<std::size_t>(s.rank)];
-        if (s.at < t) t = s.at;  // earliest crash wins if a rank is listed twice
+      case FaultKind::kCrash:
+        lifecycle[static_cast<std::size_t>(s.rank)].push_back({s.at, false});
         break;
-      }
+      case FaultKind::kLeave:
+        lifecycle[static_cast<std::size_t>(s.rank)].push_back({s.at, false});
+        churn_ranks_[static_cast<std::size_t>(s.rank)] = true;
+        break;
+      case FaultKind::kJoin:
+        lifecycle[static_cast<std::size_t>(s.rank)].push_back({0.0, false});
+        lifecycle[static_cast<std::size_t>(s.rank)].push_back({s.at, true});
+        churn_ranks_[static_cast<std::size_t>(s.rank)] = true;
+        break;
+      case FaultKind::kRejoin:
+        lifecycle[static_cast<std::size_t>(s.rank)].push_back({s.at, true});
+        churn_ranks_[static_cast<std::size_t>(s.rank)] = true;
+        break;
       case FaultKind::kCrashLink: {
         const int a = s.rank < s.peer ? s.rank : s.peer;
         const int b = s.rank < s.peer ? s.peer : s.rank;
@@ -63,10 +79,106 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed, int nran
       }
     }
   }
+  // Assemble the per-rank down intervals from the lifecycle events: stable
+  // alternation of down/up, earliest down wins when two overlap (matching
+  // the old duplicate-crash rule), every up must close an open interval.
+  bool any_lifecycle = false;
+  for (const auto& events : lifecycle) {
+    if (!events.empty()) any_lifecycle = true;
+  }
+  if (any_lifecycle) {
+    crash_times_.assign(static_cast<std::size_t>(nranks), sim::kTimeInfinity);
+    down_.resize(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      auto events = lifecycle[static_cast<std::size_t>(r)];
+      if (events.empty()) continue;
+      std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+        return a.first != b.first ? a.first < b.first : a.second < b.second;
+      });
+      auto& intervals = down_[static_cast<std::size_t>(r)];
+      bool open = false;
+      sim::Time open_begin = 0.0;
+      for (const auto& [at, up] : events) {
+        if (!up) {
+          if (!open) {
+            open = true;
+            open_begin = at;
+          }  // else: already down, earliest wins
+        } else {
+          if (!open || at <= open_begin) {
+            throw std::invalid_argument("rejoin:rank=" + std::to_string(r) +
+                                        " must follow a crash/leave/join of the same rank");
+          }
+          intervals.push_back({open_begin, at});
+          open = false;
+        }
+      }
+      if (open) intervals.push_back({open_begin, sim::kTimeInfinity});
+      crash_times_[static_cast<std::size_t>(r)] = intervals.front().begin;
+      for (const DownInterval& iv : intervals) {
+        if (iv.begin > 0.0) transitions_.push_back(iv.begin);
+        if (iv.end < sim::kTimeInfinity) transitions_.push_back(iv.end);
+      }
+    }
+    std::sort(transitions_.begin(), transitions_.end());
+  }
+  churn_active_ = false;
+  for (const bool c : churn_ranks_) churn_active_ = churn_active_ || c;
   crash_active_ = !crash_times_.empty() || !link_cuts_.empty();
   net_active_ = !drops_rules_.empty() || !dup_rules_.empty() || !reorder_rules_.empty() ||
                 !burst_rules_.empty() || !straggler_rules_.empty();
   shard_metrics_.push_back(resolve_metrics(trace::active_metrics()));
+}
+
+bool FaultInjector::is_down(int rank, sim::Time t) const noexcept {
+  if (rank < 0 || rank >= static_cast<int>(down_.size())) return false;
+  for (const DownInterval& iv : down_[static_cast<std::size_t>(rank)]) {
+    if (t >= iv.begin && t < iv.end) return true;
+    if (t < iv.begin) break;  // sorted: no later interval can cover t
+  }
+  return false;
+}
+
+sim::Time FaultInjector::next_down(int rank, sim::Time t) const noexcept {
+  if (rank < 0 || rank >= static_cast<int>(down_.size())) return sim::kTimeInfinity;
+  for (const DownInterval& iv : down_[static_cast<std::size_t>(rank)]) {
+    if (t < iv.end) return iv.begin;  // covering interval, or the next one
+  }
+  return sim::kTimeInfinity;
+}
+
+int FaultInjector::incarnation(int rank, sim::Time t) const noexcept {
+  if (rank < 0 || rank >= static_cast<int>(down_.size())) return 0;
+  int n = 0;
+  for (const DownInterval& iv : down_[static_cast<std::size_t>(rank)]) {
+    if (iv.end <= t) ++n;
+  }
+  return n;
+}
+
+int FaultInjector::incarnation_count(int rank) const noexcept {
+  if (rank < 0 || rank >= static_cast<int>(down_.size())) return 1;
+  return static_cast<int>(down_[static_cast<std::size_t>(rank)].size()) + 1;
+}
+
+sim::Time FaultInjector::up_start(int rank, int k) const noexcept {
+  if (k <= 0) return 0.0;
+  if (rank < 0 || rank >= static_cast<int>(down_.size())) return sim::kTimeInfinity;
+  const auto& intervals = down_[static_cast<std::size_t>(rank)];
+  if (k > static_cast<int>(intervals.size())) return sim::kTimeInfinity;
+  return intervals[static_cast<std::size_t>(k - 1)].end;
+}
+
+sim::Time FaultInjector::up_end(int rank, int k) const noexcept {
+  if (rank < 0 || rank >= static_cast<int>(down_.size())) return sim::kTimeInfinity;
+  const auto& intervals = down_[static_cast<std::size_t>(rank)];
+  if (k < 0 || k >= static_cast<int>(intervals.size())) return sim::kTimeInfinity;
+  return intervals[static_cast<std::size_t>(k)].begin;
+}
+
+std::uint64_t FaultInjector::membership_epoch(sim::Time t) const noexcept {
+  const auto it = std::upper_bound(transitions_.begin(), transitions_.end(), t);
+  return static_cast<std::uint64_t>(it - transitions_.begin());
 }
 
 FaultInjector::ShardMetrics FaultInjector::resolve_metrics(trace::MetricsRegistry* registry) {

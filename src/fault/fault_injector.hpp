@@ -65,27 +65,72 @@ class FaultInjector {
   /// True when any pause window is configured.
   bool pause_active() const noexcept { return !pauses_.empty(); }
 
-  /// True when any crash or crashlink fault is configured — the transport
-  /// and collectives enable the failure-detection paths only then, so a
-  /// crash-free plan stays bit-identical to no plan at all.
+  /// True when any crash, crashlink or churn fault is configured — the
+  /// transport and collectives enable the failure-detection paths only
+  /// then, so a crash-free plan stays bit-identical to no plan at all.
   bool crash_active() const noexcept { return crash_active_; }
 
-  /// Crash-stop time for `rank`, or sim::kTimeInfinity if it never crashes.
+  /// True when any leave/join/rejoin fault is configured: some rank's
+  /// lifetime has more than the single crash-stop incarnation, so the
+  /// World runs churn supervisors and stamps membership views.
+  bool churn_active() const noexcept { return churn_active_; }
+
+  /// True when `rank` is targeted by a leave/join/rejoin spec.
+  bool has_churn(int rank) const noexcept {
+    return rank >= 0 && rank < static_cast<int>(churn_ranks_.size()) &&
+           churn_ranks_[static_cast<std::size_t>(rank)];
+  }
+
+  /// First down time for `rank` (crash, leave, or an initial join gap),
+  /// or sim::kTimeInfinity if it never goes down.  For pure crash plans
+  /// this is the crash-stop instant.
   sim::Time crash_time(int rank) const noexcept {
     return rank >= 0 && rank < static_cast<int>(crash_times_.size())
                ? crash_times_[static_cast<std::size_t>(rank)]
                : sim::kTimeInfinity;
   }
 
+  /// True when `rank` is down (crashed, departed, or not yet joined) at `t`.
+  bool is_down(int rank, sim::Time t) const noexcept;
+
+  /// Begin of the down interval covering `t`, or of the next one after
+  /// `t`; sim::kTimeInfinity when the rank never goes down again.  For a
+  /// single-interval (pure crash) plan this equals crash_time(rank) at
+  /// every instant, so crash-only call sites keep their exact deadlines.
+  sim::Time next_down(int rank, sim::Time t) const noexcept;
+
+  /// Incarnation of `rank` at `t`: the number of completed down intervals
+  /// before or at `t`, so every restart bumps it by one.  Messages are
+  /// delivered only within a single incarnation of both endpoints.
+  int incarnation(int rank, sim::Time t) const noexcept;
+
+  /// Number of up-periods in the plan for `rank` (1 when it never churns;
+  /// a trailing unfinished crash still counts its never-starting slot).
+  int incarnation_count(int rank) const noexcept;
+
+  /// Start of incarnation `k` of `rank`: 0 for k = 0, else the end of down
+  /// interval k-1 (sim::kTimeInfinity when that interval never ends).
+  sim::Time up_start(int rank, int k) const noexcept;
+
+  /// End of incarnation `k` (the begin of down interval k), or
+  /// sim::kTimeInfinity when the incarnation runs forever.
+  sim::Time up_end(int rank, int k) const noexcept;
+
+  /// Membership epoch at `t`: the number of membership transitions (rank
+  /// departures and arrivals) that fired at or before `t`.  Epoch 0 is the
+  /// initial view; ranks that start down (join) belong to epoch 0's
+  /// complement, not to a transition.
+  std::uint64_t membership_epoch(sim::Time t) const noexcept;
+
   /// Time from which the a<->b link is severed (crashlink), or
   /// sim::kTimeInfinity if that link never goes down.  Symmetric.
   sim::Time link_down_time(int a, int b) const noexcept;
 
   /// True when a message sent from `src` to `dst` at `send_time` must be
-  /// dropped by the crash model: the sender is already dead, or the link is
-  /// already severed.  (Arrival-side checks use crash_time(dst) directly.)
+  /// dropped by the crash model: the sender is down, or the link is
+  /// already severed.  (Arrival-side checks use is_down(dst) directly.)
   bool crash_drops(int src, int dst, sim::Time send_time) const noexcept {
-    return send_time >= crash_time(src) || send_time >= link_down_time(src, dst);
+    return is_down(src, send_time) || send_time >= link_down_time(src, dst);
   }
 
   /// Counts one message lost to a crash/crashlink (metrics + counter).
@@ -148,6 +193,13 @@ class FaultInjector {
     int b;
     sim::Time at;
   };
+  /// One contiguous down period of a rank: [begin, end).  A crash or leave
+  /// with no later rejoin has end = kTimeInfinity; a join contributes
+  /// [0, at).  Sorted by begin, non-overlapping (built in the ctor).
+  struct DownInterval {
+    sim::Time begin;
+    sim::Time end;
+  };
 
   static bool matches(NetLevel rule_level, int level) {
     return rule_level == NetLevel::kAll || static_cast<int>(rule_level) == level;
@@ -165,10 +217,14 @@ class FaultInjector {
   std::vector<StragglerRule> straggler_rules_;
   std::vector<PauseRule> pauses_;
   std::vector<ClockFault> clock_faults_;
-  std::vector<sim::Time> crash_times_;  // indexed by rank; kTimeInfinity = alive
+  std::vector<sim::Time> crash_times_;  // indexed by rank; first down begin
+  std::vector<std::vector<DownInterval>> down_;  // indexed by rank
+  std::vector<bool> churn_ranks_;                // indexed by rank
+  std::vector<sim::Time> transitions_;  // sorted fired membership changes
   std::vector<LinkCut> link_cuts_;
   bool net_active_ = false;
   bool crash_active_ = false;
+  bool churn_active_ = false;
 
   std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> duplicates_{0};

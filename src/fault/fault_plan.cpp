@@ -67,9 +67,12 @@ FaultKind parse_kind(const std::string& spec, const std::string& text) {
   if (text == "pause") return FaultKind::kPause;
   if (text == "crash") return FaultKind::kCrash;
   if (text == "crashlink") return FaultKind::kCrashLink;
+  if (text == "leave") return FaultKind::kLeave;
+  if (text == "join") return FaultKind::kJoin;
+  if (text == "rejoin") return FaultKind::kRejoin;
   bad_spec(spec, "unknown fault kind '" + text +
                      "' (drop, duplicate, reorder, burst, straggler, clockstep, freqjump, pause, "
-                     "crash, crashlink)");
+                     "crash, crashlink, leave, join, rejoin)");
 }
 
 /// Formats a double compactly and losslessly enough for describe().
@@ -93,6 +96,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kPause: return "pause";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kCrashLink: return "crashlink";
+    case FaultKind::kLeave: return "leave";
+    case FaultKind::kJoin: return "join";
+    case FaultKind::kRejoin: return "rejoin";
   }
   return "?";
 }
@@ -152,6 +158,9 @@ std::string FaultSpec::describe() const {
       add("duration", fmt(duration) + "s");
       break;
     case FaultKind::kCrash:
+    case FaultKind::kLeave:
+    case FaultKind::kJoin:
+    case FaultKind::kRejoin:
       add("rank", std::to_string(rank));
       add("at", fmt(at) + "s");
       break;
@@ -255,6 +264,9 @@ FaultSpec FaultPlan::parse_spec(const std::string& spec) {
       if (out.duration <= 0.0) bad_spec(spec, "duration must be > 0");
       break;
     case FaultKind::kCrash:
+    case FaultKind::kLeave:
+    case FaultKind::kJoin:
+    case FaultKind::kRejoin:
       out.rank = parse_rank(spec, require("rank"));
       out.at = parse_value(spec, "at", require("at"), true);
       if (out.at < 0.0) bad_spec(spec, "at must be >= 0");

@@ -23,6 +23,10 @@
 //   pause      rank=<r> at=<time> duration=<dur>   rank stops making progress
 //   crash      rank=<r> at=<time>                  crash-stop: rank dies at `at`
 //   crashlink  rank=<a> peer=<b> at=<time>         link a<->b severed from `at`
+//   leave      rank=<r> at=<time>                  graceful departure at `at`
+//   join       rank=<r> at=<time>                  rank is absent until `at`
+//   rejoin     rank=<r> at=<time>                  a crashed/left rank restarts
+//                                                  at `at` with a fresh clock
 // `level` is one of network (default: every link), intra_socket,
 // intra_node, inter_node.
 #pragma once
@@ -44,6 +48,9 @@ enum class FaultKind {
   kPause,
   kCrash,
   kCrashLink,
+  kLeave,
+  kJoin,
+  kRejoin,
 };
 
 /// Which network link level a network fault applies to.  kAll matches every
@@ -64,10 +71,10 @@ struct FaultSpec {
   double period = 0.0;              // burst period (s)
   double duration = 0.0;            // burst window / pause length (s)
   double phase = 0.0;               // burst window start within each period (s)
-  int rank = -1;                    // straggler / clockstep / freqjump / pause / crash
+  int rank = -1;                    // straggler / clockstep / freqjump / pause / churn
   int peer = -1;                    // crashlink: the other endpoint
   double factor = 1.0;              // straggler delay multiplier
-  double at = 0.0;                  // clockstep / freqjump / pause / crash onset (s)
+  double at = 0.0;                  // clockstep / freqjump / pause / churn onset (s)
   double step = 0.0;                // clockstep delta (s, may be negative)
   double ppm = 0.0;                 // freqjump skew delta in parts-per-million
 

@@ -22,10 +22,10 @@ struct RuleInfo {
   std::string summary;
   // Repo-relative path prefixes (forward slashes) where the rule is off by
   // design, e.g. the runner's wall-clock timing shim.
-  std::vector<std::string> exempt_path_prefixes;
+  std::vector<std::string> exempt_path_prefixes = {};
   // When non-empty, the rule only runs on paths under these prefixes (plus
   // the lint fixtures dir, so the rule's own fixture pair exercises it).
-  std::vector<std::string> limit_path_prefixes;
+  std::vector<std::string> limit_path_prefixes = {};
 };
 
 const std::vector<RuleInfo>& rule_table();

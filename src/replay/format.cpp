@@ -111,11 +111,13 @@ struct Cursor {
   }
 };
 
-Event parse_event(Cursor& c) {
+Event parse_event(Cursor& c, std::uint32_t version) {
   Event ev;
   const std::uint8_t kind = c.u8();
-  if (kind < 1 || kind > 5) {
+  const std::uint8_t max_kind = version >= 2 ? 6 : 5;  // v2 adds kMembership
+  if (kind < 1 || kind > max_kind) {
     throw std::runtime_error("recording: bad event kind " + std::to_string(kind) +
+                             " for format version " + std::to_string(version) +
                              " at byte " + std::to_string(c.pos - 1));
   }
   ev.kind = static_cast<EventKind>(kind);
@@ -166,9 +168,10 @@ Recording parse(const std::string& bytes) {
   }
   c.pos = sizeof(kMagic);
   const std::uint32_t version = c.u32();
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     throw std::runtime_error("recording format version " + std::to_string(version) +
-                             " not supported (this build reads version " +
+                             " not supported (this build reads versions " +
+                             std::to_string(kMinFormatVersion) + ".." +
                              std::to_string(kFormatVersion) + ")");
   }
   const std::uint32_t nworlds = c.u32();
@@ -196,7 +199,7 @@ Recording parse(const std::string& bytes) {
                                  std::to_string(nevents));
       }
       rank_events.reserve(static_cast<std::size_t>(nevents));
-      for (std::uint64_t e = 0; e < nevents; ++e) rank_events.push_back(parse_event(c));
+      for (std::uint64_t e = 0; e < nevents; ++e) rank_events.push_back(parse_event(c, version));
     }
     const std::uint64_t total = c.u64();
     if (total != world.total_events()) {

@@ -2,7 +2,7 @@
 // the byte-level spec).
 //
 // Layout (all integers little-endian, doubles as IEEE-754 bit patterns):
-//   file   := magic "HCSR" | u32 version (1) | u32 nworlds | world*
+//   file   := magic "HCSR" | u32 version (1 or 2) | u32 nworlds | world*
 //   world  := u64 seed | i32 nranks | u64 fault_seed
 //           | str machine | str fault_plan | str label
 //           | rank* (nranks of them) | u64 total_events (integrity check)
@@ -15,6 +15,11 @@
 // serialize() walks worlds and ranks in index order, so identical event
 // streams produce byte-identical files — the property the invariance tests
 // and the CI bisect smoke step gate.
+//
+// Version history.  v1: event kinds 1..5.  v2: adds kMembership (kind 6,
+// churn epochs — docs/fault-injection.md); the event wire layout itself is
+// unchanged, so v1 files parse bit-exactly under a v2 reader (the committed
+// v1 incidents in tests/replay/incidents/ gate this back-compat).
 #pragma once
 
 #include <string>
@@ -24,7 +29,11 @@
 
 namespace hcs::replay {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
+
+/// Oldest version parse() still reads (v1 recordings carry no kMembership
+/// events but are otherwise identical on the wire).
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 
 /// A recording loaded back from disk (or parsed from bytes).
 struct Recording {

@@ -7,6 +7,7 @@
 
 #include "clocksync/accuracy.hpp"
 #include "clocksync/factory.hpp"
+#include "clocksync/membership.hpp"
 #include "clocksync/skampi_offset.hpp"
 #include "replay/feed.hpp"
 #include "simmpi/world.hpp"
@@ -36,6 +37,60 @@ double parse_hexf(const std::string& tok, const char* field) {
   return v;
 }
 
+// Churn-plan variant of the rank program: the founding cohort synchronizes
+// over the membership view at time 0, a returning rank runs (only) its own
+// re-admission sub-phase, and every rank serves the re-admissions it
+// references — all rendezvous derived from the fault oracle, no cohort-wide
+// accuracy collective (probe disagreement is the accuracy oracle under
+// churn).  The churn supervisor re-invokes this program per incarnation;
+// the last incarnation's outcome wins.
+sim::Task<void> churn_scenario_rank(const Scenario* scenario, RankOutcome* outcomes,
+                                    simmpi::RankCtx& ctx) {
+  simmpi::World& world = ctx.world();
+  const fault::FaultInjector* fault = world.fault_injector();
+  const int me = ctx.rank();
+  sim::Simulation& s = ctx.sim();
+  const sim::Time entry = s.now();
+  const int inc = fault->incarnation(me, entry);
+  const std::vector<clocksync::ReadmitEvent> schedule = clocksync::readmit_schedule(world);
+  RankOutcome& mine = outcomes[me];
+  mine = RankOutcome{};  // a restart discards the departed incarnation's partial outcome
+  clocksync::SKaMPIOffset oalg(scenario->accuracy_exchanges);
+  clocksync::ReadmitPolicy policy;
+
+  vclock::ClockPtr clock;
+  if (inc == 0) {
+    simmpi::Comm view = simmpi::Comm::view_comm(world, me, 0.0);
+    auto sync = clocksync::make_sync(scenario->sync_label);
+    clocksync::SyncResult res = co_await sync->sync_clocks(view, ctx.base_clock());
+    clock = res.clock;
+    mine.health = static_cast<int>(res.report.health);
+    mine.points_used = res.report.points_used;
+  } else {
+    const clocksync::ReadmitEvent event{entry, me, inc};
+    simmpi::Comm view = simmpi::Comm::view_comm(world, me, entry);
+    clocksync::ReadmitResult res =
+        co_await clocksync::readmit(view, event, ctx.base_clock(), oalg, policy);
+    clock = res.clock;
+    mine.health = static_cast<int>(res.report.health);
+    mine.points_used = res.report.points_used;
+  }
+  mine.sync_end = s.now();
+
+  for (const clocksync::ReadmitEvent& ev : schedule) {
+    if (ev.at < entry || ev.rank == me) continue;
+    if (fault->next_down(me, entry) <= ev.at) break;  // departed before then
+    if (clocksync::readmit_reference(world, ev) != me) continue;
+    simmpi::Comm view = simmpi::Comm::view_comm(world, me, ev.at);
+    clocksync::ReadmitResult served = co_await clocksync::readmit(view, ev, clock, oalg, policy);
+    clock = served.clock;
+  }
+
+  mine.probes.reserve(kProbeTimes.size());
+  for (const double t : kProbeTimes) mine.probes.push_back(clock->at_exact(t));
+  mine.ran = true;
+}
+
 // The one rank program every scenario runs; a free coroutine (not a
 // capturing lambda) so its frame owns stable copies/pointers for the whole
 // run.  `outcomes` points at the caller's per-rank array: each rank writes
@@ -43,6 +98,10 @@ double parse_hexf(const std::string& tok, const char* field) {
 // the vector is pre-sized).
 sim::Task<void> scenario_rank(const Scenario* scenario, std::uint64_t seed,
                               RankOutcome* outcomes, simmpi::RankCtx& ctx) {
+  const fault::FaultInjector* fault = ctx.world().fault_injector();
+  if (fault != nullptr && fault->churn_active()) {
+    co_return co_await churn_scenario_rank(scenario, outcomes, ctx);
+  }
   simmpi::Comm& comm = ctx.comm_world();
   auto sync = clocksync::make_sync(scenario->sync_label);
   clocksync::SyncResult res = co_await sync->sync_clocks(comm, ctx.base_clock());

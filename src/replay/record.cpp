@@ -11,6 +11,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kRecvTimeout: return "recv-timeout";
     case EventKind::kBurst: return "burst";
     case EventKind::kClockRead: return "clock-read";
+    case EventKind::kMembership: return "membership";
   }
   return "?";
 }

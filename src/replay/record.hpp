@@ -36,6 +36,10 @@ enum class EventKind : std::uint8_t {
   kRecvTimeout = 3,  // peer = src; bounded receive gave up at `time`
   kBurst = 4,        // peer = partner; flags bit 0 = caller was the client
   kClockRead = 5,    // values[0] = the noisy clock reading
+  // Format v2: a membership transition of the recorded rank itself.
+  // flags 0 = departure (the rank's program unwound via RankCrashed here),
+  // flags 1 = restart (the churn supervisor brought incarnation aux0 up).
+  kMembership = 6,   // aux0 = incarnation index (as a double)
 };
 
 const char* to_string(EventKind kind);

@@ -96,6 +96,20 @@ std::vector<Scenario> build_scenarios() {
     all.push_back(std::move(s));
   }
   {
+    // Churn incident: rank 2 leaves mid-sync (the cohort heals) and rejoins
+    // at 300ms with a fresh clock, re-admitted through its HCA3 tree parent.
+    Scenario s;
+    s.name = "micro4-churn";
+    s.description = "micro4 with rank 2 leaving mid-sync and rejoining at 300ms";
+    s.machine = topology::testbox(4, 1);
+    tune_clocks(s.machine);
+    s.sync_label = "hca3/60/skampi_offset/8";
+    s.accuracy_exchanges = 8;
+    s.faults.add("leave:rank=2,at=2ms");
+    s.faults.add("rejoin:rank=2,at=300ms");
+    all.push_back(std::move(s));
+  }
+  {
     Scenario s;
     s.name = "titan-small-crash";
     s.description = "titan-small with a mid-sync crash of rank 3";

@@ -18,6 +18,8 @@ std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 33;
   return x;
 }
+
+constexpr std::uint64_t kWorldContext = 0x57f2'11d3'9ab1'4e01ULL;
 }  // namespace
 
 Comm::Comm(World* world, std::shared_ptr<const std::vector<int>> members, int my_index,
@@ -30,10 +32,34 @@ Comm::Comm(World* world, std::shared_ptr<const std::vector<int>> members, int my
 }
 
 Comm Comm::world_comm(World& world, int rank) {
-  static constexpr std::uint64_t kWorldContext = 0x57f2'11d3'9ab1'4e01ULL;
   auto members = std::make_shared<std::vector<int>>(static_cast<std::size_t>(world.size()));
   for (int r = 0; r < world.size(); ++r) (*members)[static_cast<std::size_t>(r)] = r;
   return Comm(&world, std::move(members), rank, kWorldContext);
+}
+
+Comm Comm::view_comm(World& world, int rank, sim::Time at) {
+  // Membership is a pure function of the fault plan, so every up rank that
+  // evaluates the same `at` builds the same member list and context without
+  // exchanging a single message — the property that lets a restarted rank
+  // join a communicator its peers constructed while it was away.
+  const fault::FaultInjector* fault = world.fault_injector();
+  auto members = std::make_shared<std::vector<int>>();
+  members->reserve(static_cast<std::size_t>(world.size()));
+  int my_index = -1;
+  for (int r = 0; r < world.size(); ++r) {
+    if (fault && fault->is_down(r, at)) continue;
+    if (r == rank) my_index = static_cast<int>(members->size());
+    members->push_back(r);
+  }
+  const std::uint64_t epoch = world.membership_epoch(at);
+  // Epoch 0 (no transition fired yet) must reproduce the world context
+  // exactly so armed-but-unfired churn plans stay bit-identical.
+  const std::uint64_t context =
+      epoch == 0 ? kWorldContext
+                 : mix64(kWorldContext ^ (epoch * 0x9e3779b97f4a7c15ULL));
+  Comm comm(&world, std::move(members), my_index, context);
+  comm.view_epoch_ = epoch;
+  return comm;
 }
 
 std::int64_t Comm::user_tag(int tag) const {
@@ -66,9 +92,11 @@ sim::Task<std::optional<Message>> Comm::recv_ft(int src, int tag) {
   if (!fd) co_return co_await world_->p2p_recv(me, wsrc, user_tag(tag));
   // Bounded by the modelled detection time for a peer that actually dies,
   // plus the liveness net so even a pathological live-live cross-wait
-  // terminates (degraded) instead of deadlocking the world.
+  // terminates (degraded) instead of deadlocking the world.  The deadline is
+  // the *next* dead declaration relative to now, so a peer that departed and
+  // rejoined earlier does not poison later receives with a stale deadline.
   const sim::Time deadline =
-      std::min(fd->detect_time(me, wsrc), sim().now() + kLivenessTimeout);
+      std::min(fd->detect_time_after(me, wsrc, sim().now()), sim().now() + kLivenessTimeout);
   co_return co_await world_->await_recv_until(world_->p2p_irecv(me, wsrc, user_tag(tag)),
                                               deadline);
 }

@@ -32,6 +32,15 @@ class Comm {
 
   static Comm world_comm(World& world, int rank);
 
+  /// Message-free view communicator: the ranks that are up at time `at`
+  /// under the World's fault plan, in world-rank order, with a tag context
+  /// derived from the membership epoch at `at`.  Because membership is a
+  /// pure function of the (deterministic) plan, every live rank evaluating
+  /// the same `at` constructs an identical communicator without exchanging
+  /// a message — the churn layer's replacement for a full comm split when a
+  /// rank departs or returns.  The caller must be up at `at`.
+  static Comm view_comm(World& world, int rank, sim::Time at);
+
   bool valid() const noexcept { return world_ != nullptr; }
   int rank() const noexcept { return my_index_; }
   int size() const noexcept { return members_ ? static_cast<int>(members_->size()) : 0; }
@@ -82,6 +91,13 @@ class Comm {
   /// One communicator per socket.
   sim::Task<Comm> split_shared_socket();
 
+  /// Membership epoch this communicator was built under (0 for the world
+  /// communicator and every fault-free or pre-transition view).  Receives
+  /// and collectives on a view communicator are thereby stamped with the
+  /// view: the tag context folds the epoch in, so a message sent under a
+  /// stale view can never match a receive posted under the current one.
+  std::uint64_t view_epoch() const noexcept { return view_epoch_; }
+
   /// Tag for one phase of the current collective; advance_collective() must
   /// be called exactly once per collective invocation (the collectives API
   /// does this).
@@ -98,6 +114,7 @@ class Comm {
   std::uint64_t context_ = 0;
   std::uint64_t coll_seq_ = 0;
   std::uint64_t split_seq_ = 0;
+  std::uint64_t view_epoch_ = 0;
 };
 
 }  // namespace hcs::simmpi

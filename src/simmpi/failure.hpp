@@ -31,8 +31,12 @@ class NetworkModel;
 
 /// Observer-side view of a peer.  kSuspected covers the window between the
 /// first missed heartbeat and the declaration; algorithms that must not
-/// abandon a slow peer treat only kDead as actionable.
-enum class PeerStatus { kAlive, kSuspected, kDead };
+/// abandon a slow peer treat only kDead as actionable.  kRecovered means a
+/// previously-departed peer answered a heartbeat again (its rejoin became
+/// visible one probe period after the restart — symmetric to suspicion);
+/// it stays kRecovered until the next failure window, so membership layers
+/// can distinguish "never left" from "needs re-admission".
+enum class PeerStatus { kAlive, kSuspected, kDead, kRecovered };
 
 const char* to_string(PeerStatus status);
 
@@ -77,16 +81,23 @@ class FailureDetector {
   }
 
   /// When `observer` declares `peer` dead: event + P * (2^kProbeMisses - 1).
+  /// This is the *first* declaration; under churn plans use
+  /// detect_time_after, which walks every down window.
   sim::Time detect_time(int observer, int peer) const noexcept {
     return event_time(observer, peer) + detection_latency_;
   }
 
-  PeerStatus status(int observer, int peer, sim::Time now) const noexcept {
-    if (observer == peer) return PeerStatus::kAlive;
-    if (now >= detect_time(observer, peer)) return PeerStatus::kDead;
-    if (now >= suspect_time(observer, peer)) return PeerStatus::kSuspected;
-    return PeerStatus::kAlive;
-  }
+  /// Begin of the dead-declaration window containing `now`, or of the next
+  /// one after it (sim::kTimeInfinity when `observer` will never declare
+  /// `peer` dead again).  For a single-failure plan this equals
+  /// detect_time(observer, peer) at every instant, so crash-only call
+  /// sites keep their exact deadlines when migrated.
+  sim::Time detect_time_after(int observer, int peer, sim::Time now) const noexcept;
+
+  /// Pure per-peer status at `now`: walks the peer's down intervals so a
+  /// restart transitions dead -> recovered one probe period after the
+  /// rejoin, and a later departure re-enters suspected/dead.
+  PeerStatus status(int observer, int peer, sim::Time now) const noexcept;
 
   /// Earliest failure event anywhere in the plan: the first crash or link
   /// cut that will ever fire (kTimeInfinity if none does).

@@ -23,6 +23,11 @@ struct Message {
   // injector with network faults is active: duplicates and reorderings are
   // detected and repaired at the receiving mailbox (World::deliver_now).
   std::uint64_t seq = 0;
+  // Membership view the message was sent under (fault plan epoch at
+  // `sent_at`), stamped only while a churn plan is active.  Stale-view
+  // messages — those whose endpoints changed incarnation in flight — are
+  // rejected deterministically by World::crash_delivered.
+  std::uint64_t view = 0;
 };
 
 /// One ping-pong exchange as observed by the client process: its own send

@@ -32,6 +32,10 @@ RankCtx::RankCtx(World& world, int rank)
 
 RankCtx::~RankCtx() = default;
 
+void RankCtx::reset_comm() {
+  comm_world_ = std::make_unique<Comm>(Comm::world_comm(*world_, rank_));
+}
+
 vclock::ClockPtr RankCtx::base_clock() const { return world_->base_clock(rank_); }
 
 sim::Simulation& RankCtx::sim() const { return world_->sim_of(rank_); }
@@ -224,7 +228,9 @@ void World::launch(const RankFn& fn) {
   if (replay_feed_) {
     // Single-rank replay: only the target rank runs; every peer interaction
     // is answered from the recorded log instead of a simulated partner.
-    if (detector_ != nullptr) {
+    if (fault_ && fault_->has_churn(replay_rank_)) {
+      sim_of(replay_rank_).spawn(churn_supervisor(fn, ctx(replay_rank_)));
+    } else if (detector_ != nullptr) {
       sim_of(replay_rank_).spawn(run_rank_guarded(fn, ctx(replay_rank_)));
     } else {
       sim_of(replay_rank_).spawn(fn(ctx(replay_rank_)));
@@ -233,13 +239,31 @@ void World::launch(const RankFn& fn) {
   }
   const bool guard = detector_ != nullptr;
   for (int r = 0; r < size(); ++r) {
-    if (guard) {
+    if (fault_ && fault_->has_churn(r)) {
+      // Churning ranks run under a supervisor that restarts each scheduled
+      // incarnation; pure-crash ranks keep the plain guarded path, so a
+      // churn-free plan schedules exactly as before.
+      sim_of(r).spawn(churn_supervisor(fn, ctx(r)));
+    } else if (guard) {
       sim_of(r).spawn(run_rank_guarded(fn, ctx(r)));
     } else {
       sim_of(r).spawn(fn(ctx(r)));
     }
   }
 }
+
+void World::purge_mailbox(int rank) {
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(rank)];
+  mb.unexpected.clear();
+  mb.posted.clear();
+  // Held-back out-of-order messages from the previous life are stale too.
+  // expected_seq is deliberately kept: sender-side counters keep running
+  // across the restart, so channel FIFO repair stays consistent.
+  mb.held.clear();
+}
+
+// churn_supervisor lives in the record/replay section below (it needs the
+// ReplayResume awaiter).
 
 // ----------------------------------------------------------------- engine --
 
@@ -414,7 +438,7 @@ void World::drain_outboxes() {
     sim::Time arrive = network_.ingress_admit(r.dst, r.msg.bytes, r.port_time, r.depart_ready);
     if (fault_) arrive = fault_->release_time(r.dst, arrive);
     r.msg.arrived_at = arrive;
-    if (!detector_ || crash_delivered(r.src, r.dst, arrive)) {
+    if (!detector_ || crash_delivered(r.src, r.dst, r.msg.sent_at, arrive)) {
       sim::Simulation& dst_sim = *sims_[static_cast<std::size_t>(dshard)];
       dst_sim.spawn(deliver_later(*this, dst_sim, arrive, r.dst, std::move(r.msg)));
     } else {
@@ -441,7 +465,7 @@ void World::dispatch_message(int src, int dst, std::vector<double> data, std::in
     // Replay: the message has no receiver to reach; verify the send against
     // the log (same spot record mode logs it, after pause translation) and
     // drop it.
-    replay_verify_send(src, dst, tag, bytes, data, ready);
+    replay_verify_send(dst, tag, bytes, data, ready);
     return;
   }
   if (record_section_ != nullptr) {
@@ -460,6 +484,7 @@ void World::dispatch_message(int src, int dst, std::vector<double> data, std::in
   msg.data = std::move(data);
   msg.bytes = bytes;
   msg.sent_at = ready;
+  if (fault_ && fault_->churn_active()) msg.view = fault_->membership_epoch(ready);
   if (seq_tracking_) {
     msg.seq = send_seq_[static_cast<std::size_t>(src) * static_cast<std::size_t>(size()) +
                         static_cast<std::size_t>(dst)]++;
@@ -488,22 +513,33 @@ void World::dispatch_message(int src, int dst, std::vector<double> data, std::in
     sim::Time dup_arrive = network_.deliver_time(src, dst, bytes, ready);
     if (fault_) dup_arrive = fault_->release_time(dst, dup_arrive);
     copy.arrived_at = dup_arrive;
-    if (!detector_ || crash_delivered(src, dst, dup_arrive)) {
+    if (!detector_ || crash_delivered(src, dst, ready, dup_arrive)) {
       s.spawn(deliver_later(*this, s, dup_arrive, dst, std::move(copy)));
     } else {
       fault_->count_crash_drop();
     }
   }
-  if (!detector_ || crash_delivered(src, dst, arrive)) {
+  if (!detector_ || crash_delivered(src, dst, ready, arrive)) {
     s.spawn(deliver_later(*this, s, arrive, dst, std::move(msg)));
   } else {
     fault_->count_crash_drop();
   }
 }
 
-bool World::crash_delivered(int src, int dst, sim::Time arrive) const noexcept {
-  return arrive < fault_->crash_time(src) && arrive < fault_->crash_time(dst) &&
-         arrive < fault_->link_down_time(src, dst);
+bool World::crash_delivered(int src, int dst, sim::Time send, sim::Time arrive) const noexcept {
+  if (fault_->is_down(src, arrive) || fault_->is_down(dst, arrive) ||
+      arrive >= fault_->link_down_time(src, dst)) {
+    return false;
+  }
+  // Stale-view rejection: under churn a message may not cross an endpoint
+  // restart in flight — both ends must be in the same incarnation at send
+  // and at arrival.  With no churn every incarnation is 0, so pure crash
+  // plans keep the exact historical rule (arrive before both crash times).
+  if (fault_->churn_active()) {
+    if (fault_->incarnation(src, send) != fault_->incarnation(src, arrive)) return false;
+    if (fault_->incarnation(dst, send) != fault_->incarnation(dst, arrive)) return false;
+  }
+  return true;
 }
 
 sim::Task<void> World::p2p_send(int src, int dst, std::int64_t tag, std::vector<double> data,
@@ -624,7 +660,7 @@ sim::Task<void> World::block_on_recv(RecvRequest request, sim::Time deadline) {
   sim::Simulation& s = sim_of(request->owner);
   if (!request->complete && detector_) {
     const sim::Time now = s.now();
-    const sim::Time own_crash = detector_->crash_time(request->owner);
+    const sim::Time own_crash = fault_->next_down(request->owner, now);
     if (now >= own_crash) {
       request->owner_crashed = true;
       cancel_recv(request);
@@ -666,7 +702,7 @@ sim::Task<Message> World::await_recv(RecvRequest request) {
   sim::Simulation& s = sim_of(request->owner);
   sim::Time deadline = sim::kTimeInfinity;
   if (detector_ && !request->complete && request->src >= 0 && request->owner >= 0) {
-    deadline = std::min(detector_->detect_time(request->owner, request->src),
+    deadline = std::min(detector_->detect_time_after(request->owner, request->src, s.now()),
                         s.now() + kLivenessTimeout);
   }
   co_await block_on_recv(request, deadline);
@@ -776,8 +812,8 @@ void World::synthesize_burst(BurstState& st) {
   sim::Time client_crash = sim::kTimeInfinity;
   sim::Time abandon_at = sim::kTimeInfinity;
   if (crashy) {
-    client_crash = fault_->crash_time(st.client_rank);
-    abandon_at = detector_->detect_time(st.client_rank, st.ref_rank);
+    client_crash = fault_->next_down(st.client_rank, st.client_ready);
+    abandon_at = detector_->detect_time_after(st.client_rank, st.ref_rank, st.client_ready);
   }
   const LinkLevel level = network_.classify(st.client_rank, st.ref_rank);
   const double timeout =
@@ -808,7 +844,9 @@ void World::synthesize_burst(BurstState& st) {
       const sim::Time arrive_ref = network_.deliver_time_uncontended(
           st.client_rank, st.ref_rank, st.bytes, tc + o_s, faulty ? &ping_fd : nullptr);
       bool timed_out = ping_fd.drop;
-      if (crashy && !crash_delivered(st.client_rank, st.ref_rank, arrive_ref)) timed_out = true;
+      if (crashy && !crash_delivered(st.client_rank, st.ref_rank, tc, arrive_ref)) {
+        timed_out = true;
+      }
       if (!timed_out) {
         sim::Time stamp_time = std::max(arrive_ref, tr) + o_r;
         if (pausing) stamp_time = fault_->release_time(st.ref_rank, stamp_time);
@@ -823,7 +861,8 @@ void World::synthesize_burst(BurstState& st) {
         // The crash rule also covers the reference dying mid-service: a
         // reply departing after its crash necessarily arrives after it.
         if (pong_fd.drop || (faulty && arrive_client + o_r > deadline) ||
-            (crashy && !crash_delivered(st.ref_rank, st.client_rank, arrive_client))) {
+            (crashy && !crash_delivered(st.ref_rank, st.client_rank, reply_depart,
+                                        arrive_client))) {
           timed_out = true;  // pong lost, or it arrived after the client gave up
         } else {
           const sim::Time recv_time = arrive_client + o_r;
@@ -958,7 +997,7 @@ sim::Task<BurstResult> World::pingpong_burst_local(int me, int partner, bool i_a
     }
     bursts[key] = st;
     if (detector_) {
-      const sim::Time partner_dead = detector_->detect_time(me, partner);
+      const sim::Time partner_dead = detector_->detect_time_after(me, partner, s.now());
       if (partner_dead <= s.now()) {
         // Partner already declared dead: resolve as fully lost without
         // suspending (a watchdog due "now" would fire before the suspend
@@ -971,7 +1010,7 @@ sim::Task<BurstResult> World::pingpong_burst_local(int me, int partner, bool i_a
       }
       // check_crash above guarantees now < own crash time, so both watchdogs
       // fire strictly in the future, after the waiter handle is published.
-      const sim::Time own_crash = fault_->crash_time(me);
+      const sim::Time own_crash = fault_->next_down(me, s.now());
       if (own_crash < sim::kTimeInfinity) {
         s.spawn(burst_watchdog(st, key, own_crash, /*cross_node=*/false));
       }
@@ -1032,14 +1071,14 @@ sim::Task<BurstResult> World::pingpong_burst_cross(int me, int partner, bool i_a
     st->ref_ready = s.now();
   }
   if (detector_) {
-    const sim::Time partner_dead = detector_->detect_time(me, partner);
+    const sim::Time partner_dead = detector_->detect_time_after(me, partner, s.now());
     if (partner_dead <= s.now()) {
       st->result.requested = nexchanges;
       st->result.lost = nexchanges;
       fault_->count_crash_drop();
       co_return st->result;
     }
-    const sim::Time own_crash = fault_->crash_time(me);
+    const sim::Time own_crash = fault_->next_down(me, s.now());
     if (own_crash < sim::kTimeInfinity) {
       s.spawn(burst_watchdog(st, key, own_crash, /*cross_node=*/true));
     }
@@ -1227,7 +1266,7 @@ double World::clock_read_hook(int rank, vclock::Clock& clock) {
   return value;
 }
 
-void World::replay_verify_send(int src, int dst, std::int64_t tag, std::int64_t bytes,
+void World::replay_verify_send(int dst, std::int64_t tag, std::int64_t bytes,
                                const std::vector<double>& data, sim::Time ready) {
   const replay::Event* ev = replay_feed_->peek();
   if (ev == nullptr) {
@@ -1263,6 +1302,15 @@ sim::Task<Message> World::replay_recv(RecvRequest request) {
   if (ev == nullptr) {
     co_await replay_starve(me);  // crash at the recorded time, or diverge
     co_return Message{};         // unreachable: replay_starve always throws
+  }
+  if (ev->kind == replay::EventKind::kMembership && ev->flags == 0) {
+    // The recording marks this rank's departure here: die exactly as record
+    // mode did (the churn supervisor resumes the next incarnation).
+    const sim::Time when = ev->time;
+    replay_feed_->take();
+    ReplayResume resume{&s, when};
+    co_await resume;
+    throw RankCrashed{me, s.now()};
   }
   if (ev->kind != replay::EventKind::kRecv || ev->peer != request->src ||
       ev->tag != request->tag) {
@@ -1316,6 +1364,13 @@ sim::Task<BurstResult> World::replay_burst(int me, int partner, bool i_am_client
     co_await replay_starve(me);
     co_return BurstResult{};  // unreachable: replay_starve always throws
   }
+  if (ev->kind == replay::EventKind::kMembership && ev->flags == 0) {
+    const sim::Time when = ev->time;
+    replay_feed_->take();
+    ReplayResume resume{&s, when};
+    co_await resume;
+    throw RankCrashed{me, s.now()};
+  }
   const std::uint8_t role = i_am_client ? 1 : 0;
   if (ev->kind != replay::EventKind::kBurst || ev->peer != partner || ev->flags != role) {
     replay_feed_->diverge("pingpong_burst with rank " + std::to_string(partner) + " as " +
@@ -1339,7 +1394,7 @@ sim::Task<BurstResult> World::replay_burst(int me, int partner, bool i_am_client
 // exhaustion means the replayed program out-ran the recording.
 sim::Task<void> World::replay_starve(int me) {
   if (detector_ != nullptr) {
-    const sim::Time crash = detector_->crash_time(me);
+    const sim::Time crash = fault_->next_down(me, sim_of(me).now());
     if (crash < sim::kTimeInfinity) {
       sim::Simulation& s = sim_of(me);
       if (crash > s.now()) {
@@ -1352,6 +1407,78 @@ sim::Task<void> World::replay_starve(int me) {
   replay_feed_->diverge(
       "recorded event log exhausted (the replayed program performed more operations than the "
       "recording)");
+}
+
+// One process per churning rank for the whole run: each scheduled up-period
+// runs `fn` as a child coroutine (process accounting sees one spawn, like
+// the guarded path), a RankCrashed unwind ends the incarnation, and the
+// next one starts — with a purged mailbox and a fresh communicator — at the
+// plan's restart time.  A program that completes normally ends the rank for
+// good, so churn events scheduled beyond the last operation change nothing
+// (the armed-but-unfired guarantee extends to churn plans).
+sim::Task<void> World::churn_supervisor(RankFn fn, RankCtx& ctx) {
+  const int rank = ctx.rank();
+  sim::Simulation& s = sim_of(rank);
+  const int incarnations = fault_->incarnation_count(rank);
+  for (int k = 0; k < incarnations; ++k) {
+    sim::Time start = fault_->up_start(rank, k);
+    if (start >= sim::kTimeInfinity) break;           // a final crash: no restart
+    if (fault_->up_end(rank, k) <= start) continue;   // empty slot (join: down from 0)
+    if (replay_feed_ && k > 0) {
+      // The restart instant was recorded as a membership "up" marker; resume
+      // exactly there (and verify the plan still schedules this restart).
+      const replay::Event* ev = replay_feed_->peek();
+      if (ev == nullptr) co_return;  // recording ended while down
+      if (ev->kind != replay::EventKind::kMembership || ev->flags != 1) {
+        replay_feed_->diverge(std::string("restart of rank ") + std::to_string(rank) +
+                              " does not match recorded " + replay::to_string(ev->kind));
+      }
+      start = ev->time;
+      replay_feed_->take();
+    }
+    if (start > s.now()) {
+      if (replay_feed_) {
+        ReplayResume resume{&s, start};
+        co_await resume;
+      } else {
+        co_await s.delay(start - s.now());
+      }
+    }
+    if (k > 0) {
+      purge_mailbox(rank);
+      ctx.reset_comm();
+      if (record_section_ != nullptr) {
+        replay::Event ev;
+        ev.kind = replay::EventKind::kMembership;
+        ev.flags = 1;  // up
+        ev.time = s.now();
+        ev.aux0 = static_cast<double>(k);
+        record_section_->append(rank, std::move(ev));
+      }
+    }
+    try {
+      co_await fn(ctx);
+      co_return;  // normal completion: later churn events never fire
+    } catch (const RankCrashed&) {
+      if (replay_feed_) {
+        // When the oracle check (not the feed) raised the crash, the
+        // recorded down marker is still at the head: consume it so the
+        // restart peek below sees the matching up marker.
+        const replay::Event* ev = replay_feed_->peek();
+        if (ev != nullptr && ev->kind == replay::EventKind::kMembership && ev->flags == 0) {
+          replay_feed_->take();
+        }
+      }
+      if (record_section_ != nullptr) {
+        replay::Event ev;
+        ev.kind = replay::EventKind::kMembership;
+        ev.flags = 0;  // down
+        ev.time = s.now();
+        ev.aux0 = static_cast<double>(k);
+        record_section_->append(rank, std::move(ev));
+      }
+    }
+  }
 }
 
 }  // namespace hcs::simmpi

@@ -76,6 +76,12 @@ class RankCtx {
   vclock::ClockPtr base_clock() const;
   sim::Simulation& sim() const;
 
+  /// Rebuilds the world communicator from scratch (fresh collective
+  /// sequence numbers).  Used by the churn supervisor between incarnations:
+  /// a restarted rank must not resume mid-sequence tags from its previous
+  /// life.
+  void reset_comm();
+
  private:
   World* world_;
   int rank_;
@@ -137,12 +143,22 @@ class World {
   /// crash or crashlink fault (so crash-free runs take zero new branches).
   const FailureDetector* failure_detector() const noexcept { return detector_.get(); }
 
-  /// Throws RankCrashed when the crash model has killed `rank` — every
-  /// transport operation calls this on entry and after resuming.
+  /// Throws RankCrashed when the crash/churn model has `rank` down — every
+  /// transport operation calls this on entry and after resuming.  Under a
+  /// pure crash plan is_down is exactly `now >= crash_time`, so crash-only
+  /// behaviour is unchanged; under churn a restarted incarnation runs
+  /// again once its down interval ends.
   void check_crash(int rank) const {
-    if (detector_ && sim_of(rank).now() >= detector_->crash_time(rank)) {
+    if (detector_ && fault_->is_down(rank, sim_of(rank).now())) {
       throw RankCrashed{rank, sim_of(rank).now()};
     }
+  }
+
+  /// Membership epoch at `now` (0 when no churn plan is active): the number
+  /// of fired departures/arrivals.  Pure function of the fault plan, so
+  /// every rank computes the same view without messages.
+  std::uint64_t membership_epoch(sim::Time now) const noexcept {
+    return fault_ ? fault_->membership_epoch(now) : 0;
   }
 
   /// Shared hardware clock of the rank's time source.
@@ -301,9 +317,17 @@ class World {
                         std::int64_t tag, sim::Time ready);
   void push_ingress(int src, int dst, sim::Time depart_ready, sim::Time port_time, Message msg);
 
-  /// Uniform crash-era delivery rule: a message sent src->dst exists only if
-  /// it arrives while both endpoints are alive and the link is up.
-  bool crash_delivered(int src, int dst, sim::Time arrive) const noexcept;
+  /// Uniform crash-era delivery rule: a message sent src->dst exists only
+  /// if it arrives while both endpoints are up and the link is up, and —
+  /// under churn — both endpoints are still in the same incarnation they
+  /// were in at `send` (a message from or to a previous life is stale and
+  /// dropped deterministically).
+  bool crash_delivered(int src, int dst, sim::Time send, sim::Time arrive) const noexcept;
+  /// Runs `fn` once per up-period of a churning rank: delays to each
+  /// scheduled (re)start, purges the mailbox and resets the communicator
+  /// between incarnations, and records membership markers.
+  sim::Task<void> churn_supervisor(RankFn fn, RankCtx& ctx);
+  void purge_mailbox(int rank);
   void cancel_recv(const RecvRequest& request);
   sim::Task<void> block_on_recv(RecvRequest request, sim::Time deadline);
   sim::Task<void> recv_watchdog(RecvRequest request, sim::Time when, bool crash_kind);
@@ -312,7 +336,7 @@ class World {
 
   // --- record / replay internals (world.cpp, docs/record-replay.md) ---
   void record_recv_completion(const RecvRequest& request);
-  void replay_verify_send(int src, int dst, std::int64_t tag, std::int64_t bytes,
+  void replay_verify_send(int dst, std::int64_t tag, std::int64_t bytes,
                           const std::vector<double>& data, sim::Time ready);
   sim::Task<Message> replay_recv(RecvRequest request);
   sim::Task<std::optional<Message>> replay_recv_until(RecvRequest request);

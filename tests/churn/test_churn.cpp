@@ -1,0 +1,394 @@
+// Churn-tolerance suite: the membership oracle, the failure detector's
+// recovered state, re-admission (only the returning rank's sub-phase of the
+// HCA3 tree re-runs), healing votes under repeated churn, and the
+// bit-identity / determinism contracts that keep churn plans on the same
+// footing as crash plans (docs/fault-injection.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "clocksync/factory.hpp"
+#include "clocksync/healing.hpp"
+#include "clocksync/membership.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "replay/harness.hpp"
+#include "replay/scenario.hpp"
+#include "simmpi/world.hpp"
+#include "support/stats.hpp"
+#include "topology/presets.hpp"
+#include "trace/span.hpp"
+#include "trace/tracer.hpp"
+
+namespace hcs {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 4200;
+
+// Same tuned clocks as the chaos suite: ~5 ms initial offsets make a
+// working sync cleanly distinguishable from an identity fallback.
+topology::MachineConfig machine(int nodes, int per_node) {
+  auto m = topology::testbox(nodes, per_node);
+  m.clocks.initial_offset_abs = 5e-3;
+  m.clocks.base_skew_abs = 2e-6;
+  m.clocks.skew_walk_sd = 0.005e-6;
+  return m;
+}
+
+// A kOk rank must carry a real drift model (see tests/chaos).
+constexpr double kOkAccuracyBound = 50e-6;
+
+// ---------------------------------------------------------------------------
+// The churn oracle: FaultInjector's pure lifecycle functions.
+
+TEST(ChurnOracle, LeaveRejoinWindows) {
+  fault::FaultPlan plan;
+  plan.add("leave:rank=1,at=0.2s");
+  plan.add("rejoin:rank=1,at=0.5s");
+  fault::FaultInjector inj(plan, 7, 4);
+
+  EXPECT_TRUE(inj.churn_active());
+  EXPECT_TRUE(inj.has_churn(1));
+  EXPECT_FALSE(inj.has_churn(0));
+
+  EXPECT_FALSE(inj.is_down(1, 0.1));
+  EXPECT_TRUE(inj.is_down(1, 0.2));   // [begin, end)
+  EXPECT_TRUE(inj.is_down(1, 0.49));
+  EXPECT_FALSE(inj.is_down(1, 0.5));
+  EXPECT_FALSE(inj.is_down(0, 0.3));
+
+  EXPECT_DOUBLE_EQ(inj.crash_time(1), 0.2);
+  EXPECT_DOUBLE_EQ(inj.next_down(1, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(inj.next_down(1, 0.3), 0.2);  // covering interval's begin
+  EXPECT_EQ(inj.next_down(1, 0.6), sim::kTimeInfinity);
+
+  EXPECT_EQ(inj.incarnation(1, 0.1), 0);
+  EXPECT_EQ(inj.incarnation(1, 0.3), 0);  // interval not ended yet
+  EXPECT_EQ(inj.incarnation(1, 0.5), 1);
+  EXPECT_EQ(inj.incarnation_count(1), 2);
+  EXPECT_EQ(inj.incarnation_count(0), 1);
+  EXPECT_DOUBLE_EQ(inj.up_start(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(inj.up_end(1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(inj.up_start(1, 1), 0.5);
+  EXPECT_EQ(inj.up_end(1, 1), sim::kTimeInfinity);
+
+  EXPECT_EQ(inj.membership_epoch(0.1), 0u);
+  EXPECT_EQ(inj.membership_epoch(0.2), 1u);  // departure fired
+  EXPECT_EQ(inj.membership_epoch(0.4), 1u);
+  EXPECT_EQ(inj.membership_epoch(0.5), 2u);  // arrival fired
+  EXPECT_EQ(inj.membership_epoch(9.9), 2u);
+}
+
+TEST(ChurnOracle, JoinStartsDown) {
+  fault::FaultPlan plan;
+  plan.add("join:rank=2,at=0.3s");
+  fault::FaultInjector inj(plan, 7, 4);
+
+  EXPECT_TRUE(inj.churn_active());
+  EXPECT_TRUE(inj.is_down(2, 0.0));
+  EXPECT_TRUE(inj.is_down(2, 0.29));
+  EXPECT_FALSE(inj.is_down(2, 0.3));
+  EXPECT_EQ(inj.incarnation(2, 0.3), 1);
+  EXPECT_EQ(inj.incarnation_count(2), 2);
+  // Slot 0 is the empty pre-join incarnation: the supervisor skips it.
+  EXPECT_LE(inj.up_end(2, 0), inj.up_start(2, 0));
+  EXPECT_DOUBLE_EQ(inj.up_start(2, 1), 0.3);
+  // A join is not a fired departure: epoch 0 until the arrival.
+  EXPECT_EQ(inj.membership_epoch(0.0), 0u);
+  EXPECT_EQ(inj.membership_epoch(0.3), 1u);
+}
+
+TEST(ChurnOracle, RejoinWithoutOpenIntervalThrows) {
+  fault::FaultPlan plan;
+  plan.add("rejoin:rank=1,at=0.5s");
+  EXPECT_THROW(fault::FaultInjector(plan, 7, 4), std::invalid_argument);
+}
+
+TEST(ChurnOracle, PureCrashNextDownEqualsCrashTime) {
+  fault::FaultPlan plan;
+  plan.add("crash:rank=3,at=2ms");
+  fault::FaultInjector inj(plan, 7, 4);
+  EXPECT_FALSE(inj.churn_active());
+  // The unfinished crash interval contributes a never-starting slot.
+  EXPECT_EQ(inj.incarnation_count(3), 2);
+  EXPECT_EQ(inj.up_start(3, 1), sim::kTimeInfinity);
+  // The migration contract: for single-interval plans next_down reproduces
+  // crash_time at every instant, so crash-only deadlines are unchanged.
+  for (const double t : {0.0, 0.001, 0.002, 0.5, 100.0}) {
+    EXPECT_DOUBLE_EQ(inj.next_down(3, t), inj.crash_time(3)) << "t=" << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Membership layer: tree parents, the schedule and the reference choice.
+
+TEST(ChurnMembership, Hca3ParentMatchesBinomialTree) {
+  EXPECT_EQ(clocksync::hca3_parent(0, 4), -1);
+  EXPECT_EQ(clocksync::hca3_parent(0, 1), -1);
+  EXPECT_EQ(clocksync::hca3_parent(1, 4), 0);
+  EXPECT_EQ(clocksync::hca3_parent(2, 4), 0);
+  EXPECT_EQ(clocksync::hca3_parent(3, 4), 2);
+  // Non-power-of-two: ranks >= 2^floor(log2 n) are step-2 clients of
+  // rank - max_power.
+  EXPECT_EQ(clocksync::hca3_parent(4, 6), 0);
+  EXPECT_EQ(clocksync::hca3_parent(5, 6), 1);
+  EXPECT_EQ(clocksync::hca3_parent(3, 6), 2);
+}
+
+TEST(ChurnMembership, ScheduleAndReferenceFromOracle) {
+  fault::FaultPlan plan;
+  plan.add("leave:rank=2,at=2ms");
+  plan.add("rejoin:rank=2,at=300ms");
+  simmpi::World world(machine(4, 1), kBaseSeed, plan);
+  const std::vector<clocksync::ReadmitEvent> schedule = clocksync::readmit_schedule(world);
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule[0].at, 0.3);
+  EXPECT_EQ(schedule[0].rank, 2);
+  EXPECT_EQ(schedule[0].incarnation, 1);
+  // All four ranks are up at 0.3; rank 2's tree parent is rank 0.
+  EXPECT_EQ(clocksync::readmit_reference(world, schedule[0]), 0);
+}
+
+TEST(ChurnMembership, SimultaneousReturnersSkipEachOther) {
+  // Ranks 0 and 1 both restart at 0.3: neither may serve the other (mutual
+  // re-admission would deadlock), so rank 1's reference walks past its
+  // restarting tree ancestors to the lowest settled member.
+  fault::FaultPlan plan;
+  plan.add("leave:rank=0,at=2ms");
+  plan.add("leave:rank=1,at=3ms");
+  plan.add("rejoin:rank=0,at=300ms");
+  plan.add("rejoin:rank=1,at=300ms");
+  simmpi::World world(machine(4, 1), kBaseSeed, plan);
+  const std::vector<clocksync::ReadmitEvent> schedule = clocksync::readmit_schedule(world);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(clocksync::readmit_reference(world, schedule[0]), 2);  // rank 0's reference
+  EXPECT_EQ(clocksync::readmit_reference(world, schedule[1]), 2);  // rank 1's reference
+}
+
+// ---------------------------------------------------------------------------
+// Failure detector: the full alive -> suspected -> dead -> recovered ->
+// (re-departure) walk of the pure status function, with recovery latency
+// symmetric to suspicion (both become visible one probe period after the
+// underlying transition).
+
+TEST(ChurnDetector, StatusWalksRecoveredAndBack) {
+  fault::FaultPlan plan;
+  plan.add("leave:rank=1,at=0.1s");
+  plan.add("rejoin:rank=1,at=0.4s");
+  plan.add("leave:rank=1,at=0.8s");
+  plan.add("rejoin:rank=1,at=1.1s");
+  simmpi::World world(machine(4, 1), kBaseSeed, plan);
+  const simmpi::FailureDetector* fd = world.failure_detector();
+  ASSERT_NE(fd, nullptr);
+  const double P = fd->probe_period();
+  const double L = fd->detection_latency();
+  EXPECT_DOUBLE_EQ(L, P * 7.0);  // P * (2^kProbeMisses - 1)
+  ASSERT_GT(P, 1e-5);
+  ASSERT_LT(L, 0.2);  // windows of the plan stay well separated
+
+  const auto st = [&](double t) { return fd->status(0, 1, t); };
+  using simmpi::PeerStatus;
+  EXPECT_EQ(st(0.05), PeerStatus::kAlive);
+  EXPECT_EQ(st(0.1 + 0.5 * P), PeerStatus::kAlive);  // not yet visible
+  EXPECT_EQ(st(0.1 + 1.5 * P), PeerStatus::kSuspected);
+  EXPECT_EQ(st(0.1 + L + 1e-4), PeerStatus::kDead);
+  EXPECT_EQ(st(0.4 + 0.5 * P), PeerStatus::kDead);  // restart not yet visible
+  EXPECT_EQ(st(0.4 + 1.5 * P), PeerStatus::kRecovered);
+  EXPECT_EQ(st(0.7), PeerStatus::kRecovered);  // sticky until the next window
+  EXPECT_EQ(st(0.8 + 1.5 * P), PeerStatus::kSuspected);  // re-departure
+  EXPECT_EQ(st(0.8 + L + 1e-4), PeerStatus::kDead);
+  EXPECT_EQ(st(1.1 + 1.5 * P), PeerStatus::kRecovered);
+
+  // Symmetric visibility latency: suspicion flips at begin + P, recovery
+  // flips at end + P.
+  EXPECT_EQ(st(0.1 + P - 1e-6), PeerStatus::kAlive);
+  EXPECT_EQ(st(0.1 + P + 1e-6), PeerStatus::kSuspected);
+  EXPECT_EQ(st(0.4 + P - 1e-6), PeerStatus::kDead);
+  EXPECT_EQ(st(0.4 + P + 1e-6), PeerStatus::kRecovered);
+
+  // detect_time_after walks the dead-declaration windows.
+  EXPECT_DOUBLE_EQ(fd->detect_time_after(0, 1, 0.0), 0.1 + L);
+  EXPECT_DOUBLE_EQ(fd->detect_time_after(0, 1, 0.5), 0.8 + L);
+  EXPECT_EQ(fd->detect_time_after(0, 1, 2.0), sim::kTimeInfinity);
+}
+
+// ---------------------------------------------------------------------------
+// Healing votes under repeated churn: agree_any must deliver the same
+// verdict to every live participant in every membership view, across the
+// seed sweep, while a rank cycles down and back twice.
+
+double agree_any_correct_fraction(std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.add("leave:rank=5,at=0.15s");
+  plan.add("rejoin:rank=5,at=0.45s");
+  plan.add("leave:rank=5,at=0.75s");
+  plan.add("rejoin:rank=5,at=1.05s");
+  const std::vector<double> votes = {0.05, 0.3, 0.6, 0.9, 1.2};
+
+  simmpi::World world(machine(4, 2), seed, plan);
+  const int p = world.size();
+  // -1 = did not participate, else the vote result (0/1).
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p),
+                                        std::vector<int>(votes.size(), -1));
+  world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+    const fault::FaultInjector* fault = ctx.world().fault_injector();
+    const int me = ctx.rank();
+    sim::Simulation& s = ctx.sim();
+    const sim::Time entry = s.now();
+    const sim::Time my_end = fault->next_down(me, entry);
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      const double t = votes[i];
+      if (t < entry || t >= my_end) continue;
+      if (s.now() < t) co_await s.delay(t - s.now());
+      simmpi::Comm view = simmpi::Comm::view_comm(ctx.world(), me, t);
+      const bool r = co_await clocksync::agree_any(view, me == 1);
+      results[static_cast<std::size_t>(me)][i] = r ? 1 : 0;
+    }
+    if (my_end < sim::kTimeInfinity) {
+      // Run up to the departure so the supervisor can restart us.
+      if (s.now() < my_end) co_await s.delay(my_end - s.now());
+      ctx.world().check_crash(me);
+    }
+  });
+
+  // Rank 1 (the yes-voter) never churns, so every participant of every
+  // vote must see `true`; down ranks must not have participated.
+  fault::FaultInjector probe_inj(plan, 0, p);
+  int cells = 0, correct = 0;
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      ++cells;
+      const bool up = !probe_inj.is_down(r, votes[i]);
+      const int got = results[static_cast<std::size_t>(r)][i];
+      if (up ? got == 1 : got == -1) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(cells);
+}
+
+TEST(ChurnHealing, AgreeAnySurvivesRepeatedChurn) {
+  const std::vector<double> sweep =
+      teststats::adaptive_seed_sweep(kBaseSeed, 0, agree_any_correct_fraction);
+  ASSERT_GE(sweep.size(), 5u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sweep[i], 1.0) << "seed " << kBaseSeed + i;
+  }
+}
+
+// An armed-but-unfired churn plan (every leave/rejoin beyond the last
+// transport op) must leave the synchronized models bit-identical to the
+// fault-free world — churn plans inherit the crash plans' zero-cost-when-
+// idle contract.
+TEST(ChurnHealing, ArmedButUnfiredChurnPlanIsBitIdentical) {
+  const std::string label = "hca3/300/skampi_offset/10";
+  for (std::uint64_t seed : {kBaseSeed, kBaseSeed + 1}) {
+    const auto run = [&](bool with_plan) {
+      fault::FaultPlan plan;
+      if (with_plan) {
+        plan.add("leave:rank=3,at=1e6s");
+        plan.add("rejoin:rank=3,at=2e6s");
+      }
+      simmpi::World w(machine(4, 2), seed, plan);
+      std::vector<clocksync::SyncResult> results(static_cast<std::size_t>(w.size()));
+      w.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
+        auto sync = clocksync::make_sync(label);
+        simmpi::Comm view = simmpi::Comm::view_comm(ctx.world(), ctx.rank(), 0.0);
+        results[static_cast<std::size_t>(ctx.rank())] =
+            co_await sync->sync_clocks(view, ctx.base_clock());
+      });
+      return results;
+    };
+    const std::vector<clocksync::SyncResult> base = run(false);
+    const std::vector<clocksync::SyncResult> armed = run(true);
+    ASSERT_EQ(base.size(), armed.size());
+    for (std::size_t r = 0; r < base.size(); ++r) {
+      EXPECT_EQ(base[r].report.health, armed[r].report.health) << "rank " << r;
+      EXPECT_EQ(base[r].clock->at_exact(100.0), armed[r].clock->at_exact(100.0))
+          << "rank " << r << ": armed-but-unfired churn plan changed the model";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Re-admission re-runs ONLY the returning rank's sub-phase: the trace of
+// the micro4-churn scenario carries exactly one client + one server
+// membership.readmit span and no extra full-tree synchronization.
+
+TEST(ChurnReadmit, RejoinRerunsOnlyItsSubPhase) {
+  trace::Tracer tracer(1 << 16);
+  {
+    const trace::ScopedTracer install(&tracer);
+    const std::vector<replay::RankOutcome> outcomes =
+        replay::run_scenario(replay::find_scenario("micro4-churn"), 42);
+    for (std::size_t r = 0; r < outcomes.size(); ++r) {
+      EXPECT_TRUE(outcomes[r].ran) << "rank " << r;
+    }
+  }
+  int readmits = 0, full_syncs = 0;
+  for (const trace::TraceEvent& ev : tracer.merged_events()) {
+    if (std::strcmp(ev.name, "membership.readmit") == 0 && !ev.instant()) ++readmits;
+    if (std::strcmp(ev.name, "hca3.sync_clocks") == 0 && !ev.instant()) ++full_syncs;
+  }
+  // One rejoin = exactly two readmit spans: the returning rank (client) and
+  // its tree reference (server).  Nobody else participates.
+  EXPECT_EQ(readmits, 2);
+  // Full-tree syncs happen only in the founding cohort (one per rank); the
+  // rejoin must not trigger a world-wide resynchronization.
+  EXPECT_EQ(full_syncs, 4);
+}
+
+// The rejoined rank's clock must converge to within the chaos-suite
+// accuracy bound of a never-departed rank, across the adaptive seed sweep.
+// The readmit learn is a 32-point pairwise exchange at ~0.3 s, so its skew
+// estimate carries more variance than the founding full sync and the
+// disagreement grows linearly with extrapolation distance from the learn:
+// each probe gets an allowance scaled by its horizon (floor = the bound
+// itself within a 2 s horizon).  The metric is the worst normalized
+// disagreement; < 1.0 means every probe was inside its allowance.
+double rejoined_rank_disagreement(std::uint64_t seed) {
+  constexpr double kReadmitAt = 0.3;
+  constexpr double kHorizon = 2.0;
+  const replay::Scenario& sc = replay::find_scenario("micro4-churn");
+  const std::vector<replay::RankOutcome> outcomes = replay::run_scenario(sc, seed);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < outcomes[2].probes.size(); ++i) {
+    const double err = std::abs(outcomes[2].probes[i] - outcomes[1].probes[i]);
+    const double horizon = std::abs(replay::kProbeTimes[i] - kReadmitAt) / kHorizon;
+    const double allowance = kOkAccuracyBound * std::max(1.0, horizon);
+    worst = std::max(worst, err / allowance);
+  }
+  return worst;
+}
+
+TEST(ChurnReadmit, RejoinedRankConvergesToNeverDepartedRank) {
+  const std::vector<double> sweep =
+      teststats::adaptive_seed_sweep(kBaseSeed, 0, rejoined_rank_disagreement);
+  ASSERT_GE(sweep.size(), 5u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i], 1.0) << "seed " << kBaseSeed + i;
+  }
+}
+
+// Churn runs must be byte-identical for any job count: the whole
+// re-admission rendezvous is a pure function of the per-World plan.
+TEST(ChurnReadmit, ChurnSweepIsJobsDeterministic) {
+  const auto metric = [](std::uint64_t seed) {
+    const std::vector<replay::RankOutcome> outcomes =
+        replay::run_scenario(replay::find_scenario("micro4-churn"), seed);
+    return outcomes[2].probes.back();  // rejoined rank's clock at t = 10 s
+  };
+  const std::vector<double> serial = teststats::seed_sweep(12, kBaseSeed, 1, metric);
+  const std::vector<double> two = teststats::seed_sweep(12, kBaseSeed, 2, metric);
+  const std::vector<double> eight = teststats::seed_sweep(12, kBaseSeed, 8, metric);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+}  // namespace
+}  // namespace hcs

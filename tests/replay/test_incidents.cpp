@@ -25,6 +25,7 @@ constexpr Incident kIncidents[] = {
     {"micro4-crash-seed42", "micro4-crash", 42},
     {"micro4-drop-seed7", "micro4-drop", 7},
     {"micro4-step-seed13", "micro4-step", 13},
+    {"micro4-churn-seed42", "micro4-churn", 42},
 };
 
 std::string incident_path(const std::string& base, const char* ext) {
@@ -61,6 +62,28 @@ TEST_P(IncidentSuite, EveryRankReplaysBitExactly) {
     EXPECT_EQ(describe_outcome(replayed), expected[static_cast<std::size_t>(rank)])
         << incident.file << " rank " << rank;
   }
+}
+
+// Format back-compat: the crash/drop/step incidents were committed as v1
+// recordings and must keep parsing (and, per EveryRankReplaysBitExactly,
+// replaying bit-exactly) under the v2 reader; churn incidents need v2 for
+// their kMembership events.
+TEST_P(IncidentSuite, HeaderVersionIsSupportedAndAsCommitted) {
+  const Incident& incident = GetParam();
+  std::ifstream in(incident_path(incident.file, ".hcsr"), std::ios::binary);
+  ASSERT_TRUE(in.good());
+  char header[8] = {};
+  in.read(header, sizeof(header));
+  ASSERT_EQ(in.gcount(), 8);
+  EXPECT_EQ(std::string(header, 4), "HCSR");
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[4 + i])) << (8 * i);
+  }
+  EXPECT_GE(version, kMinFormatVersion);
+  EXPECT_LE(version, kFormatVersion);
+  const bool churn = std::string(incident.scenario).find("churn") != std::string::npos;
+  EXPECT_EQ(version, churn ? 2u : 1u) << incident.file;
 }
 
 TEST_P(IncidentSuite, SidecarRoundTripsThroughParseOutcome) {

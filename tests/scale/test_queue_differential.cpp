@@ -44,7 +44,9 @@ class QueueDifferential : public ::testing::Test {
     // Pops are nondecreasing except across a +inf sentinel: once the queue
     // momentarily holds only "never" events, later finite pushes legally pop
     // below the inf that preceded them.
-    if (last_time_ < kTimeInfinity) ASSERT_GE(a.time, last_time_);
+    if (last_time_ < kTimeInfinity) {
+      ASSERT_GE(a.time, last_time_);
+    }
     last_time_ = a.time;
   }
 
