@@ -18,6 +18,7 @@
 #include <chrono>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,9 @@ ScalePoint run_scale_point(const topology::MachineConfig& machine, const std::st
     const sim::Time begin = ctx.sim().now();
     const clocksync::SyncResult res =
         co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    if (!res.report.clean()) {
+      throw std::runtime_error("bench_scale: sync reported degraded health for " + label);
+    }
     durations[static_cast<std::size_t>(ctx.rank())] = ctx.sim().now() - begin;
     clocksync::SKaMPIOffset oalg(10);
     const clocksync::AccuracyResult acc = co_await clocksync::check_clock_accuracy(
@@ -149,6 +153,7 @@ int main(int argc, char** argv) {
         // depends only on the rank count, so output stays deterministic.
         const double sample_fraction =
             std::min(0.10, 2000.0 / static_cast<double>(job.ranks));
+        // hcs-lint: allow-next-line(ip-wall-clock) host timing by design: events/sec evidence
         return run_scale_point(job.machine, job.label, opt.seed, opt.shards, sample_fraction);
       });
 

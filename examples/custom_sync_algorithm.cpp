@@ -9,6 +9,7 @@
 //
 //   $ ./examples/custom_sync_algorithm [--nodes N] [--cores C]
 #include <iostream>
+#include <stdexcept>
 
 #include "clocksync/accuracy.hpp"
 #include "clocksync/factory.hpp"
@@ -67,10 +68,14 @@ Row evaluate(const topology::MachineConfig& machine, const std::string& name,
   const auto clients = clocksync::sample_clients(world.size(), 0, 1.0, 1);
   world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
     auto sync = make_sync_fn();
-    const vclock::ClockPtr g = co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    const clocksync::SyncResult res =
+        co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    if (!res.report.clean()) {
+      throw std::runtime_error("sync reported degraded health for " + name);
+    }
     clocksync::SKaMPIOffset oalg(20);
-    const auto acc =
-        co_await clocksync::check_clock_accuracy(ctx.comm_world(), *g, oalg, 10.0, clients);
+    const auto acc = co_await clocksync::check_clock_accuracy(ctx.comm_world(), *res.clock, oalg,
+                                                              10.0, clients);
     if (ctx.rank() == 0) {
       row.t0_us = acc.max_abs_t0 * 1e6;
       row.t10_us = acc.max_abs_t1 * 1e6;

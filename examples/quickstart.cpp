@@ -9,6 +9,7 @@
 //   3. synchronize clocks with a configurable algorithm,
 //   4. validate the global clock with the paper's Check-Global-Clock.
 #include <iostream>
+#include <stdexcept>
 
 #include "clocksync/accuracy.hpp"
 #include "clocksync/factory.hpp"
@@ -41,14 +42,19 @@ int main(int argc, char** argv) {
   world.run_all([&](simmpi::RankCtx& ctx) -> sim::Task<void> {
     auto sync = clocksync::make_sync(label);
     const sim::Time begin = ctx.sim().now();
-    const vclock::ClockPtr global_clock =
+    // sync_clocks returns the global clock plus a health report — always
+    // consult the report before trusting the clock.
+    const clocksync::SyncResult synced =
         co_await sync->sync_clocks(ctx.comm_world(), ctx.base_clock());
+    if (!synced.report.clean()) {
+      throw std::runtime_error("quickstart: sync reported degraded health");
+    }
     sync_duration = std::max(sync_duration, ctx.sim().now() - begin);
 
     // How far apart are the global clocks, now and 10 s from now?
     clocksync::SKaMPIOffset offset_alg(20);
     const auto result = co_await clocksync::check_clock_accuracy(
-        ctx.comm_world(), *global_clock, offset_alg, 10.0, clients);
+        ctx.comm_world(), *synced.clock, offset_alg, 10.0, clients);
     if (ctx.rank() == 0) accuracy = result;
   });
 

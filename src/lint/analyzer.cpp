@@ -1,85 +1,23 @@
 #include "lint/analyzer.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "lint/callgraph.hpp"
+#include "lint/interproc_rules.hpp"
+#include "lint/lexer.hpp"
 #include "lint/rules.hpp"
+#include "lint/summary.hpp"
 
 namespace hcs::lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-struct Suppressions {
-  std::map<int, std::set<std::string>> by_line;  // line -> rules allowed there
-  std::set<std::string> whole_file;
-  std::vector<Finding> bad_annotations;  // unknown rule names in suppressions
-};
-
-// Parses "allow(rule-a, rule-b)" bodies out of hcs-lint comments.
-std::vector<std::string> parse_rule_list(const std::string& text, std::size_t open) {
-  std::vector<std::string> rules;
-  const std::size_t close = text.find(')', open);
-  if (close == std::string::npos) return rules;
-  std::string cur;
-  for (std::size_t i = open + 1; i <= close; ++i) {
-    const char c = text[i];
-    if (c == ',' || c == ')') {
-      if (!cur.empty()) rules.push_back(cur);
-      cur.clear();
-    } else if (c != ' ' && c != '\t') {
-      cur.push_back(c);
-    }
-  }
-  return rules;
-}
-
-Suppressions collect_suppressions(const LexedFile& file, const std::string& rel_path) {
-  Suppressions sup;
-  for (const Comment& c : file.comments) {
-    const std::size_t marker = c.text.find("hcs-lint:");
-    if (marker == std::string::npos) continue;
-    const std::string body = c.text.substr(marker + 9);
-    struct Form {
-      const char* name;
-      int line_offset;  // -1 = whole file
-    };
-    static constexpr Form kForms[] = {
-        {"allow-next-line(", 1}, {"allow-file(", -1}, {"allow(", 0}};
-    bool matched = false;
-    for (const Form& form : kForms) {
-      const std::size_t at = body.find(form.name);
-      if (at == std::string::npos) continue;
-      matched = true;
-      const std::size_t open = at + std::string(form.name).size() - 1;
-      for (const std::string& rule : parse_rule_list(body, open)) {
-        if (!find_rule(rule)) {
-          sup.bad_annotations.push_back(
-              Finding{"bad-suppression", Severity::kError, rel_path, c.line, 1,
-                      "suppression names unknown rule '" + rule +
-                          "' — see tools/hcs_lint --list-rules"});
-          continue;
-        }
-        if (form.line_offset < 0) {
-          sup.whole_file.insert(rule);
-        } else {
-          sup.by_line[c.end_line + form.line_offset].insert(rule);
-        }
-      }
-      break;
-    }
-    if (!matched) {
-      sup.bad_annotations.push_back(
-          Finding{"bad-suppression", Severity::kError, rel_path, c.line, 1,
-                  "unrecognized hcs-lint comment — expected allow(...), "
-                  "allow-next-line(...) or allow-file(...)"});
-    }
-  }
-  return sup;
-}
 
 bool cpp_source(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -89,9 +27,16 @@ bool cpp_source(const fs::path& p) {
 
 std::string read_file(const fs::path& p) {
   std::ifstream in(p, std::ios::binary);
-  if (!in) throw std::runtime_error("hcs-lint: cannot read " + p.string());
+  if (!in) {
+    throw std::runtime_error("hcs-lint: cannot read " + p.string() + ": " +
+                             std::strerror(errno));
+  }
   std::ostringstream ss;
   ss << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error("hcs-lint: read error on " + p.string() + ": " +
+                             std::strerror(errno));
+  }
   return ss.str();
 }
 
@@ -106,28 +51,148 @@ bool is_fixture_path(const std::string& rel) {
   return rel.find("tests/lint/fixtures") != std::string::npos;
 }
 
-std::vector<Finding> analyze_lexed(const LexedFile& file, const std::string& rel_path,
-                                   const AnalyzerOptions& options) {
-  std::vector<Finding> raw;
-  run_rules(file, rel_path, options.enabled_rules, raw);
-  const Suppressions sup = collect_suppressions(file, rel_path);
-  std::vector<Finding> kept;
-  for (Finding& f : raw) {
-    if (sup.whole_file.count(f.rule)) continue;
-    const auto it = sup.by_line.find(f.line);
-    if (it != sup.by_line.end() && it->second.count(f.rule)) continue;
-    kept.push_back(std::move(f));
+// Mirrors Lexer::split_lines so cache hits (which skip the lexer) key
+// baselines identically to cold runs.
+std::vector<std::string> split_lines(const std::string& src) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : src) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
   }
-  for (const Finding& f : sup.bad_annotations) kept.push_back(f);
-  std::sort(kept.begin(), kept.end());
-  return kept;
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+bool keep_rule(const std::set<std::string>& enabled, const std::string& rule) {
+  // bad-suppression diagnostics always surface: a typo in an allow() comment
+  // must not hide behind --rule selection.
+  return enabled.empty() || enabled.count(rule) > 0 || rule == "bad-suppression";
+}
+
+std::uint64_t summary_cache_key(const std::string& rel_path, const std::string& content) {
+  std::string key_src = "hcs-lint-summary ";
+  key_src += std::to_string(kSummaryFormatVersion);
+  key_src += '\n';
+  key_src += rel_path;
+  key_src += '\n';
+  key_src += content;
+  return fnv1a64(key_src);
+}
+
+fs::path cache_entry_path(const std::string& cache_dir, std::uint64_t key) {
+  std::ostringstream name;
+  name << std::hex << key;
+  return fs::path(cache_dir) / (name.str() + ".sum");
+}
+
+// Loads a cached summary for (rel_path, content); returns false on miss or
+// any mismatch (version, shape, stale path/hash) so the caller re-lexes.
+bool load_cached_summary(const std::string& cache_dir, const std::string& rel_path,
+                         std::uint64_t key, FileSummary* out) {
+  const fs::path entry = cache_entry_path(cache_dir, key);
+  std::error_code ec;
+  if (!fs::is_regular_file(entry, ec)) return false;
+  std::ifstream in(entry, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!parse_summary(ss.str(), out)) return false;
+  return out->rel_path == rel_path && out->source_hash == key;
+}
+
+void store_cached_summary(const std::string& cache_dir, const FileSummary& summary) {
+  std::error_code ec;
+  fs::create_directories(cache_dir, ec);
+  if (ec) return;  // caching is best-effort: a read-only dir degrades to cold runs
+  const fs::path entry = cache_entry_path(cache_dir, summary.source_hash);
+  std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+  if (out) out << serialize_summary(summary);
+}
+
+// The full two-phase pipeline over already-read (rel_path, content) pairs.
+AnalysisResult analyze_contents(const std::vector<std::pair<std::string, std::string>>& sources,
+                                const AnalyzerOptions& options) {
+  const auto& now = options.now;
+  const double t_start = now ? now() : 0.0;
+  AnalysisResult result;
+  std::map<std::string, double> rule_seconds;
+
+  // Phase 1: per-file summaries, via the cache when possible.
+  std::vector<FileSummary> summaries;
+  summaries.reserve(sources.size());
+  for (const auto& [rel, content] : sources) {
+    const std::uint64_t key = summary_cache_key(rel, content);
+    FileSummary summary;
+    if (!options.cache_dir.empty() &&
+        load_cached_summary(options.cache_dir, rel, key, &summary)) {
+      result.stats.cache_hits += 1;
+      result.lines.emplace(rel, split_lines(content));
+    } else {
+      const LexedFile lexed = lex(rel, content);
+      summary = build_summary(lexed, rel, now, &rule_seconds);
+      summary.source_hash = key;
+      if (!options.cache_dir.empty()) store_cached_summary(options.cache_dir, summary);
+      result.stats.files_lexed += 1;
+      result.lines.emplace(rel, lexed.lines);
+    }
+    summaries.push_back(std::move(summary));
+  }
+  result.stats.files = static_cast<int>(summaries.size());
+  const double t_phase1 = now ? now() : 0.0;
+  result.stats.summary_seconds = t_phase1 - t_start;
+
+  // Assembly of per-file findings: rule selection + suppression comments.
+  for (const FileSummary& s : summaries) {
+    for (const Finding& f : s.local_findings) {
+      if (!keep_rule(options.enabled_rules, f.rule)) continue;
+      if (f.rule != "bad-suppression" && is_suppressed(s.suppressions, f)) continue;
+      result.findings.push_back(f);
+    }
+  }
+
+  // Phase 2: project index + interprocedural rules.
+  const ProjectIndex index = ProjectIndex::build(summaries);
+  std::vector<Finding> ip = run_interproc_rules(summaries, index, options.enabled_rules,
+                                                options.max_call_depth, now, &rule_seconds);
+  std::map<std::string, const SuppressionSummary*> sup_by_path;
+  for (const FileSummary& s : summaries) sup_by_path.emplace(s.rel_path, &s.suppressions);
+  for (Finding& f : ip) {
+    const auto it = sup_by_path.find(f.path);
+    if (it != sup_by_path.end() && is_suppressed(*it->second, f)) continue;
+    result.findings.push_back(std::move(f));
+  }
+  result.stats.interproc_seconds = (now ? now() : 0.0) - t_phase1;
+
+  std::sort(result.findings.begin(), result.findings.end());
+  for (const Finding& f : result.findings) result.stats.rules[f.rule].findings += 1;
+  for (const auto& [id, secs] : rule_seconds) result.stats.rules[id].seconds += secs;
+  result.stats.total_seconds = (now ? now() : 0.0) - t_start;
+  return result;
 }
 
 }  // namespace
 
 std::vector<Finding> analyze_source(const std::string& rel_path, const std::string& source,
                                     const AnalyzerOptions& options) {
-  return analyze_lexed(lex(rel_path, source), rel_path, options);
+  const FileSummary summary = build_summary(lex(rel_path, source), rel_path);
+  std::vector<Finding> kept;
+  for (const Finding& f : summary.local_findings) {
+    if (!keep_rule(options.enabled_rules, f.rule)) continue;
+    if (f.rule != "bad-suppression" && is_suppressed(summary.suppressions, f)) continue;
+    kept.push_back(f);
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+AnalysisResult analyze_sources(const std::vector<std::pair<std::string, std::string>>& sources,
+                               const AnalyzerOptions& options) {
+  return analyze_contents(sources, options);
 }
 
 AnalysisResult analyze_paths(const std::vector<std::string>& paths,
@@ -142,25 +207,33 @@ AnalysisResult analyze_paths(const std::vector<std::string>& paths,
       }
     } else if (fs::is_regular_file(abs)) {
       files.push_back(abs);
-    } else {
+    } else if (!fs::exists(abs)) {
       throw std::runtime_error("hcs-lint: no such file or directory: " + abs.string());
+    } else {
+      throw std::runtime_error("hcs-lint: not a regular file or directory: " + abs.string());
     }
   }
   std::sort(files.begin(), files.end());  // directory iteration order is not portable
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  AnalysisResult result;
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  std::size_t skipped_fixtures = 0;
   for (const fs::path& f : files) {
     const std::string rel = relative_to(f, root);
-    if (is_fixture_path(rel)) continue;
-    const LexedFile lexed = lex(rel, read_file(f));
-    std::vector<Finding> findings = analyze_lexed(lexed, rel, options);
-    result.lines.emplace(rel, lexed.lines);
-    result.findings.insert(result.findings.end(), std::make_move_iterator(findings.begin()),
-                           std::make_move_iterator(findings.end()));
+    if (is_fixture_path(rel)) {
+      ++skipped_fixtures;
+      continue;
+    }
+    sources.emplace_back(rel, read_file(f));
   }
-  std::sort(result.findings.begin(), result.findings.end());
-  return result;
+  // Nothing lintable is an error (a mistyped path should not pass as clean) —
+  // unless everything found was a deliberately-skipped fixture.
+  if (sources.empty() && skipped_fixtures == 0) {
+    throw std::runtime_error(
+        "hcs-lint: no C++ sources found under the given paths — check the path arguments");
+  }
+  return analyze_contents(sources, options);
 }
 
 std::vector<Finding> apply_baseline(const AnalysisResult& result, Baseline baseline) {

@@ -1,4 +1,13 @@
-// hcs-lint driver: file discovery, suppression comments, baseline filtering.
+// hcs-lint driver: file discovery, the two-phase whole-program pipeline,
+// incremental cache, suppression and baseline filtering.
+//
+// Pipeline: every file is lexed and reduced to a FileSummary (phase 1, see
+// summary.hpp) — or the summary is loaded from the content-hash cache when
+// `cache_dir` is set and the file is unchanged.  The summaries are then
+// merged into a ProjectIndex and the interprocedural rules run over the call
+// graph (phase 2, see interproc_rules.hpp).  Rule selection, suppression
+// comments and baselines are applied at assembly time so cached summaries
+// stay configuration-independent.
 //
 // Suppression comment forms, each naming one or more rule ids (the examples
 // use real ids so this header lints clean against its own parser):
@@ -10,9 +19,11 @@
 // would otherwise silently disable nothing).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/baseline.hpp"
@@ -23,22 +34,54 @@ namespace hcs::lint {
 struct AnalyzerOptions {
   std::set<std::string> enabled_rules;  // empty = all
   std::string root;                     // paths are reported relative to this
+  std::string cache_dir;                // empty = no incremental summary cache
+  std::size_t max_call_depth = 4;       // interprocedural chain bound, in call edges
+  // Host-time source (seconds) for stats.  Left empty, no timings are taken —
+  // the library itself never reads a wall clock (it must lint clean under its
+  // own wall-clock rule); tools/hcs_lint injects one.
+  std::function<double()> now;
+};
+
+struct RuleStats {
+  int findings = 0;
+  double seconds = 0.0;
+};
+
+struct AnalysisStats {
+  int files = 0;
+  int files_lexed = 0;  // cache misses: lexed + summarized this run
+  int cache_hits = 0;
+  double summary_seconds = 0.0;    // read + hash + lex/summarize (or cache load)
+  double interproc_seconds = 0.0;  // index build + interprocedural rules
+  double total_seconds = 0.0;
+  std::map<std::string, RuleStats> rules;  // per rule id, post-suppression
 };
 
 struct AnalysisResult {
   std::vector<Finding> findings;  // sorted; suppressions already applied
   // Raw source lines per relative path, for baseline keying/serialization.
   std::map<std::string, std::vector<std::string>> lines;
+  AnalysisStats stats;
 };
 
-// Lints one in-memory source (unit-testable without touching the
-// filesystem).  `rel_path` is the path used in findings and exemptions.
+// Lints one in-memory source with the per-file rules only (unit-testable
+// without touching the filesystem).  `rel_path` is the path used in findings
+// and exemptions.  Interprocedural rules need the project phase: use
+// analyze_sources.
 std::vector<Finding> analyze_source(const std::string& rel_path, const std::string& source,
                                     const AnalyzerOptions& options);
 
-// Lints every C++ file under `paths` (files or directories, resolved against
-// options.root when relative).  Paths under tests/lint/fixtures are skipped:
-// the bad fixtures fail by design.  Throws std::runtime_error on I/O errors.
+// Full two-phase analysis over in-memory (rel_path, content) pairs — the
+// multi-file fixture sets and the cache tests drive this.  Honors
+// options.cache_dir.
+AnalysisResult analyze_sources(const std::vector<std::pair<std::string, std::string>>& sources,
+                               const AnalyzerOptions& options);
+
+// Full two-phase analysis over every C++ file under `paths` (files or
+// directories, resolved against options.root when relative).  Paths under
+// tests/lint/fixtures are skipped: the bad fixtures fail by design.  Throws
+// std::runtime_error on I/O errors (missing path, unreadable file, empty
+// directory tree).
 AnalysisResult analyze_paths(const std::vector<std::string>& paths,
                              const AnalyzerOptions& options);
 

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "lint/rules.hpp"
+
 namespace hcs::lint {
 
 std::string Baseline::normalize_line(const std::string& line) {
@@ -58,6 +60,14 @@ bool Baseline::parse(const std::string& text, std::string* error) {
       return false;
     }
     const std::string k = line.substr(t1 + 1);  // rule \t path \t normalized line
+    const std::string rule = line.substr(t1 + 1, t2 - t1 - 1);
+    if (!find_rule(rule) && rule != "bad-suppression") {
+      unknown_rule_warnings_.push_back("baseline line " + std::to_string(lineno) +
+                                       ": rule '" + rule +
+                                       "' no longer exists — entry is inert, consider "
+                                       "regenerating the baseline");
+      continue;  // no credits: findings can never match a retired rule id
+    }
     credits_[k] += count;
   }
   return true;

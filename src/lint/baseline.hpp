@@ -21,7 +21,17 @@ class Baseline {
   // Parses baseline text (one tab-separated entry per line: count, rule,
   // path, normalized line).  Lines starting with '#' and blank lines are
   // ignored.  Returns false on malformed input (error set to a description).
+  // Entries naming a rule id that no longer exists still parse — they can
+  // never be consumed, so they only produce a warning (see
+  // unknown_rule_warnings), not a hard failure: a renamed rule must not brick
+  // every checkout carrying the old baseline.
   bool parse(const std::string& text, std::string* error);
+
+  // One human-readable warning per baseline entry whose rule id is not in the
+  // current rule table.  Populated by parse.
+  const std::vector<std::string>& unknown_rule_warnings() const {
+    return unknown_rule_warnings_;
+  }
 
   // The stable key for a finding: its source line with whitespace collapsed.
   static std::string normalize_line(const std::string& line);
@@ -39,6 +49,7 @@ class Baseline {
 
  private:
   std::map<std::string, int> credits_;
+  std::vector<std::string> unknown_rule_warnings_;
 };
 
 }  // namespace hcs::lint

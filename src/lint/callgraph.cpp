@@ -1,0 +1,40 @@
+#include "lint/callgraph.hpp"
+
+namespace hcs::lint {
+
+ProjectIndex ProjectIndex::build(const std::vector<FileSummary>& files) {
+  ProjectIndex idx;
+  for (const FileSummary& file : files) {
+    for (const FunctionSummary& fn : file.functions) {
+      idx.by_name_[fn.name].push_back(FuncRef{&file, &fn});
+    }
+  }
+  return idx;
+}
+
+const FuncRef* ProjectIndex::resolve(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.size() != 1) return nullptr;
+  return &it->second.front();
+}
+
+const std::vector<FuncRef>& ProjectIndex::candidates(const std::string& name) const {
+  static const std::vector<FuncRef> kNone;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNone : it->second;
+}
+
+bool ProjectIndex::all_return_sync_result(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.empty()) return false;
+  for (const FuncRef& ref : it->second) {
+    if (!ref.fn->returns_sync_result) return false;
+  }
+  return true;
+}
+
+std::string describe(const FuncRef& ref) {
+  return ref.fn->name + " (" + ref.file->rel_path + ":" + std::to_string(ref.fn->line) + ")";
+}
+
+}  // namespace hcs::lint

@@ -1,0 +1,49 @@
+// Project-wide symbol index over per-file summaries (phase 2 of 2).
+//
+// Resolution is precision-first: a call site resolves to a definition only
+// when exactly one function in the whole project has that base name, so an
+// ambiguous name ("run", "size") contributes no call edge rather than a wrong
+// one.  Virtual dispatch over a family of same-named overrides is handled by
+// the weaker all_agree query: a property holds for a call when every
+// candidate definition has it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/summary.hpp"
+
+namespace hcs::lint {
+
+struct FuncRef {
+  const FileSummary* file = nullptr;
+  const FunctionSummary* fn = nullptr;
+};
+
+class ProjectIndex {
+ public:
+  // Builds the name index.  `files` must outlive the index and must not
+  // reallocate (the index stores pointers into it).
+  static ProjectIndex build(const std::vector<FileSummary>& files);
+
+  // The unique definition with this base name, or nullptr when the name is
+  // undefined or ambiguous.
+  const FuncRef* resolve(const std::string& name) const;
+
+  // All definitions sharing the base name (empty when undefined).
+  const std::vector<FuncRef>& candidates(const std::string& name) const;
+
+  // True when the name has at least one definition and every one of them
+  // returns SyncResult — the query that survives virtual sync_clocks
+  // overrides.
+  bool all_return_sync_result(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::vector<FuncRef>> by_name_;
+};
+
+// "name (path:line)" for chain messages.
+std::string describe(const FuncRef& ref);
+
+}  // namespace hcs::lint

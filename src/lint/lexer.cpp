@@ -128,11 +128,27 @@ class Lexer {
 
   void line_comment() {
     const int start_line = line_;
-    std::size_t end = src_.find('\n', pos_);
-    if (end == std::string::npos) end = src_.size();
-    out_.comments.push_back(Comment{trim(src_.substr(pos_ + 2, end - pos_ - 2)), start_line,
-                                    start_line});
-    advance(end - pos_);
+    // Phase-2 line splicing happens before comment recognition, so a
+    // backslash (optionally followed by a \r) at the end of the line extends
+    // the comment onto the next physical line.
+    std::size_t end = pos_;
+    while (true) {
+      end = src_.find('\n', end);
+      if (end == std::string::npos) {
+        end = src_.size();
+        break;
+      }
+      std::size_t b = end;
+      if (b > pos_ && src_[b - 1] == '\r') --b;
+      if (b > pos_ && src_[b - 1] == '\\') {
+        ++end;  // spliced: keep scanning on the next line
+        continue;
+      }
+      break;
+    }
+    std::string body = trim(src_.substr(pos_ + 2, end - pos_ - 2));
+    advance_tracking(end - pos_);
+    out_.comments.push_back(Comment{std::move(body), start_line, line_});
   }
 
   void block_comment() {
@@ -151,8 +167,8 @@ class Lexer {
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
       if (c == '\n') break;
-      if (c == '\\' && peek(1) == '\n') {
-        advance_tracking(2);
+      if (c == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+        advance_tracking(peek(1) == '\r' ? 3 : 2);
         continue;
       }
       if (c == '/' && peek(1) == '/') {
@@ -194,6 +210,14 @@ class Lexer {
     std::size_t p = pos_ + 1;
     std::string delim;
     while (p < src_.size() && src_[p] != '(') delim.push_back(src_[p++]);
+    if (p >= src_.size()) {
+      // Unterminated at EOF with no '(' — emit what's there instead of
+      // reading past the buffer.
+      std::string body = src_.substr(pos_ + 1);
+      advance_tracking(src_.size() - pos_);
+      emit(TokKind::kString, std::move(body), l, c);
+      return;
+    }
     const std::string closer = ")" + delim + "\"";
     std::size_t end = src_.find(closer, p);
     if (end == std::string::npos) end = src_.size();

@@ -5,205 +5,12 @@
 #include <map>
 #include <sstream>
 
+#include "lint/token_scan.hpp"
+
 namespace hcs::lint {
 namespace {
 
-using Toks = std::vector<Token>;
-
-// ---------------------------------------------------------------------------
-// Token helpers
-// ---------------------------------------------------------------------------
-
-bool is(const Token& t, const char* text) { return t.text == text; }
-bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
-bool is_ident(const Token& t, const char* text) { return is_ident(t) && t.text == text; }
-
-bool opens(const Token& t) { return is(t, "(") || is(t, "[") || is(t, "{"); }
-bool closes(const Token& t) { return is(t, ")") || is(t, "]") || is(t, "}"); }
-
-bool is_assign_op(const Token& t) {
-  return t.kind == TokKind::kPunct &&
-         (t.text == "=" || t.text == "+=" || t.text == "-=" || t.text == "*=" ||
-          t.text == "/=" || t.text == "%=" || t.text == "&=" || t.text == "|=" ||
-          t.text == "^=" || t.text == "<<=" || t.text == ">>=");
-}
-
-bool is_exit_kw(const Token& t) {
-  return is_ident(t, "return") || is_ident(t, "co_return") || is_ident(t, "break") ||
-         is_ident(t, "continue") || is_ident(t, "throw");
-}
-
-// Matching close bracket for the open bracket at `i`; n (= one past the last
-// token) when unbalanced.
-std::size_t match_forward(const Toks& t, std::size_t i) {
-  int depth = 0;
-  for (std::size_t k = i; k < t.size(); ++k) {
-    if (opens(t[k])) ++depth;
-    if (closes(t[k]) && --depth == 0) return k;
-  }
-  return t.size();
-}
-
-std::size_t match_backward(const Toks& t, std::size_t i) {
-  int depth = 0;
-  for (std::size_t k = i + 1; k-- > 0;) {
-    if (closes(t[k])) ++depth;
-    if (opens(t[k]) && --depth == 0) return k;
-  }
-  return 0;
-}
-
-// One past the end of the statement starting at `b`.  Handles compound
-// statements and control-flow headers so a rule can treat "the then branch"
-// as one span whether or not it is braced.
-std::size_t stmt_end(const Toks& t, std::size_t b) {
-  if (b >= t.size()) return t.size();
-  if (is(t[b], "{")) return std::min(match_forward(t, b) + 1, t.size());
-  if (is_ident(t[b], "if") || is_ident(t[b], "for") || is_ident(t[b], "while") ||
-      is_ident(t[b], "switch")) {
-    std::size_t p = b + 1;
-    if (p < t.size() && is_ident(t[p], "constexpr")) ++p;  // if constexpr
-    if (p >= t.size() || !is(t[p], "(")) return b + 1;
-    std::size_t body = std::min(match_forward(t, p) + 1, t.size());
-    std::size_t e = stmt_end(t, body);
-    if (is_ident(t[b], "if") && e < t.size() && is_ident(t[e], "else")) {
-      return stmt_end(t, e + 1);
-    }
-    return e;
-  }
-  if (is_ident(t[b], "do")) {
-    std::size_t e = stmt_end(t, b + 1);  // body
-    while (e < t.size() && !is(t[e], ";")) ++e;
-    return std::min(e + 1, t.size());
-  }
-  int depth = 0;
-  for (std::size_t k = b; k < t.size(); ++k) {
-    if (opens(t[k])) ++depth;
-    if (closes(t[k])) {
-      if (depth == 0) return k;  // ran out of the enclosing block
-      --depth;
-    }
-    if (depth == 0 && is(t[k], ";")) return k + 1;
-  }
-  return t.size();
-}
-
-// ---------------------------------------------------------------------------
-// Call-site classification
-// ---------------------------------------------------------------------------
-
-enum class CallKind { kNone, kMethod, kFree };
-
-// Classifies the identifier at `i` (which must be followed by "(") as a
-// method call, a free/qualified call, or not a call (declarations and
-// definitions: the name is preceded by a type).
-CallKind call_kind(const Toks& t, std::size_t i) {
-  if (i + 1 >= t.size() || !is(t[i + 1], "(")) return CallKind::kNone;
-  if (i == 0) return CallKind::kNone;
-  const Token& prev = t[i - 1];
-  if (is(prev, ".") || is(prev, "->")) return CallKind::kMethod;
-  std::size_t head = i;
-  if (is(prev, "::")) {  // walk back over the qualifier chain
-    std::size_t k = i;
-    while (k >= 2 && is(t[k - 1], "::") && is_ident(t[k - 2])) k -= 2;
-    if (k >= 1 && is(t[k - 1], "::")) --k;  // leading ::name
-    head = k;
-  }
-  if (head == 0) return CallKind::kNone;
-  const Token& before = t[head - 1];
-  // A type name, template close, attribute close or `~` in front means this
-  // is a declaration, definition or destructor, not a call.
-  if (is_ident(before)) {
-    if (is_exit_kw(before) || is_ident(before, "co_await") || is_ident(before, "co_yield") ||
-        is_ident(before, "case") || is_ident(before, "else") || is_ident(before, "do")) {
-      return CallKind::kFree;
-    }
-    return CallKind::kNone;
-  }
-  if (is(before, ">") || is(before, ">>") || is(before, "]") || is(before, "~") ||
-      is(before, "*") || is(before, "&")) {
-    return CallKind::kNone;
-  }
-  return CallKind::kFree;
-}
-
-// ---------------------------------------------------------------------------
-// Function extents and coroutine discovery
-// ---------------------------------------------------------------------------
-
-struct FuncExtent {
-  std::size_t open = 0;   // index of the body "{"
-  std::size_t close = 0;  // index of the matching "}"
-  bool lambda = false;
-  bool coroutine = false;  // contains co_await/co_return/co_yield directly
-};
-
-bool benign_decl_token(const Token& t) {
-  if (is_ident(t)) return true;  // specifiers, trailing-return type names
-  return t.text == "::" || t.text == "<" || t.text == ">" || t.text == "&" || t.text == "*" ||
-         t.text == "->" || t.text == "...";
-}
-
-// Finds every function (and lambda) body.  Heuristic: a "{" qualifies when
-// walking back over declaration-ish tokens reaches a ")" whose matching "("
-// is not a control-flow header.  Constructors with init lists degrade
-// gracefully (the body is still found via the last init-list ")").
-std::vector<FuncExtent> function_extents(const Toks& t) {
-  std::vector<FuncExtent> out;
-  for (std::size_t j = 0; j < t.size(); ++j) {
-    if (!is(t[j], "{")) continue;
-    std::size_t k = j;
-    bool found_paren = false;
-    while (k-- > 0) {
-      if (is(t[k], ")")) {
-        found_paren = true;
-        break;
-      }
-      if (!benign_decl_token(t[k])) break;
-    }
-    if (!found_paren) continue;
-    const std::size_t open_paren = match_backward(t, k);
-    if (open_paren == 0) continue;
-    const Token& callee = t[open_paren - 1];
-    if (is_ident(callee, "if") || is_ident(callee, "for") || is_ident(callee, "while") ||
-        is_ident(callee, "switch") || is_ident(callee, "catch")) {
-      continue;
-    }
-    FuncExtent fe;
-    fe.open = j;
-    fe.close = match_forward(t, j);
-    fe.lambda = is(callee, "]");
-    if (fe.close >= t.size()) continue;
-    out.push_back(fe);
-  }
-  // Mark coroutines: each co_* keyword belongs to the innermost extent.
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!is_ident(t[i], "co_await") && !is_ident(t[i], "co_return") &&
-        !is_ident(t[i], "co_yield")) {
-      continue;
-    }
-    FuncExtent* innermost = nullptr;
-    for (auto& fe : out) {
-      if (fe.open < i && i < fe.close &&
-          (!innermost || fe.close - fe.open < innermost->close - innermost->open)) {
-        innermost = &fe;
-      }
-    }
-    if (innermost) innermost->coroutine = true;
-  }
-  return out;
-}
-
-const FuncExtent* enclosing_function(const std::vector<FuncExtent>& fns, std::size_t i) {
-  const FuncExtent* best = nullptr;
-  for (const auto& fe : fns) {
-    if (fe.open < i && i < fe.close &&
-        (!best || fe.close - fe.open < best->close - best->open)) {
-      best = &fe;
-    }
-  }
-  return best;
-}
+using namespace scan;  // NOLINT(google-build-using-namespace) — rule bodies read as token algebra
 
 // ---------------------------------------------------------------------------
 // Shared per-file context
@@ -217,144 +24,23 @@ struct FileCtx {
   std::set<std::string> rank_vars;  // identifiers holding rank-derived values
 
   FileCtx(const LexedFile& f, const std::string& rp)
-      : file(f), rel_path(rp), t(f.tokens), fns(function_extents(f.tokens)) {
-    compute_rank_vars();
-  }
+      : file(f),
+        rel_path(rp),
+        t(f.tokens),
+        fns(function_extents(f.tokens)),
+        rank_vars(rank_tainted_vars(f.tokens)) {}
 
-  void add(std::vector<Finding>& out, const RuleInfo& rule, const Token& at,
-           std::string message, Severity severity) const {
+  void add(std::vector<Finding>& out, const RuleInfo& rule, const Token& at, std::string message,
+           Severity severity) const {
     out.push_back(Finding{rule.id, severity, rel_path, at.line, at.col, std::move(message)});
-  }
-
- private:
-  // Data-flow-lite: a variable assigned from a top-level rank() call (or from
-  // an already-tainted variable at top level) is itself rank-derived.  Depth
-  // matters: `split(color, comm.rank())` does not taint the result — the rank
-  // is an argument there, not the value.
-  void compute_rank_vars() {
-    bool changed = true;
-    for (int pass = 0; pass < 5 && changed; ++pass) {
-      changed = false;
-      for (std::size_t i = 1; i + 1 < t.size(); ++i) {
-        if (!is(t[i], "=") || !is_ident(t[i - 1])) continue;
-        const std::string& lhs = t[i - 1].text;
-        if (rank_vars.count(lhs)) continue;
-        int depth = 0;
-        for (std::size_t k = i + 1; k < t.size(); ++k) {
-          if (is(t[k], ";") && depth == 0) break;
-          if (opens(t[k])) {
-            ++depth;
-            continue;
-          }
-          if (closes(t[k])) {
-            if (depth == 0) break;
-            --depth;
-            continue;
-          }
-          if (depth != 0 || !is_ident(t[k])) continue;
-          const bool rank_call = (t[k].text == "rank" || t[k].text == "my_world_rank" ||
-                                  t[k].text == "my_index") &&
-                                 k + 1 < t.size() && is(t[k + 1], "(");
-          if (rank_call || rank_vars.count(t[k].text)) {
-            rank_vars.insert(lhs);
-            changed = true;
-            break;
-          }
-        }
-      }
-    }
   }
 };
 
-std::string lower(std::string s) {
-  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return s;
-}
-
 // ---------------------------------------------------------------------------
-// Rule: coll-rank-branch (+ the shared collective-call table)
+// Rule: coll-rank-branch
 // ---------------------------------------------------------------------------
 
-const std::set<std::string>& free_collectives() {
-  static const std::set<std::string> k = {"barrier",   "bcast",    "reduce",
-                                          "allreduce", "gather",   "scatter",
-                                          "allgather", "alltoall", "reduce_scatter",
-                                          "scan"};
-  return k;
-}
-
-const std::set<std::string>& method_collectives() {
-  static const std::set<std::string> k = {"split", "split_shared_node", "split_shared_socket"};
-  return k;
-}
-
-bool is_collective_call(const Toks& t, std::size_t i) {
-  const CallKind kind = call_kind(t, i);
-  if (kind == CallKind::kMethod) return method_collectives().count(t[i].text) > 0;
-  if (kind == CallKind::kFree) return free_collectives().count(t[i].text) > 0;
-  return false;
-}
-
-std::vector<std::string> collectives_in(const Toks& t, std::size_t b, std::size_t e) {
-  std::vector<std::string> names;
-  for (std::size_t i = b; i < e && i < t.size(); ++i) {
-    if (is_ident(t[i]) && is_collective_call(t, i)) names.push_back(t[i].text);
-  }
-  std::sort(names.begin(), names.end());
-  return names;
-}
-
-// Early exits that skip the rest of the *function*.  break/continue only
-// skip the rest of a loop and throw fails the whole run loudly, so neither
-// causes the silent collective desync this rule protects against.
-bool has_function_exit(const Toks& t, std::size_t b, std::size_t e) {
-  for (std::size_t i = b; i < e && i < t.size(); ++i) {
-    if (is_ident(t[i], "return") || is_ident(t[i], "co_return")) return true;
-  }
-  return false;
-}
-
-std::string join(const std::vector<std::string>& v) {
-  if (v.empty()) return "nothing";
-  std::ostringstream os;
-  for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : "") << v[i];
-  return os.str();
-}
-
-// True when the condition span [b, e) tests rank identity.  Identifiers that
-// only feed status-style calls (peer_status(other_rank), locate(rank), ...)
-// do not count: those are failure-detector checks, not rank branching.
-bool rank_dependent_cond(const FileCtx& ctx, std::size_t b, std::size_t e) {
-  static const std::set<std::string> kNeutralCallees = {"peer_status", "locate", "world_rank",
-                                                        "detect_time", "status", "at"};
-  const Toks& t = ctx.t;
-  std::vector<bool> neutral_stack;
-  for (std::size_t i = b; i < e && i < t.size(); ++i) {
-    if (is(t[i], "(")) {
-      const bool neutral = i > b && is_ident(t[i - 1]) && kNeutralCallees.count(t[i - 1].text);
-      neutral_stack.push_back(neutral);
-      continue;
-    }
-    if (is(t[i], ")")) {
-      if (!neutral_stack.empty()) neutral_stack.pop_back();
-      continue;
-    }
-    if (!is_ident(t[i])) continue;
-    const bool in_neutral =
-        std::any_of(neutral_stack.begin(), neutral_stack.end(), [](bool n) { return n; });
-    if (in_neutral) continue;
-    if (kNeutralCallees.count(t[i].text)) continue;  // the callee name itself
-    const std::string low = lower(t[i].text);
-    if (low.find("rank") != std::string::npos || low == "root" || low == "leader" ||
-        low == "is_leader" || ctx.rank_vars.count(t[i].text)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-void rule_coll_rank_branch(const FileCtx& ctx, const RuleInfo& rule,
-                           std::vector<Finding>& out) {
+void rule_coll_rank_branch(const FileCtx& ctx, const RuleInfo& rule, std::vector<Finding>& out) {
   const Toks& t = ctx.t;
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
     if (!is_ident(t[i], "if") || !is(t[i + 1], "(")) continue;
@@ -363,7 +49,7 @@ void rule_coll_rank_branch(const FileCtx& ctx, const RuleInfo& rule,
     }
     const std::size_t cond_close = match_forward(t, i + 1);
     if (cond_close >= t.size()) continue;
-    if (!rank_dependent_cond(ctx, i + 2, cond_close)) continue;
+    if (!rank_dependent_cond(t, ctx.rank_vars, i + 2, cond_close)) continue;
 
     const std::size_t then_b = cond_close + 1;
     const std::size_t then_e = stmt_end(t, then_b);
@@ -435,8 +121,8 @@ void rule_wall_clock(const FileCtx& ctx, const RuleInfo& rule, std::vector<Findi
     const std::string& s = t[i].text;
     const bool chrono_clock =
         s == "system_clock" || s == "steady_clock" || s == "high_resolution_clock";
-    const bool c_api = (s == "gettimeofday" || s == "clock_gettime") &&
-                       call_kind(t, i) == CallKind::kFree;
+    const bool c_api =
+        (s == "gettimeofday" || s == "clock_gettime") && call_kind(t, i) == CallKind::kFree;
     if (chrono_clock || c_api) {
       ctx.add(out, rule, t[i],
               "wall-clock time source '" + s +
@@ -595,8 +281,7 @@ bool subexpr_hazard(const Toks& t, std::size_t i) {
   return false;
 }
 
-void rule_co_await_subexpr(const FileCtx& ctx, const RuleInfo& rule,
-                           std::vector<Finding>& out) {
+void rule_co_await_subexpr(const FileCtx& ctx, const RuleInfo& rule, std::vector<Finding>& out) {
   const Toks& t = ctx.t;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (is_ident(t[i], "co_await") && subexpr_hazard(t, i)) {
@@ -611,22 +296,6 @@ void rule_co_await_subexpr(const FileCtx& ctx, const RuleInfo& rule,
 // ---------------------------------------------------------------------------
 // Rule: coro-lambda-capture
 // ---------------------------------------------------------------------------
-
-bool lambda_start(const Toks& t, std::size_t i) {
-  if (!is(t[i], "[")) return false;
-  if (i + 1 < t.size() && is(t[i + 1], "[")) return false;  // [[attribute]]
-  if (i == 0) return true;
-  const Token& prev = t[i - 1];
-  if (is_ident(prev)) {
-    return is_exit_kw(prev) || is_ident(prev, "co_await") || is_ident(prev, "co_yield") ||
-           is_ident(prev, "case") || is_ident(prev, "else") || is_ident(prev, "do");
-  }
-  if (is(prev, ")") || is(prev, "]") || prev.kind == TokKind::kNumber ||
-      prev.kind == TokKind::kString) {
-    return false;  // subscript
-  }
-  return true;
-}
 
 void rule_coro_lambda_capture(const FileCtx& ctx, const RuleInfo& rule,
                               std::vector<Finding>& out) {
@@ -676,7 +345,8 @@ void rule_coro_lambda_capture(const FileCtx& ctx, const RuleInfo& rule,
               rule.severity);
       continue;
     }
-    const bool escapes = i > 0 && (is_ident(t[i - 1], "return") || is_ident(t[i - 1], "co_return"));
+    const bool escapes =
+        i > 0 && (is_ident(t[i - 1], "return") || is_ident(t[i - 1], "co_return"));
     if (escapes && ref_capture) {
       ctx.add(out, rule, t[i],
               "returned lambda coroutine captures by reference: the captured locals die with "
@@ -691,17 +361,33 @@ void rule_coro_lambda_capture(const FileCtx& ctx, const RuleInfo& rule,
 // ---------------------------------------------------------------------------
 
 const std::set<std::string>& task_returning() {
-  static const std::set<std::string> k = {
-      "send",          "recv",           "recv_ft",
-      "wait",          "pingpong_burst", "split",
-      "split_shared_node", "split_shared_socket",
-      "barrier",       "bcast",          "reduce",
-      "allreduce",     "gather",         "scatter",
-      "allgather",     "alltoall",       "reduce_scatter",
-      "scan",          "sync_clocks",    "measure_offset",
-      "agree_any",     "surviving_quorum", "p2p_recv",
-      "p2p_send",      "block_on_recv",  "await_recv_until",
-      "delay"};
+  static const std::set<std::string> k = {"send",
+                                          "recv",
+                                          "recv_ft",
+                                          "wait",
+                                          "pingpong_burst",
+                                          "split",
+                                          "split_shared_node",
+                                          "split_shared_socket",
+                                          "barrier",
+                                          "bcast",
+                                          "reduce",
+                                          "allreduce",
+                                          "gather",
+                                          "scatter",
+                                          "allgather",
+                                          "alltoall",
+                                          "reduce_scatter",
+                                          "scan",
+                                          "sync_clocks",
+                                          "measure_offset",
+                                          "agree_any",
+                                          "surviving_quorum",
+                                          "p2p_recv",
+                                          "p2p_send",
+                                          "block_on_recv",
+                                          "await_recv_until",
+                                          "delay"};
   return k;
 }
 
@@ -790,9 +476,8 @@ void rule_shard_shared_state(const FileCtx& ctx, const RuleInfo& rule,
     const bool via_call = is_ident(t[i], "world") && i + 6 < t.size() && is(t[i + 1], "(") &&
                           is(t[i + 2], ")") && is(t[i + 3], ".") && is_ident(t[i + 4], "sim") &&
                           is(t[i + 5], "(") && is(t[i + 6], ")");
-    const bool via_member = is_ident(t[i], "world_") && i + 4 < t.size() &&
-                            is(t[i + 1], "->") && is_ident(t[i + 2], "sim") &&
-                            is(t[i + 3], "(") && is(t[i + 4], ")");
+    const bool via_member = is_ident(t[i], "world_") && i + 4 < t.size() && is(t[i + 1], "->") &&
+                            is_ident(t[i + 2], "sim") && is(t[i + 3], "(") && is(t[i + 4], ")");
     if (via_call || via_member) {
       ctx.add(out, rule, t[i],
               "World::sim() is shard 0's event loop — the wrong clock (and a data race) for "
@@ -918,6 +603,36 @@ const std::vector<RuleInfo>& rule_table() {
        "vectors of point structs",
        {},
        {"src/clocksync/", "tests/lint/fixtures/"}},
+      // Interprocedural rules (docs/static-analysis.md, "Whole-program
+      // analysis"): run by the project phase over merged per-file summaries,
+      // not here — run_interproc_rules in interproc_rules.cpp dispatches
+      // them.  Listed in the shared table so ids, severities, exemptions,
+      // suppressions and fixtures are handled uniformly.
+      {"ip-coll-rank-branch", Severity::kError, "collective-matching",
+       "collectives reached through helper calls must match across rank-dependent branches",
+       {},
+       {},
+       /*interprocedural=*/true},
+      {"ip-wall-clock", Severity::kError, "determinism",
+       "no call chain from sim-visible code into an exempted/suppressed wall-clock read",
+       {"src/runner/"},
+       {},
+       /*interprocedural=*/true},
+      {"ip-raw-random", Severity::kError, "determinism",
+       "no call chain from sim-visible code into an exempted/suppressed raw-randomness source",
+       {},
+       {},
+       /*interprocedural=*/true},
+      {"ip-shard-shared-state", Severity::kError, "determinism",
+       "no call chain from rank code into helpers that touch another shard's state",
+       {"src/sim/shard_context.hpp", "src/simmpi/world.cpp"},
+       {},
+       /*interprocedural=*/true},
+      {"ip-unchecked-sync-result", Severity::kError, "collective-matching",
+       "callers of SyncResult-returning functions must consult the SyncReport health",
+       {"tests/"},
+       {},
+       /*interprocedural=*/true},
   };
   return kTable;
 }
@@ -930,20 +645,23 @@ const RuleInfo* find_rule(const std::string& id) {
 }
 
 void run_rules(const LexedFile& file, const std::string& rel_path,
-               const std::set<std::string>& enabled, std::vector<Finding>& out) {
+               const std::set<std::string>& enabled, std::vector<Finding>& out,
+               const std::function<double()>& now, std::map<std::string, double>* rule_seconds) {
   const FileCtx ctx(file, rel_path);
   for (const auto& rule : rule_table()) {
+    if (rule.interprocedural) continue;  // phase 2: run_interproc_rules
     if (!enabled.empty() && !enabled.count(rule.id)) continue;
-    const bool exempt = std::any_of(
-        rule.exempt_path_prefixes.begin(), rule.exempt_path_prefixes.end(),
-        [&](const std::string& p) { return rel_path.rfind(p, 0) == 0; });
+    const bool exempt =
+        std::any_of(rule.exempt_path_prefixes.begin(), rule.exempt_path_prefixes.end(),
+                    [&](const std::string& p) { return rel_path.rfind(p, 0) == 0; });
     if (exempt) continue;
     if (!rule.limit_path_prefixes.empty()) {
-      const bool within = std::any_of(
-          rule.limit_path_prefixes.begin(), rule.limit_path_prefixes.end(),
-          [&](const std::string& p) { return rel_path.rfind(p, 0) == 0; });
+      const bool within =
+          std::any_of(rule.limit_path_prefixes.begin(), rule.limit_path_prefixes.end(),
+                      [&](const std::string& p) { return rel_path.rfind(p, 0) == 0; });
       if (!within) continue;
     }
+    const double t0 = now ? now() : 0.0;
     if (rule.id == "coll-rank-branch") rule_coll_rank_branch(ctx, rule, out);
     if (rule.id == "ft-plain-recv") rule_ft_plain_recv(ctx, rule, out);
     if (rule.id == "wall-clock") rule_wall_clock(ctx, rule, out);
@@ -954,6 +672,7 @@ void run_rules(const LexedFile& file, const std::string& rel_path,
     if (rule.id == "task-discard") rule_task_discard(ctx, rule, out);
     if (rule.id == "shard-shared-state") rule_shard_shared_state(ctx, rule, out);
     if (rule.id == "soa-point-state") rule_soa_point_state(ctx, rule, out);
+    if (now && rule_seconds) (*rule_seconds)[rule.id] += now() - t0;
   }
 }
 

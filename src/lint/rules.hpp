@@ -6,6 +6,8 @@
 // for the catalogue with rationale and examples).
 #pragma once
 
+#include <functional>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,16 +28,24 @@ struct RuleInfo {
   // When non-empty, the rule only runs on paths under these prefixes (plus
   // the lint fixtures dir, so the rule's own fixture pair exercises it).
   std::vector<std::string> limit_path_prefixes = {};
+  // Interprocedural rules run in the whole-program phase (interproc_rules.cpp)
+  // over merged per-file summaries instead of in run_rules; their fixtures are
+  // multi-file sets under tests/lint/fixtures/ip/<id>/{bad,good}/.
+  bool interprocedural = false;
 };
 
 const std::vector<RuleInfo>& rule_table();
 const RuleInfo* find_rule(const std::string& id);
 
-// Runs every rule whose id is in `enabled` (empty set = all rules) over
-// `file` and appends raw findings.  `rel_path` is the repo-relative path used
-// for exemption matching and reporting; suppression comments and baselines
-// are applied by the analyzer, not here.
+// Runs every per-file rule whose id is in `enabled` (empty set = all rules)
+// over `file` and appends raw findings.  `rel_path` is the repo-relative path
+// used for exemption matching and reporting; suppression comments and
+// baselines are applied by the analyzer, not here.  Interprocedural rules are
+// skipped (see interproc_rules.hpp).  `now`/`rule_seconds` (optional)
+// accumulate per-rule runtimes for --stats.
 void run_rules(const LexedFile& file, const std::string& rel_path,
-               const std::set<std::string>& enabled, std::vector<Finding>& out);
+               const std::set<std::string>& enabled, std::vector<Finding>& out,
+               const std::function<double()>& now = {},
+               std::map<std::string, double>* rule_seconds = nullptr);
 
 }  // namespace hcs::lint

@@ -1,0 +1,91 @@
+#include "lint/sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "lint/rules.hpp"
+
+namespace hcs::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"hcs-lint\",\n"
+     << "          \"informationUri\": \"docs/static-analysis.md\",\n"
+     << "          \"rules\": [\n";
+  const auto& table = rule_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    os << "            {\"id\": \"" << json_escape(table[i].id)
+       << "\", \"shortDescription\": {\"text\": \"" << json_escape(table[i].summary)
+       << "\"}, \"properties\": {\"category\": \"" << json_escape(table[i].category)
+       << "\"}}";
+    os << ",\n";
+  }
+  // The analyzer's own diagnostic for malformed suppression comments.
+  os << "            {\"id\": \"bad-suppression\", \"shortDescription\": {\"text\": "
+        "\"suppression comment names an unknown rule or uses an unknown form\"}, "
+        "\"properties\": {\"category\": \"meta\"}}\n"
+     << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\"ruleId\": \"" << json_escape(f.rule) << "\", \"level\": \""
+       << (f.severity == Severity::kError ? "error" : "warning")
+       << "\", \"message\": {\"text\": \"" << json_escape(f.message)
+       << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(f.path) << "\"}, \"region\": {\"startLine\": " << f.line
+       << ", \"startColumn\": " << f.col << "}}}]}" << (i + 1 < findings.size() ? "," : "")
+       << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace hcs::lint

@@ -1,0 +1,16 @@
+// Minimal SARIF 2.1.0 serialization of hcs-lint findings, for CI upload and
+// inline PR annotations.  One run, one driver ("hcs-lint"), the full rule
+// catalogue under tool.driver.rules, one result per finding with a single
+// physical location.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/finding.hpp"
+
+namespace hcs::lint {
+
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace hcs::lint

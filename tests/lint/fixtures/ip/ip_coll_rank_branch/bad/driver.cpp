@@ -1,0 +1,27 @@
+// hcs-lint-path: src/clocksync/driver.cpp
+// Bad fixture for ip-coll-rank-branch, file 2/2: both hazards the rule owns.
+// The arms carry no direct collectives (so the per-file rule stays silent);
+// the helpers hide {barrier} vs {allreduce}.  The second function exits early
+// on a rank-dependent condition, skipping the barrier inside finish_round.
+// Not compiled.
+
+namespace hcs::clocksync {
+
+sim::Task<void> drive_divergent(simmpi::Comm& comm) {
+  const int r = comm.rank();
+  if (r == 0) {  // hcs-lint-expect: ip-coll-rank-branch
+    co_await exchange_root(comm);
+  } else {
+    co_await exchange_leaf(comm);
+  }
+}
+
+sim::Task<void> drive_early_exit(simmpi::Comm& comm) {
+  const int r = comm.rank();
+  if (r != 0) {  // hcs-lint-expect: ip-coll-rank-branch
+    co_return;
+  }
+  co_await finish_round(comm);
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,25 @@
+// hcs-lint-path: src/clocksync/driver.cpp
+// Good fixture for ip-coll-rank-branch, file 2/2: the branch picks between
+// helpers with identical collective bags, and the early exit only skips a
+// helper with no collectives in reach.  Not compiled.
+
+namespace hcs::clocksync {
+
+sim::Task<void> drive_uniform(simmpi::Comm& comm) {
+  const int r = comm.rank();
+  if (r == 0) {
+    co_await exchange_root(comm);
+  } else {
+    co_await exchange_leaf(comm);
+  }
+}
+
+sim::Task<void> drive_local_tail(simmpi::Comm& comm, std::vector<double>& xs) {
+  const int r = comm.rank();
+  if (r != 0) {
+    co_return;
+  }
+  co_await fold_residuals(xs);
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,13 @@
+// hcs-lint-path: src/clocksync/entropy.cpp
+// Bad fixture for ip-raw-random, file 1/2: the taint source.  The rand()
+// call is suppressed with a per-file justification, so the per-file rule is
+// silent here — but the suppression does not launder the callers.  Not
+// compiled.
+
+namespace hcs::clocksync {
+
+int host_entropy() {
+  return rand();  // hcs-lint: allow(raw-random) fixture: pretend-justified host entropy
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,12 @@
+// hcs-lint-path: src/clocksync/jitter.cpp
+// Bad fixture for ip-raw-random, file 2/2: the caller reaches the suppressed
+// rand() through the helper without any justification of its own.  Not
+// compiled.
+
+namespace hcs::clocksync {
+
+int jitter_sample() {
+  return host_entropy() % 7;  // hcs-lint-expect: ip-raw-random
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,12 @@
+// hcs-lint-path: src/clocksync/entropy.cpp
+// Good fixture for ip-raw-random, file 1/2: identical taint source to the
+// bad set — the caller neutralizes it with a call-site suppression instead.
+// Not compiled.
+
+namespace hcs::clocksync {
+
+int host_entropy() {
+  return rand();  // hcs-lint: allow(raw-random) fixture: pretend-justified host entropy
+}
+
+}  // namespace hcs::clocksync

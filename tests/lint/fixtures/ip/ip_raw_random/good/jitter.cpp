@@ -1,0 +1,12 @@
+// hcs-lint-path: src/clocksync/jitter.cpp
+// Good fixture for ip-raw-random, file 2/2: the interprocedural finding is
+// acknowledged at the call site, which is exactly where the rule asks for
+// the justification.  Not compiled.
+
+namespace hcs::clocksync {
+
+int jitter_sample() {
+  return host_entropy() % 7;  // hcs-lint: allow(ip-raw-random) fixture: bench-only entropy
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,10 @@
+// hcs-lint-path: src/simmpi/world.cpp
+// Bad fixture for ip-shard-shared-state, file 1/2: the engine-owned helper.
+// world.cpp is exempt from the per-file shard-shared-state rule (it owns the
+// thread-local slot), so the write is invisible file-locally.  Not compiled.
+
+namespace hcs::simmpi {
+
+void pin_shard_for_rank(int shard) { set_current_shard(shard); }
+
+}  // namespace hcs::simmpi

@@ -1,0 +1,13 @@
+// hcs-lint-path: src/simmpi/world.cpp
+// Good fixture for ip-shard-shared-state, file 1/2: the helper routes the
+// request through the mailbox API instead of writing the shard slot, and
+// only reads the sanctioned per-rank accessor.  Not compiled.
+
+namespace hcs::simmpi {
+
+void pin_shard_for_rank(int shard) {
+  const int cur = current_shard();
+  if (cur != shard) post_migration_request(shard);
+}
+
+}  // namespace hcs::simmpi

@@ -1,0 +1,22 @@
+// hcs-lint-path: src/clocksync/callers.cpp
+// Bad fixture for ip-unchecked-sync-result, file 2/2: the three ways to drop
+// the SyncReport — discard the value, narrow it to the clock, or bind it and
+// never consult .report.  Not compiled.
+
+namespace hcs::clocksync {
+
+void caller_discards(simmpi::Comm& comm) {
+  run_mini_sync(comm);  // hcs-lint-expect: ip-unchecked-sync-result
+}
+
+void caller_narrows(simmpi::Comm& comm) {
+  const vclock::ClockPtr g = run_mini_sync(comm);  // hcs-lint-expect: ip-unchecked-sync-result
+  install_clock(g);
+}
+
+void caller_binds_unchecked(simmpi::Comm& comm) {
+  const auto res = run_mini_sync(comm);  // hcs-lint-expect: ip-unchecked-sync-result
+  install_clock(res.clock);
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,12 @@
+// hcs-lint-path: src/clocksync/reporter.cpp
+// Bad fixture for ip-wall-clock, file 3/3: two call edges away from the
+// hazard — the chain in the message walks through sample_latency.  Not
+// compiled.
+
+namespace hcs::clocksync {
+
+double report_latency_ms() {
+  return sample_latency() * 1e3;  // hcs-lint-expect: ip-wall-clock
+}
+
+}  // namespace hcs::clocksync

@@ -1,0 +1,14 @@
+// hcs-lint-path: src/runner/host_timer.cpp
+// Bad fixture for ip-wall-clock, file 1/3: the taint source.  src/runner/ is
+// exempt from the per-file wall-clock rule, so this helper lints clean on its
+// own — the hazard only becomes visible from its callers.  Not compiled.
+#include <chrono>
+
+namespace hcs::runner {
+
+double host_now_seconds() {
+  const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(since_epoch).count();
+}
+
+}  // namespace hcs::runner

@@ -1,0 +1,11 @@
+// hcs-lint-path: src/clocksync/sampler.cpp
+// Bad fixture for ip-wall-clock, file 2/3: sim-visible code one call edge
+// away from the exempt wall-clock read.  Not compiled.
+
+namespace hcs::clocksync {
+
+double sample_latency() {
+  return host_now_seconds() * 1e-3;  // hcs-lint-expect: ip-wall-clock
+}
+
+}  // namespace hcs::clocksync

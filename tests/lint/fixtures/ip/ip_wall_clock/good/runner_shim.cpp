@@ -1,0 +1,10 @@
+// hcs-lint-path: src/runner/host_timer.cpp
+// Good fixture for ip-wall-clock, file 1/2: the runner helper takes the time
+// as a parameter instead of reading a wall clock, so no taint enters the
+// call graph.  Not compiled.
+
+namespace hcs::runner {
+
+double host_now_seconds(double injected_now) { return injected_now; }
+
+}  // namespace hcs::runner

@@ -1,0 +1,9 @@
+// hcs-lint-path: src/clocksync/sampler.cpp
+// Good fixture for ip-wall-clock, file 2/2: same call shape as the bad set,
+// but the callee carries no wall-clock hazard.  Not compiled.
+
+namespace hcs::clocksync {
+
+double sample_latency(double now) { return host_now_seconds(now) * 1e-3; }
+
+}  // namespace hcs::clocksync

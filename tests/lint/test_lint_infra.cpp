@@ -63,6 +63,54 @@ TEST(LintLexer, MultiCharPunctuatorsAreLongestMunch) {
   EXPECT_EQ(puncts, (std::vector<std::string>{"<<=", "->*", "<=>", "::"}));
 }
 
+TEST(LintLexer, LineCommentBackslashContinuationSwallowsTheNextLine) {
+  // Phase-2 splicing runs before comment recognition: a backslash at the end
+  // of a // comment extends it over the next physical line.
+  const LexedFile f = lex("x.cpp", "// spliced \\\nint hidden;\nint visible;\n");
+  ASSERT_EQ(f.tokens.size(), 4u);  // int visible ; <eof>
+  EXPECT_EQ(f.tokens[1].text, "visible");
+  ASSERT_EQ(f.comments.size(), 1u);
+  EXPECT_EQ(f.comments[0].line, 1);
+  EXPECT_EQ(f.comments[0].end_line, 2);
+}
+
+TEST(LintLexer, LineCommentCrlfContinuationAlsoSplices) {
+  const LexedFile f = lex("x.cpp", "// spliced \\\r\nint hidden;\r\nint visible;\r\n");
+  ASSERT_EQ(f.tokens.size(), 4u);
+  EXPECT_EQ(f.tokens[1].text, "visible");
+}
+
+TEST(LintLexer, SplicedAllowNextLineCountsFromTheLastPhysicalLine) {
+  const std::string src =
+      "// hcs-lint: allow-next-line(raw-random) justified \\\n   shim\n"
+      "int f() { return rand(); }\n";
+  EXPECT_TRUE(run(src).empty());
+}
+
+TEST(LintLexer, DirectiveCrlfContinuationStaysInsideTheDirective) {
+  const std::string src = "#define BAD rand() \\\r\n            rand()\r\nint y;\n";
+  const LexedFile f = lex("x.cpp", src);
+  ASSERT_EQ(f.tokens.size(), 4u);  // int y ; <eof>
+  EXPECT_EQ(f.tokens[0].text, "int");
+  EXPECT_EQ(f.tokens[0].line, 3);
+  EXPECT_TRUE(run(src).empty());
+}
+
+TEST(LintLexer, UnterminatedRawStringAtEofDoesNotCrash) {
+  // "R\"abc" with no "(" used to read past the buffer.
+  const LexedFile f = lex("x.cpp", "auto s = R\"abc");
+  ASSERT_EQ(f.tokens.size(), 5u);  // auto s = <string> <eof>
+  EXPECT_EQ(f.tokens[3].kind, TokKind::kString);
+  EXPECT_EQ(f.tokens[3].text, "abc");
+}
+
+TEST(LintLexer, UnterminatedRawStringBodyAtEofIsTheRemainder) {
+  const LexedFile f = lex("x.cpp", "auto s = R\"ab(dangling");
+  ASSERT_EQ(f.tokens.size(), 5u);
+  EXPECT_EQ(f.tokens[3].kind, TokKind::kString);
+  EXPECT_EQ(f.tokens[3].text, "dangling");
+}
+
 TEST(LintLexer, CommentsCarryLineRanges) {
   const LexedFile f = lex("x.cpp", "int a;\n/* two\nlines */\nint b; // tail\n");
   ASSERT_EQ(f.comments.size(), 2u);
@@ -236,6 +284,42 @@ TEST(LintBaseline, CommentsAndBlankLinesIgnored) {
   std::string err;
   EXPECT_TRUE(b.parse("# header\n\n# more\n", &err)) << err;
   EXPECT_TRUE(b.empty());
+}
+
+TEST(LintBaseline, PathsWithSpacesRoundTrip) {
+  const std::vector<std::string> lines = {"int x = rand();"};
+  const Finding f = finding("raw-random", "src/my dir/a file.cpp", 1);
+  const std::string text = Baseline::serialize({f}, {{"src/my dir/a file.cpp", lines}});
+  Baseline b;
+  std::string err;
+  ASSERT_TRUE(b.parse(text, &err)) << err;
+  EXPECT_TRUE(b.consume(f, lines));
+  EXPECT_TRUE(b.unknown_rule_warnings().empty());
+}
+
+TEST(LintBaseline, StaleRuleIdWarnsInsteadOfFailing) {
+  // A baseline written before a rule was renamed/retired must stay loadable;
+  // the entry is inert and surfaced as a warning.
+  const std::string text =
+      "# header\n"
+      "1\tretired-rule\tsrc/a.cpp\tint x = rand();\n"
+      "1\traw-random\tsrc/a.cpp\tint x = rand();\n";
+  Baseline b;
+  std::string err;
+  ASSERT_TRUE(b.parse(text, &err)) << err;
+  ASSERT_EQ(b.unknown_rule_warnings().size(), 1u);
+  EXPECT_NE(b.unknown_rule_warnings()[0].find("retired-rule"), std::string::npos);
+  EXPECT_NE(b.unknown_rule_warnings()[0].find("line 2"), std::string::npos);
+  // The known entry still works; the stale one never matches anything.
+  EXPECT_TRUE(b.consume(finding("raw-random", "src/a.cpp", 1), {"int x = rand();"}));
+  EXPECT_FALSE(b.consume(finding("retired-rule", "src/a.cpp", 1), {"int x = rand();"}));
+}
+
+TEST(LintBaseline, BadSuppressionEntriesAreNotStale) {
+  Baseline b;
+  std::string err;
+  ASSERT_TRUE(b.parse("1\tbad-suppression\tsrc/a.cpp\tint x;\n", &err)) << err;
+  EXPECT_TRUE(b.unknown_rule_warnings().empty());
 }
 
 TEST(LintBaseline, ApplyBaselineKeepsOnlyFreshFindings) {

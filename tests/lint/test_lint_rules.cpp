@@ -118,19 +118,40 @@ TEST_P(FixturePair, GoodFixtureStaysSilent) {
   EXPECT_TRUE(findings.empty()) << "good fixture produced findings:\n" << os.str();
 }
 
-std::vector<std::string> all_rule_ids() {
+std::vector<std::string> per_file_rule_ids() {
   std::vector<std::string> ids;
-  for (const RuleInfo& r : rule_table()) ids.push_back(r.id);
+  for (const RuleInfo& r : rule_table()) {
+    if (!r.interprocedural) ids.push_back(r.id);
+  }
   return ids;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllRules, FixturePair, ::testing::ValuesIn(all_rule_ids()),
+INSTANTIATE_TEST_SUITE_P(AllRules, FixturePair, ::testing::ValuesIn(per_file_rule_ids()),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return underscored(info.param);
                          });
 
+// Counts *.cpp files directly inside `dir` (the multi-file ip fixture sets).
+std::size_t cpp_files_in(const fs::path& dir) {
+  if (!fs::is_directory(dir)) return 0;
+  std::size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cpp") ++n;
+  }
+  return n;
+}
+
 TEST(RuleTable, EveryRuleHasAFixturePairOnDisk) {
   for (const RuleInfo& r : rule_table()) {
+    if (r.interprocedural) {
+      // Interprocedural rules need multi-file sets: ip/<rule>/{bad,good}/.
+      const fs::path base = kFixtureDir / "ip" / underscored(r.id);
+      EXPECT_GE(cpp_files_in(base / "bad"), 2u)
+          << "rule " << r.id << " needs a multi-file bad set under " << (base / "bad");
+      EXPECT_GE(cpp_files_in(base / "good"), 2u)
+          << "rule " << r.id << " needs a multi-file good set under " << (base / "good");
+      continue;
+    }
     EXPECT_TRUE(fs::exists(kFixtureDir / ("bad_" + underscored(r.id) + ".cpp")))
         << "rule " << r.id << " has no bad fixture";
     EXPECT_TRUE(fs::exists(kFixtureDir / ("good_" + underscored(r.id) + ".cpp")))
@@ -138,8 +159,25 @@ TEST(RuleTable, EveryRuleHasAFixturePairOnDisk) {
   }
 }
 
+TEST(RuleTable, EveryIpFixtureDirectoryNamesAKnownInterproceduralRule) {
+  const fs::path ip_dir = kFixtureDir / "ip";
+  ASSERT_TRUE(fs::is_directory(ip_dir));
+  for (const auto& entry : fs::directory_iterator(ip_dir)) {
+    ASSERT_TRUE(entry.is_directory()) << entry.path() << " is not a per-rule directory";
+    std::string id = entry.path().filename().string();
+    for (char& c : id) {
+      if (c == '_') c = '-';
+    }
+    const RuleInfo* rule = find_rule(id);
+    ASSERT_NE(rule, nullptr) << entry.path() << " names unknown rule '" << id << "'";
+    EXPECT_TRUE(rule->interprocedural)
+        << entry.path() << ": only interprocedural rules live under ip/";
+  }
+}
+
 TEST(RuleTable, EveryFixtureOnDiskNamesAKnownRule) {
   for (const auto& entry : fs::directory_iterator(kFixtureDir)) {
+    if (entry.is_directory()) continue;  // ip/ holds the interprocedural sets
     std::string stem = entry.path().stem().string();
     std::string prefix;
     for (const char* p : {"bad_", "good_"}) {
